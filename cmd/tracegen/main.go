@@ -1,0 +1,69 @@
+// Command tracegen synthesizes and inspects the input traces the simulator
+// replays: device fleets (capacity + diurnal availability) and CL job demand
+// traces.
+//
+// Usage:
+//
+//	tracegen -devices 5000 -days 4 -out fleet.json
+//	tracegen -summary            # print trace statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"venn/internal/eval"
+	"venn/internal/simtime"
+	"venn/internal/trace"
+)
+
+func main() {
+	var (
+		devices = flag.Int("devices", 5000, "fleet size")
+		days    = flag.Int("days", 4, "horizon in days")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "write fleet JSON to this path")
+		summary = flag.Bool("summary", true, "print trace summaries")
+	)
+	flag.Parse()
+
+	fleet := trace.GenerateFleet(trace.FleetConfig{
+		NumDevices: *devices,
+		Horizon:    simtime.Duration(*days) * simtime.Day,
+		Seed:       *seed,
+	})
+
+	if *summary {
+		fmt.Printf("fleet: %d devices, horizon %d days\n", *devices, *days)
+		counts := fleet.CategoryCounts()
+		for _, name := range []string{"General", "Compute-Rich", "Memory-Rich", "High-Perf"} {
+			fmt.Printf("  %-13s %5d devices (%.1f%%)\n", name, counts[name],
+				100*float64(counts[name])/float64(*devices))
+		}
+		frac := trace.OnlineFraction(fleet.Intervals, fleet.Horizon, simtime.Hour)
+		lo, hi := frac[0], frac[0]
+		for _, f := range frac {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		fmt.Printf("  online fraction ranges %.1f%% .. %.1f%% (diurnal)\n", 100*lo, 100*hi)
+
+		rounds, demand := eval.JobTraceSummary(1000, *seed)
+		fmt.Printf("job demand trace (1000 jobs):\n")
+		fmt.Printf("  rounds:       %v\n", rounds)
+		fmt.Printf("  demand/round: %v\n", demand)
+	}
+
+	if *out != "" {
+		if err := fleet.SaveFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

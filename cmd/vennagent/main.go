@@ -1,0 +1,105 @@
+// Command vennagent simulates a fleet of edge devices against a live
+// venndaemon: each device periodically checks in (respecting a synthetic
+// charging schedule), executes assigned tasks for a speed-dependent
+// duration, and reports back. Useful for load-testing and demos:
+//
+//	venndaemon -addr :8080 &
+//	vennagent -daemon http://localhost:8080 -devices 200 -rate 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"venn/internal/client"
+	"venn/internal/server"
+	"venn/internal/stats"
+)
+
+func main() {
+	var (
+		daemon   = flag.String("daemon", "http://localhost:8080", "venndaemon base URL")
+		devices  = flag.Int("devices", 100, "number of simulated devices")
+		rate     = flag.Float64("rate", 5, "check-ins per second across the fleet")
+		duration = flag.Duration("duration", time.Minute, "how long to run")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	c := client.New(*daemon)
+	if _, err := c.Stats(); err != nil {
+		fmt.Fprintf(os.Stderr, "vennagent: daemon unreachable: %v\n", err)
+		os.Exit(1)
+	}
+
+	rng := stats.NewRNG(*seed)
+	type dev struct {
+		id       string
+		cpu, mem float64
+	}
+	fleet := make([]dev, *devices)
+	for i := range fleet {
+		fleet[i] = dev{
+			id:  fmt.Sprintf("agent-%04d", i),
+			cpu: rng.Float64(),
+			mem: rng.Float64(),
+		}
+	}
+
+	var (
+		mu          sync.Mutex
+		checkIns    int
+		assignments int
+		reports     int
+	)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(*duration)
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	for time.Now().Before(stop) {
+		<-ticker.C
+		d := fleet[rng.Intn(len(fleet))]
+		wg.Add(1)
+		go func(d dev, taskSeed int64) {
+			defer wg.Done()
+			asg, err := c.CheckIn(server.CheckIn{DeviceID: d.id, CPU: d.cpu, Mem: d.mem})
+			mu.Lock()
+			checkIns++
+			mu.Unlock()
+			if err != nil || !asg.Assigned {
+				return
+			}
+			mu.Lock()
+			assignments++
+			mu.Unlock()
+			// Execute: duration scales inversely with capability.
+			taskRNG := stats.NewRNG(taskSeed)
+			secs := taskRNG.LogNormalMedianP95(4, 10) / (0.5 + 1.5*d.cpu)
+			time.Sleep(time.Duration(secs * float64(time.Second)))
+			ok := !taskRNG.Bool(0.08)
+			if err := c.Report(server.Report{
+				DeviceID: d.id, JobID: asg.JobID, OK: ok, DurationSeconds: secs,
+			}); err == nil && ok {
+				mu.Lock()
+				reports++
+				mu.Unlock()
+			}
+		}(d, rng.Int63())
+	}
+	wg.Wait()
+
+	st, err := c.Stats()
+	mu.Lock()
+	fmt.Printf("agent: %d check-ins, %d assignments, %d successful reports\n",
+		checkIns, assignments, reports)
+	mu.Unlock()
+	if err == nil {
+		fmt.Printf("daemon: %d assignments, %d reports, %d jobs done (avg JCT %.0fs)\n",
+			st.Assignments, st.Reports, st.CompletedJobs, st.AvgJCTSeconds)
+	}
+}

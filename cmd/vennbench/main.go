@@ -1,0 +1,108 @@
+// Command vennbench regenerates every table and figure of the paper's
+// evaluation section and prints them as text reports.
+//
+// Usage:
+//
+//	vennbench                 # all experiments at default scale
+//	vennbench -scale quick    # fast pass (CI-sized)
+//	vennbench -only table1,fig11 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"venn/internal/eval"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "default", "quick|default|full")
+		only      = flag.String("only", "", "comma-separated subset: table1..table4,fig2a,fig3,fig4,fig5,fig8a,fig9,fig10,fig11,fig12,fig13,fig14")
+		seeds     = flag.Int("seeds", 3, "seeds per configuration")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name != "" {
+			want[name] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	experiments := []experiment{
+		{"fig2a", func() (string, error) {
+			r := eval.Figure2a(2000, 1)
+			return fmt.Sprintf("Figure 2a: diurnal availability, peak/trough ratio %.2f\n", r.PeakTroughRatio()), nil
+		}},
+		{"fig8a", func() (string, error) { return eval.Figure8a(5000, 1).Render(), nil }},
+		{"fig3", func() (string, error) { r, err := eval.Figure3(); return render(r, err) }},
+		{"fig4", func() (string, error) { r, err := eval.Figure4(scale); return render(r, err) }},
+		{"fig5", func() (string, error) { r, err := eval.Figure5(scale); return render(r, err) }},
+		{"table1", func() (string, error) { r, err := eval.Table1(scale, *seeds); return render(r, err) }},
+		{"fig9", func() (string, error) { r, err := eval.Figure9(scale, 0); return render(r, err) }},
+		{"fig10", func() (string, error) { return eval.Figure10().Render(), nil }},
+		{"fig11", func() (string, error) { r, err := eval.Figure11(scale, *seeds); return render(r, err) }},
+		{"table2", func() (string, error) { r, err := eval.Table2(scale, *seeds); return render(r, err) }},
+		{"table3", func() (string, error) { r, err := eval.Table3(scale, *seeds); return render(r, err) }},
+		{"table4", func() (string, error) { r, err := eval.Table4(scale, *seeds); return render(r, err) }},
+		{"fig12", func() (string, error) { r, err := eval.Figure12(scale, *seeds); return render(r, err) }},
+		{"fig13", func() (string, error) { r, err := eval.Figure13(scale, *seeds); return render(r, err) }},
+		{"fig14", func() (string, error) { r, err := eval.Figure14(scale, *seeds); return render(r, err) }},
+		{"ablation-window", func() (string, error) { r, err := eval.SupplyWindowAblation(scale, *seeds); return render(r, err) }},
+		{"ablation-heaviness", func() (string, error) { r, err := eval.TaskHeaviness(scale, *seeds); return render(r, err) }},
+	}
+
+	fmt.Printf("vennbench: scale=%s seeds=%d\n\n", scale, *seeds)
+	for _, ex := range experiments {
+		if !selected(ex.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := ex.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", ex.name, err))
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", ex.name, time.Since(start).Seconds(), out)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+func parseScale(s string) (eval.Scale, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return eval.ScaleQuick, nil
+	case "default", "":
+		return eval.ScaleDefault, nil
+	case "full":
+		return eval.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vennbench:", err)
+	os.Exit(1)
+}

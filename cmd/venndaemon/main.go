@@ -1,0 +1,45 @@
+// Command venndaemon runs Venn as a live HTTP resource manager (the
+// standalone service of the paper's Figure 6). CL jobs register resource
+// requests, devices check in as they become available, and the daemon
+// assigns each device to a job using the IRS scheduling and tier-based
+// matching algorithms.
+//
+// Usage:
+//
+//	venndaemon -addr :8080 -tiers 3 -epsilon 0
+//
+// API:
+//
+//	POST /v1/jobs      {"name":"kbd","category":"General","demand_per_round":100,"rounds":50}
+//	POST /v1/checkin   {"device_id":"phone-1","cpu":0.8,"mem":0.7}
+//	POST /v1/report    {"device_id":"phone-1","job_id":0,"ok":true,"duration_seconds":42}
+//	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"venn/internal/core"
+	"venn/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		tiers   = flag.Int("tiers", 3, "device-tier granularity V")
+		epsilon = flag.Float64("epsilon", 0, "fairness knob")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Tiers = *tiers
+	opts.Epsilon = *epsilon
+	m := server.NewManager(server.Config{Options: opts})
+	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f)\n", *addr, *tiers, *epsilon)
+	if err := server.Serve(*addr, m); err != nil {
+		fmt.Fprintln(os.Stderr, "venndaemon:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command vennsim runs one simulated CL workload under one or all
+// schedulers and reports job-completion-time statistics.
+//
+// Usage:
+//
+//	vennsim -devices 5000 -jobs 50 -scheduler all -scenario even -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"venn/internal/eval"
+	"venn/internal/sched"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+	"venn/internal/trace"
+	"venn/internal/workload"
+
+	vennapi "venn"
+)
+
+func main() {
+	var (
+		devices   = flag.Int("devices", 5000, "fleet size")
+		jobs      = flag.Int("jobs", 50, "number of CL jobs")
+		days      = flag.Int("days", 5, "simulation horizon in days")
+		scheduler = flag.String("scheduler", "all", "random|fifo|srsf|venn|all")
+		scenario  = flag.String("scenario", "even", "even|small|large|low|high")
+		bias      = flag.String("bias", "", "''|general|compute|memory|resource")
+		tiers     = flag.Int("tiers", 3, "Venn device-tier granularity V")
+		epsilon   = flag.Float64("epsilon", 0, "Venn fairness knob")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	sc, err := parseScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	bi, err := parseBias(*bias)
+	if err != nil {
+		fatal(err)
+	}
+
+	fleet := trace.GenerateFleet(trace.FleetConfig{
+		NumDevices: *devices,
+		Horizon:    simtime.Duration(*days) * simtime.Day,
+		Seed:       *seed,
+	})
+	wl := workload.Generate(workload.Config{
+		Scenario: sc,
+		Bias:     bi,
+		NumJobs:  *jobs,
+		Seed:     *seed + 1,
+	})
+	fmt.Printf("fleet: %d devices over %d days; workload: %d jobs (%s/%s), total demand %d device-tasks\n\n",
+		*devices, *days, *jobs, sc, bi, wl.TotalDemand())
+
+	factories := schedulerFactories(*scheduler, *tiers, *epsilon)
+	if len(factories) == 0 {
+		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+
+	results := map[string]*sim.Result{}
+	names := make([]string, 0, len(factories))
+	for name, f := range factories {
+		res, err := eval.RunOne(fleet, wl, f, *seed+100, nil)
+		if err != nil {
+			fatal(err)
+		}
+		results[name] = res
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(results[name])
+	}
+	if base, ok := results["Random"]; ok && len(results) > 1 {
+		fmt.Println("\nspeed-up over Random:")
+		for _, name := range names {
+			if name == "Random" {
+				continue
+			}
+			fmt.Printf("  %-8s %.2fx\n", name, results[name].SpeedupOver(base))
+		}
+	}
+}
+
+func schedulerFactories(sel string, tiers int, epsilon float64) map[string]eval.SchedulerFactory {
+	mk := map[string]eval.SchedulerFactory{
+		"Random": func() sim.Scheduler { return sched.NewRandom() },
+		"FIFO":   func() sim.Scheduler { return sched.NewFIFO() },
+		"SRSF":   func() sim.Scheduler { return sched.NewSRSF() },
+		"Venn": func() sim.Scheduler {
+			return vennapi.NewVenn(vennapi.SchedulerOptions{Tiers: tiers, Epsilon: epsilon, MinProfileSamples: 20})
+		},
+	}
+	switch strings.ToLower(sel) {
+	case "all":
+		return mk
+	case "random":
+		return map[string]eval.SchedulerFactory{"Random": mk["Random"]}
+	case "fifo":
+		return map[string]eval.SchedulerFactory{"FIFO": mk["FIFO"]}
+	case "srsf":
+		return map[string]eval.SchedulerFactory{"SRSF": mk["SRSF"]}
+	case "venn":
+		return map[string]eval.SchedulerFactory{"Venn": mk["Venn"], "Random": mk["Random"]}
+	default:
+		return nil
+	}
+}
+
+func parseScenario(s string) (workload.Scenario, error) {
+	switch strings.ToLower(s) {
+	case "even", "":
+		return workload.Even, nil
+	case "small":
+		return workload.Small, nil
+	case "large":
+		return workload.Large, nil
+	case "low":
+		return workload.Low, nil
+	case "high":
+		return workload.High, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q", s)
+	}
+}
+
+func parseBias(s string) (workload.Bias, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return workload.NoBias, nil
+	case "general":
+		return workload.BiasGeneral, nil
+	case "compute":
+		return workload.BiasCompute, nil
+	case "memory":
+		return workload.BiasMemory, nil
+	case "resource":
+		return workload.BiasResource, nil
+	default:
+		return 0, fmt.Errorf("unknown bias %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vennsim:", err)
+	os.Exit(1)
+}

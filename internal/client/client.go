@@ -1,0 +1,123 @@
+// Package client is the Go SDK for the venndaemon HTTP API: CL job owners
+// use it to register jobs and poll status; device agents use it to check in
+// and report task results.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"venn/internal/server"
+)
+
+// Client talks to one venndaemon instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the daemon at baseURL (e.g. "http://host:8080").
+func New(baseURL string) *Client {
+	return &Client{
+		base: baseURL,
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// RegisterJob submits a new CL job and returns its status (including ID).
+func (c *Client) RegisterJob(spec server.JobSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.post("/v1/jobs", spec, &st)
+	return st, err
+}
+
+// JobStatus fetches one job's status.
+func (c *Client) JobStatus(id int) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.get(fmt.Sprintf("/v1/jobs/%d", id), &st)
+	return st, err
+}
+
+// Jobs lists all jobs.
+func (c *Client) Jobs() ([]server.JobStatus, error) {
+	var out []server.JobStatus
+	err := c.get("/v1/jobs", &out)
+	return out, err
+}
+
+// CheckIn announces device availability and returns the assignment.
+func (c *Client) CheckIn(ci server.CheckIn) (server.Assignment, error) {
+	var asg server.Assignment
+	err := c.post("/v1/checkin", ci, &asg)
+	return asg, err
+}
+
+// Report submits a task result.
+func (c *Client) Report(r server.Report) error {
+	return c.post("/v1/report", r, &struct{}{})
+}
+
+// Stats fetches the daemon's monitoring snapshot.
+func (c *Client) Stats() (server.Stats, error) {
+	var st server.Stats
+	err := c.get("/v1/stats", &st)
+	return st, err
+}
+
+// WaitForJob polls until the job completes or the timeout elapses.
+func (c *Client) WaitForJob(id int, poll, timeout time.Duration) (server.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.JobStatus(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("client: job %d not done after %v", id, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+func (c *Client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s (status %d)", apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

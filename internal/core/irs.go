@@ -1,0 +1,184 @@
+// Package core implements the Venn scheduler: the Intersection Resource
+// Scheduling (IRS) heuristic that orders CL jobs to minimize average
+// scheduling delay (Algorithm 1), the resource-aware tier-based device
+// matching that trims response-collection time (Algorithm 2), and the
+// starvation-prevention fairness knob (§4.4).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"venn/internal/device"
+)
+
+// GroupState is the planner's view of one resource-homogeneous job group:
+// jobs sharing the same device requirement. The IRS planner is a pure
+// function over GroupStates, which keeps it independently testable and lets
+// the scalability benchmark (Figure 10) drive it directly.
+type GroupState struct {
+	// Region is the group's eligible cell set S_j.
+	Region device.RegionSet
+	// Supply is |S_j|: the estimated check-in rate (devices/hour) of
+	// eligible devices.
+	Supply float64
+	// Queue is m_j: the (fairness-adjusted) number of queued jobs.
+	Queue float64
+
+	// Outputs, filled by ComputeAllocation.
+	Alloc     device.RegionSet // S'_j: cells allocated to this group
+	AllocRate float64          // |S'_j| in devices/hour
+}
+
+// ComputeAllocation runs Algorithm 1's group-level steps over the groups:
+// initial scarcest-first allocation followed by greedy cross-group
+// reallocation of intersected resources. cellRates[c] is the estimated
+// check-in rate of cell c. Alloc/AllocRate are (re)written on every group;
+// allocations are disjoint and cover exactly the cells claimed by at least
+// one group.
+func ComputeAllocation(groups []*GroupState, cellRates []float64) {
+	if len(groups) == 0 {
+		return
+	}
+	rate := func(s device.RegionSet) float64 {
+		total := 0.0
+		s.ForEach(func(c device.CellID) {
+			if int(c) < len(cellRates) {
+				total += cellRates[c]
+			}
+		})
+		return total
+	}
+
+	// --- Initial allocation (Algorithm 1 lines 5-9): scan groups from
+	// scarcest supply to most abundant; each claims whatever of its
+	// eligible cells is still unclaimed. Supply ties (common before any
+	// rate data exists) break by structural scarcity: fewer eligible
+	// cells means a scarcer group.
+	byScarcity := make([]*GroupState, len(groups))
+	copy(byScarcity, groups)
+	sort.SliceStable(byScarcity, func(i, j int) bool {
+		if byScarcity[i].Supply != byScarcity[j].Supply {
+			return byScarcity[i].Supply < byScarcity[j].Supply
+		}
+		return byScarcity[i].Region.Count() < byScarcity[j].Region.Count()
+	})
+	remaining := byScarcity[0].Region.Clone()
+	{
+		// Union of all groups' regions forms the universe S.
+		for _, g := range groups {
+			remaining = remaining.Union(g.Region)
+		}
+	}
+	for _, g := range byScarcity {
+		g.Alloc = remaining.Intersect(g.Region)
+		remaining = remaining.Subtract(g.Alloc)
+		g.AllocRate = rate(g.Alloc)
+	}
+
+	// --- Cross-group reallocation (Algorithm 1 lines 10-23): scan groups
+	// from most abundant; a group j with an unclaimed (non-empty)
+	// allocation takes intersected cells from scarcer overlapping groups
+	// k, from the relatively abundant k down, while j's queue-pressure
+	// ratio exceeds k's.
+	byAbundance := make([]*GroupState, len(groups))
+	copy(byAbundance, groups)
+	sort.SliceStable(byAbundance, func(i, j int) bool {
+		if byAbundance[i].Supply != byAbundance[j].Supply {
+			return byAbundance[i].Supply > byAbundance[j].Supply
+		}
+		return byAbundance[i].Region.Count() > byAbundance[j].Region.Count()
+	})
+	// queueNow tracks m'_j as it accumulates absorbed queues.
+	queueNow := make(map[*GroupState]float64, len(groups))
+	for _, g := range groups {
+		queueNow[g] = g.Queue
+	}
+	for idx, gj := range byAbundance {
+		if gj.Alloc.Empty() {
+			continue
+		}
+		for _, gk := range byAbundance[idx+1:] {
+			if gk.Supply >= gj.Supply { // require strictly scarcer
+				continue
+			}
+			if !gk.Region.Overlaps(gj.Region) {
+				continue
+			}
+			rj := pressure(queueNow[gj], gj.AllocRate)
+			rk := pressure(queueNow[gk], gk.AllocRate)
+			if rj > rk {
+				// Reallocate the intersection held by k to j.
+				steal := gk.Alloc.Intersect(gj.Region)
+				if steal.Empty() {
+					continue
+				}
+				gj.Alloc = gj.Alloc.Union(steal)
+				gk.Alloc = gk.Alloc.Subtract(steal)
+				moved := rate(steal)
+				gj.AllocRate += moved
+				gk.AllocRate -= moved
+				// k's waiting jobs now queue behind j on the
+				// shared cells; account them into m'_j.
+				queueNow[gj] += queueNow[gk]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// pressure is the scheduling-delay pressure ratio m'/|S'| with a safe
+// infinity for starved groups.
+func pressure(queue, allocRate float64) float64 {
+	if allocRate <= 0 {
+		if queue <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return queue / allocRate
+}
+
+// CellPlan is the per-cell group priority order derived from an allocation:
+// for each atomic cell, the groups eligible for it, allocation owner first,
+// then scarcest-supply first. A checked-in device in cell c is offered to
+// plan[c]'s groups in order (the "first eligible job in the order" rule).
+type CellPlan struct {
+	// Order[c] lists indices into the planner's group slice.
+	Order [][]int
+}
+
+// BuildCellPlan derives the per-cell priority lists for the given groups
+// (after ComputeAllocation has filled Alloc).
+func BuildCellPlan(groups []*GroupState, numCells int) *CellPlan {
+	plan := &CellPlan{Order: make([][]int, numCells)}
+	for c := 0; c < numCells; c++ {
+		cell := device.CellID(c)
+		owner := -1
+		var others []int
+		for gi, g := range groups {
+			if !g.Region.Has(cell) {
+				continue
+			}
+			if g.Alloc.Has(cell) && owner < 0 {
+				owner = gi
+			} else {
+				others = append(others, gi)
+			}
+		}
+		sort.SliceStable(others, func(i, j int) bool {
+			gi, gj := groups[others[i]], groups[others[j]]
+			if gi.Supply != gj.Supply {
+				return gi.Supply < gj.Supply
+			}
+			return gi.Region.Count() < gj.Region.Count()
+		})
+		if owner >= 0 {
+			plan.Order[c] = append([]int{owner}, others...)
+		} else {
+			plan.Order[c] = others
+		}
+	}
+	return plan
+}

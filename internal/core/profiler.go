@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"venn/internal/job"
+	"venn/internal/stats"
+)
+
+// sampleCap bounds the per-profile sample buffers; old samples are evicted
+// FIFO so profiles track the recent response-time regime.
+const sampleCap = 512
+
+// ring is a bounded FIFO buffer of float64 samples.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func (r *ring) add(x float64) {
+	if r.buf == nil {
+		r.buf = make([]float64, 0, sampleCap)
+	}
+	if len(r.buf) < sampleCap {
+		r.buf = append(r.buf, x)
+		return
+	}
+	r.buf[r.next] = x
+	r.next = (r.next + 1) % sampleCap
+	r.full = true
+}
+
+func (r *ring) len() int { return len(r.buf) }
+
+func (r *ring) values() []float64 { return r.buf }
+
+// profile accumulates (capability, response-duration) pairs for one job or
+// globally. The two rings move in lockstep so pair i is (caps[i], durs[i]).
+type profile struct {
+	caps ring // device capability scores of responders
+	durs ring // response durations in seconds
+}
+
+func (p *profile) add(capability, durSeconds float64) {
+	p.caps.add(capability)
+	p.durs.add(durSeconds)
+}
+
+func (p *profile) count() int { return p.caps.len() }
+
+// tierThresholds returns the V-1 capability cut points that split the
+// profiled participants into V equal-mass tiers (ascending capability).
+func (p *profile) tierThresholds(v int) []float64 {
+	if v <= 1 || p.count() == 0 {
+		return nil
+	}
+	caps := make([]float64, len(p.caps.buf))
+	copy(caps, p.caps.buf)
+	sort.Float64s(caps)
+	cuts := make([]float64, v-1)
+	for i := 1; i < v; i++ {
+		cuts[i-1] = stats.PercentileSorted(caps, float64(i)/float64(v)*100)
+	}
+	return cuts
+}
+
+// tierOf maps a capability score to its tier index (0 = slowest) under the
+// given thresholds.
+func tierOf(capability float64, cuts []float64) int {
+	t := 0
+	for _, c := range cuts {
+		if capability >= c {
+			t++
+		}
+	}
+	return t
+}
+
+// p95All returns the 95th-percentile response duration across all tiers —
+// the statistical tail latency the paper uses for response collection time.
+func (p *profile) p95All() float64 {
+	if p.durs.len() == 0 {
+		return 0
+	}
+	return stats.Percentile(p.durs.values(), 95)
+}
+
+// p95Tier returns the 95th-percentile response duration of one tier, and the
+// number of samples it is based on.
+func (p *profile) p95Tier(tier int, cuts []float64) (p95 float64, n int) {
+	var durs []float64
+	for i := range p.caps.buf {
+		if tierOf(p.caps.buf[i], cuts) == tier {
+			durs = append(durs, p.durs.buf[i])
+		}
+	}
+	if len(durs) == 0 {
+		return 0, 0
+	}
+	return stats.Percentile(durs, 95), len(durs)
+}
+
+// speedup returns g_u = t95_u / t95_all for the tier (Algorithm 2 line 3),
+// or 1 (no speed-up) when there is not enough data to trust the estimate.
+func (p *profile) speedup(tier int, cuts []float64, minSamples int) float64 {
+	all := p.p95All()
+	if all <= 0 || p.count() < minSamples {
+		return 1
+	}
+	t95, n := p.p95Tier(tier, cuts)
+	if n < minSamples/4 || t95 <= 0 {
+		return 1
+	}
+	return t95 / all
+}
+
+// profiler keeps a global profile plus per-job profiles; per-job data is
+// preferred once the job has participated enough (its device mix and task
+// weight differ from the fleet average).
+type profiler struct {
+	global profile
+	byJob  map[job.ID]*profile
+	minN   int
+}
+
+func newProfiler(minSamples int) *profiler {
+	if minSamples <= 0 {
+		minSamples = 20
+	}
+	return &profiler{byJob: make(map[job.ID]*profile), minN: minSamples}
+}
+
+func (pf *profiler) observe(id job.ID, capability, durSeconds float64) {
+	pf.global.add(capability, durSeconds)
+	jp := pf.byJob[id]
+	if jp == nil {
+		jp = &profile{}
+		pf.byJob[id] = jp
+	}
+	jp.add(capability, durSeconds)
+}
+
+// forJob returns the profile to use for a job's matching decision: the job's
+// own when mature, the global otherwise, nil when neither has enough data.
+func (pf *profiler) forJob(id job.ID) *profile {
+	if jp := pf.byJob[id]; jp != nil && jp.count() >= pf.minN {
+		return jp
+	}
+	if pf.global.count() >= pf.minN {
+		return &pf.global
+	}
+	return nil
+}
+
+// drop discards a completed job's profile.
+func (pf *profiler) drop(id job.ID) { delete(pf.byJob, id) }

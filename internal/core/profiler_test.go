@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"venn/internal/stats"
+)
+
+func TestRingBounded(t *testing.T) {
+	var r ring
+	for i := 0; i < sampleCap*2; i++ {
+		r.add(float64(i))
+	}
+	if r.len() != sampleCap {
+		t.Fatalf("ring grew to %d, want %d", r.len(), sampleCap)
+	}
+	// Oldest values must be gone: the ring now holds the second half.
+	minVal := r.values()[0]
+	for _, v := range r.values() {
+		if v < minVal {
+			minVal = v
+		}
+	}
+	if minVal < float64(sampleCap)-1 {
+		t.Errorf("old samples not evicted: min=%v", minVal)
+	}
+}
+
+func TestTierThresholdsSplitEvenly(t *testing.T) {
+	var p profile
+	for i := 0; i < 300; i++ {
+		p.add(float64(i)/300, 10)
+	}
+	cuts := p.tierThresholds(3)
+	if len(cuts) != 2 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	if cuts[0] < 0.25 || cuts[0] > 0.40 || cuts[1] < 0.60 || cuts[1] > 0.75 {
+		t.Errorf("cuts %v not near terciles", cuts)
+	}
+	if p.tierThresholds(1) != nil {
+		t.Error("V=1 must have no cuts")
+	}
+	var empty profile
+	if empty.tierThresholds(3) != nil {
+		t.Error("empty profile must have no cuts")
+	}
+}
+
+func TestTierOf(t *testing.T) {
+	cuts := []float64{0.3, 0.7}
+	cases := []struct {
+		cap  float64
+		want int
+	}{{0.1, 0}, {0.3, 1}, {0.5, 1}, {0.7, 2}, {0.9, 2}}
+	for _, c := range cases {
+		if got := tierOf(c.cap, cuts); got != c.want {
+			t.Errorf("tierOf(%v) = %d, want %d", c.cap, got, c.want)
+		}
+	}
+	if tierOf(0.5, nil) != 0 {
+		t.Error("no cuts means tier 0")
+	}
+}
+
+func TestSpeedupFasterTierBelowOne(t *testing.T) {
+	// Response duration inversely correlated with capability.
+	var p profile
+	rng := stats.NewRNG(1)
+	for i := 0; i < 400; i++ {
+		capability := rng.Float64()
+		dur := 100 * (1.5 - capability) * rng.Uniform(0.9, 1.1)
+		p.add(capability, dur)
+	}
+	cuts := p.tierThresholds(3)
+	gFast := p.speedup(2, cuts, 20)
+	gSlow := p.speedup(0, cuts, 20)
+	if gFast >= 1 {
+		t.Errorf("fast tier speedup = %v, want < 1", gFast)
+	}
+	if gSlow <= gFast {
+		t.Errorf("slow tier (%v) must be slower than fast tier (%v)", gSlow, gFast)
+	}
+}
+
+func TestSpeedupNeedsSamples(t *testing.T) {
+	var p profile
+	p.add(0.5, 100)
+	if g := p.speedup(0, []float64{0.5}, 20); g != 1 {
+		t.Errorf("immature profile speedup = %v, want 1", g)
+	}
+}
+
+func TestProfilerPrefersMatureJobProfile(t *testing.T) {
+	pf := newProfiler(10)
+	if pf.forJob(1) != nil {
+		t.Fatal("empty profiler must return nil")
+	}
+	// Global data only.
+	for i := 0; i < 15; i++ {
+		pf.observe(2, 0.5, 100)
+	}
+	if pf.forJob(1) == nil {
+		t.Fatal("global profile must back an unknown job")
+	}
+	// Job 1 matures.
+	for i := 0; i < 12; i++ {
+		pf.observe(1, 0.9, 20)
+	}
+	prof := pf.forJob(1)
+	if prof == nil || prof.count() != 12 {
+		t.Fatalf("job profile not used (count=%d)", prof.count())
+	}
+	pf.drop(1)
+	if got := pf.forJob(1); got == nil || got.count() == 12 {
+		t.Error("drop must fall back to global")
+	}
+}
+
+func TestP95Tier(t *testing.T) {
+	var p profile
+	for i := 0; i < 100; i++ {
+		p.add(0.2, 200) // slow tier
+		p.add(0.8, 50)  // fast tier
+	}
+	cuts := []float64{0.5}
+	p95, n := p.p95Tier(1, cuts)
+	if n != 100 || p95 != 50 {
+		t.Errorf("fast tier p95 = %v (n=%d)", p95, n)
+	}
+	p95, n = p.p95Tier(0, cuts)
+	if n != 100 || p95 != 200 {
+		t.Errorf("slow tier p95 = %v (n=%d)", p95, n)
+	}
+	if _, n := p.p95Tier(5, cuts); n != 0 {
+		t.Error("nonexistent tier must have no samples")
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"sort"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+)
+
+// Options configure a Venn scheduler instance.
+type Options struct {
+	// Tiers is V, the device-tier granularity of Algorithm 2 (default 3;
+	// 1 disables tiering).
+	Tiers int
+	// Epsilon is the fairness knob of §4.4 (0 disables).
+	Epsilon float64
+	// DisableScheduling replaces the IRS job order with FIFO while
+	// keeping device matching — the paper's "Venn w/o scheduling"
+	// ablation (Figure 11).
+	DisableScheduling bool
+	// DisableMatching turns off tier-based matching — the paper's
+	// "Venn w/o matching" ablation.
+	DisableMatching bool
+	// MinProfileSamples gates tier decisions on profile maturity.
+	MinProfileSamples int
+}
+
+// DefaultOptions returns the configuration used in the end-to-end
+// evaluation: 3 tiers, fairness knob off.
+func DefaultOptions() Options {
+	return Options{Tiers: 3, MinProfileSamples: 20}
+}
+
+// vgroup is one resource-homogeneous job group at run time.
+type vgroup struct {
+	req    device.Requirement
+	region device.RegionSet
+	jobs   []*job.Job // open requests, sorted by adjusted remaining demand
+	state  *GroupState
+}
+
+// Venn is the paper's CL resource manager. It implements sim.Scheduler.
+type Venn struct {
+	opts Options
+	env  *sim.Env
+
+	groups    map[device.RequirementKey]*vgroup
+	fifo      []*job.Job // request-open order, used when DisableScheduling
+	filters   map[job.ID]*tierFilter
+	profiles  *profiler
+	sdCache   map[job.ID]simtime.Duration
+	fairM     map[job.ID]int
+	active    int
+	lastNow   simtime.Time
+	planDirty bool
+
+	// Last computed plan.
+	plan       *CellPlan
+	planGroups []*vgroup
+
+	// PlanRebuilds counts Algorithm 1 invocations (observability).
+	PlanRebuilds int
+	// TierFiltersApplied counts requests that ran tier-restricted
+	// (observability).
+	TierFiltersApplied int
+}
+
+// New creates a Venn scheduler with the given options.
+func New(opts Options) *Venn {
+	if opts.Tiers <= 0 {
+		opts.Tiers = 3
+	}
+	if opts.MinProfileSamples <= 0 {
+		opts.MinProfileSamples = 20
+	}
+	return &Venn{
+		opts:     opts,
+		groups:   make(map[device.RequirementKey]*vgroup),
+		filters:  make(map[job.ID]*tierFilter),
+		profiles: newProfiler(opts.MinProfileSamples),
+		sdCache:  make(map[job.ID]simtime.Duration),
+		fairM:    make(map[job.ID]int),
+	}
+}
+
+// NewDefault creates a Venn scheduler with DefaultOptions.
+func NewDefault() *Venn { return New(DefaultOptions()) }
+
+// Name implements sim.Scheduler.
+func (v *Venn) Name() string {
+	switch {
+	case v.opts.DisableScheduling && v.opts.DisableMatching:
+		return "Venn-w/o-both"
+	case v.opts.DisableScheduling:
+		return "Venn-w/o-sched"
+	case v.opts.DisableMatching:
+		return "Venn-w/o-match"
+	default:
+		return "Venn"
+	}
+}
+
+// Bind implements sim.Scheduler.
+func (v *Venn) Bind(env *sim.Env) { v.env = env }
+
+// OnJobArrival implements sim.Scheduler.
+func (v *Venn) OnJobArrival(j *job.Job, now simtime.Time) {
+	v.lastNow = now
+	v.active++
+	v.fairM[j.ID] = v.active
+	v.soloJCT(j) // prime the no-contention estimate at arrival conditions
+}
+
+// OnRequest implements sim.Scheduler.
+func (v *Venn) OnRequest(j *job.Job, now simtime.Time) {
+	v.lastNow = now
+	g := v.ensureGroup(j.Requirement)
+	if !containsJob(g.jobs, j.ID) {
+		g.jobs = append(g.jobs, j)
+	}
+	if !containsJob(v.fifo, j.ID) {
+		v.fifo = append(v.fifo, j)
+		// FIFO means arrival order across the job's whole lifetime, not
+		// request-reopen order (a job must not lose its place between
+		// rounds).
+		sort.SliceStable(v.fifo, func(a, b int) bool {
+			if v.fifo[a].Arrival != v.fifo[b].Arrival {
+				return v.fifo[a].Arrival < v.fifo[b].Arrival
+			}
+			return v.fifo[a].ID < v.fifo[b].ID
+		})
+	}
+	if f := v.decideTier(j, now); f != nil {
+		v.filters[j.ID] = f
+		v.TierFiltersApplied++
+	} else {
+		delete(v.filters, j.ID)
+	}
+	v.planDirty = true
+}
+
+// OnRequestFulfilled implements sim.Scheduler.
+func (v *Venn) OnRequestFulfilled(j *job.Job, now simtime.Time) {
+	v.lastNow = now
+	v.removeOpen(j)
+	v.planDirty = true
+}
+
+// OnJobDone implements sim.Scheduler.
+func (v *Venn) OnJobDone(j *job.Job, now simtime.Time) {
+	v.lastNow = now
+	v.active--
+	v.removeOpen(j)
+	v.profiles.drop(j.ID)
+	delete(v.sdCache, j.ID)
+	delete(v.fairM, j.ID)
+	delete(v.filters, j.ID)
+	v.planDirty = true
+}
+
+// ObserveResponse implements sim.Scheduler.
+func (v *Venn) ObserveResponse(j *job.Job, d *device.Device, dur simtime.Duration, now simtime.Time) {
+	v.profiles.observe(j.ID, d.Capability(), dur.Seconds())
+}
+
+// Assign implements sim.Scheduler.
+func (v *Venn) Assign(d *device.Device, now simtime.Time) *job.Job {
+	v.lastNow = now
+	if v.opts.DisableScheduling {
+		return v.assignFIFO(d)
+	}
+	v.ensurePlan(now)
+	cell := v.env.Grid.CellOfDevice(d)
+	if int(cell) >= len(v.plan.Order) {
+		return nil
+	}
+	for _, gi := range v.plan.Order[cell] {
+		g := v.planGroups[gi]
+		if jb := v.pickFromGroup(g, d, now); jb != nil {
+			return jb
+		}
+	}
+	return nil
+}
+
+// pickFromGroup returns the first job in the group's order that can take the
+// device, honoring tier filters (devices outside a job's tier flow to the
+// next job in the group).
+func (v *Venn) pickFromGroup(g *vgroup, d *device.Device, now simtime.Time) *job.Job {
+	for _, j := range g.jobs {
+		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
+			continue
+		}
+		if !j.Requirement.Eligible(d) {
+			continue
+		}
+		if f := v.filters[j.ID]; f != nil && now < f.lapseAt && !f.accepts(d) {
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// assignFIFO is the Venn-w/o-scheduling ablation: FIFO request order with
+// tier-based matching still in force.
+func (v *Venn) assignFIFO(d *device.Device) *job.Job {
+	for _, j := range v.fifo {
+		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
+			continue
+		}
+		if !j.Requirement.Eligible(d) {
+			continue
+		}
+		if f := v.filters[j.ID]; f != nil && v.lastNow < f.lapseAt && !f.accepts(d) {
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// ensurePlan lazily recomputes the IRS allocation and cell plan.
+func (v *Venn) ensurePlan(now simtime.Time) {
+	if !v.planDirty && v.plan != nil {
+		return
+	}
+	v.planDirty = false
+	v.PlanRebuilds++
+
+	// Collect groups with open requests and refresh their state.
+	v.planGroups = v.planGroups[:0]
+	for _, g := range v.groups {
+		if len(g.jobs) == 0 {
+			continue
+		}
+		g.state = &GroupState{
+			Region: g.region,
+			Supply: v.env.RegionRatePerHour(g.region, now),
+			Queue:  v.adjustedQueue(g.jobs),
+		}
+		// Intra-group order: fairness-adjusted remaining demand,
+		// smallest first (Algorithm 1 line 3).
+		sort.SliceStable(g.jobs, func(a, b int) bool {
+			da, db := v.adjustedDemand(g.jobs[a]), v.adjustedDemand(g.jobs[b])
+			if da != db {
+				return da < db
+			}
+			return g.jobs[a].ID < g.jobs[b].ID
+		})
+		v.planGroups = append(v.planGroups, g)
+	}
+	// Deterministic planning order regardless of map iteration.
+	sort.SliceStable(v.planGroups, func(a, b int) bool {
+		ka, kb := v.planGroups[a].req.Key(), v.planGroups[b].req.Key()
+		if ka.MinCPU != kb.MinCPU {
+			return ka.MinCPU < kb.MinCPU
+		}
+		return ka.MinMem < kb.MinMem
+	})
+
+	states := make([]*GroupState, len(v.planGroups))
+	for i, g := range v.planGroups {
+		states[i] = g.state
+	}
+	rates := make([]float64, v.env.Grid.NumCells())
+	useDB := v.env.DB != nil && v.env.DB.HasHistory(now, 6)
+	for c := range rates {
+		rates[c] = v.env.CellRatePerHour(device.CellID(c), now, useDB)
+	}
+	ComputeAllocation(states, rates)
+	v.plan = BuildCellPlan(states, v.env.Grid.NumCells())
+}
+
+func (v *Venn) ensureGroup(req device.Requirement) *vgroup {
+	key := req.Key()
+	if g, ok := v.groups[key]; ok {
+		return g
+	}
+	g := &vgroup{req: req, region: v.env.Grid.RegionOf(req)}
+	v.groups[key] = g
+	return g
+}
+
+func (v *Venn) removeOpen(j *job.Job) {
+	if g, ok := v.groups[j.Requirement.Key()]; ok {
+		g.jobs = removeJob(g.jobs, j.ID)
+	}
+	v.fifo = removeJob(v.fifo, j.ID)
+}
+
+func containsJob(js []*job.Job, id job.ID) bool {
+	for _, j := range js {
+		if j.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func removeJob(js []*job.Job, id job.ID) []*job.Job {
+	for i, j := range js {
+		if j.ID == id {
+			return append(js[:i], js[i+1:]...)
+		}
+	}
+	return js
+}

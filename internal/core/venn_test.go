@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+	"venn/internal/trace"
+)
+
+// buildEngine wires a Venn scheduler into a real engine over a hand-made
+// fleet, returning both for white-box inspection.
+func buildEngine(t *testing.T, v *Venn, fleet *trace.Fleet, jobs []*job.Job) *sim.Engine {
+	t.Helper()
+	eng, err := sim.NewEngine(sim.Config{
+		Fleet:     fleet,
+		Jobs:      jobs,
+		Scheduler: v,
+		Response:  sim.ResponseModel{Median: 5 * simtime.Second, P95: 10 * simtime.Second, DisableFailures: true},
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// mixedFleet: devices alternate between high-end and low-end, checking in
+// one per minute.
+func mixedFleet(n int, horizon simtime.Duration) *trace.Fleet {
+	f := &trace.Fleet{Horizon: horizon}
+	for i := 0; i < n; i++ {
+		var d *device.Device
+		if i%2 == 0 {
+			d = device.New(device.ID(i), 0.9, 0.9)
+		} else {
+			d = device.New(device.ID(i), 0.2, 0.2)
+		}
+		f.Devices = append(f.Devices, d)
+		start := simtime.Time(i+1) * simtime.Time(simtime.Minute)
+		f.Intervals = append(f.Intervals, []trace.Interval{{Start: start, End: simtime.Time(horizon)}})
+	}
+	return f
+}
+
+func TestVennReservesScarceDevices(t *testing.T) {
+	// The toy-example property: a General job (ample supply) must not eat
+	// the scarce High-Perf devices while a High-Perf job is waiting.
+	fleet := mixedFleet(60, 4*simtime.Hour)
+	gen := job.New(0, device.General, 10, 1, 0)
+	hp := job.New(1, device.HighPerf, 10, 1, 0)
+	v := New(Options{Tiers: 1}) // isolate the IRS component
+	eng := buildEngine(t, v, fleet, []*job.Job{gen, hp})
+	res := eng.Run()
+	if len(res.Completed) != 2 {
+		t.Fatalf("both jobs must complete: %v", res)
+	}
+	// 30 high-end devices serve HP's 10; General rides the low-end.
+	// With devices arriving alternately one per minute, HP needs ~20
+	// minutes of arrivals (10 high-end) and General ~20 minutes of
+	// low-end; if General had consumed high-end devices first, HP's JCT
+	// would stretch well beyond 40 minutes.
+	hpJCT, _ := res.JobJCT(1)
+	if hpJCT > 45*60 {
+		t.Errorf("High-Perf job starved: JCT %.0fs", hpJCT)
+	}
+}
+
+func TestVennSmallestFirstWithinGroup(t *testing.T) {
+	fleet := mixedFleet(100, 6*simtime.Hour)
+	big := job.New(0, device.General, 30, 1, 0)
+	small := job.New(1, device.General, 5, 1, 0)
+	v := New(Options{Tiers: 1})
+	eng := buildEngine(t, v, fleet, []*job.Job{big, small})
+	res := eng.Run()
+	smallJCT, ok1 := res.JobJCT(1)
+	bigJCT, ok2 := res.JobJCT(0)
+	if !ok1 || !ok2 {
+		t.Fatalf("both jobs must complete: %v", res)
+	}
+	if smallJCT >= bigJCT {
+		t.Errorf("small job (%.0fs) must finish before the big one (%.0fs)", smallJCT, bigJCT)
+	}
+}
+
+func TestVennNamesByAblation(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{}, "Venn"},
+		{Options{DisableScheduling: true}, "Venn-w/o-sched"},
+		{Options{DisableMatching: true}, "Venn-w/o-match"},
+		{Options{DisableScheduling: true, DisableMatching: true}, "Venn-w/o-both"},
+	}
+	for _, c := range cases {
+		if got := New(c.opts).Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestVennPlanRebuildCount(t *testing.T) {
+	fleet := mixedFleet(40, 2*simtime.Hour)
+	j := job.New(0, device.General, 5, 2, 0)
+	v := NewDefault()
+	eng := buildEngine(t, v, fleet, []*job.Job{j})
+	eng.Run()
+	if v.PlanRebuilds == 0 {
+		t.Error("the plan must have been rebuilt at least once")
+	}
+	// Plans are lazy: rebuild count must be far below the assignment
+	// count (one rebuild per request event, not per device).
+	if v.PlanRebuilds > 20 {
+		t.Errorf("too many plan rebuilds: %d", v.PlanRebuilds)
+	}
+}
+
+func TestVennFIFOAblationOrdersByArrival(t *testing.T) {
+	fleet := mixedFleet(80, 6*simtime.Hour)
+	first := job.New(0, device.General, 10, 2, 0)
+	second := job.New(1, device.General, 4, 1, simtime.Time(simtime.Minute))
+	v := New(Options{DisableScheduling: true, DisableMatching: true})
+	eng := buildEngine(t, v, fleet, []*job.Job{first, second})
+	res := eng.Run()
+	jct0, ok0 := res.JobJCT(0)
+	jct1, ok1 := res.JobJCT(1)
+	if !ok0 || !ok1 {
+		t.Fatalf("both jobs must complete: %v", res)
+	}
+	// Under FIFO the earlier, larger job holds priority across rounds,
+	// so the later small job cannot finish dramatically earlier.
+	if jct1 < jct0/4 {
+		t.Errorf("FIFO ablation let the later job jump the queue: %0.fs vs %.0fs", jct1, jct0)
+	}
+}
+
+func TestVennWorkConservation(t *testing.T) {
+	// A device eligible only for General must still be used when the only
+	// open job is General — and a High-Perf device must serve General
+	// jobs when no High-Perf job is waiting (work conservation).
+	fleet := mixedFleet(30, 3*simtime.Hour)
+	gen := job.New(0, device.General, 12, 1, 0)
+	v := NewDefault()
+	eng := buildEngine(t, v, fleet, []*job.Job{gen})
+	res := eng.Run()
+	if len(res.Completed) != 1 {
+		t.Fatalf("job must complete: %v", res)
+	}
+	// 12 demand with devices arriving 1/minute: JCT must be ~12-13 min,
+	// meaning high-end devices were used too (not only the 15 low-end).
+	jct, _ := res.JobJCT(0)
+	if jct > 20*60 {
+		t.Errorf("work conservation violated: JCT %.0fs", jct)
+	}
+}
+
+func TestFairnessAdjustedDemandDirection(t *testing.T) {
+	v := New(Options{Epsilon: 2})
+	grid := device.NewGrid(device.Categories())
+	v.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}, RNG: nil})
+	served := job.New(0, device.General, 10, 4, 0)
+	served.Start(0)
+	starved := job.New(1, device.General, 10, 4, 0)
+	starved.Start(0)
+	v.OnJobArrival(served, 0)
+	v.OnJobArrival(starved, 0)
+	// Give `served` lots of service time via completed rounds.
+	for i := 0; i < 10; i++ {
+		served.AddAssignment(simtime.Time(i))
+	}
+	for i := 0; i < 8; i++ {
+		served.AddResponse(simtime.Time(3600_000 + i))
+	}
+	served.CompleteRound(simtime.Time(3600_000 + 10)) // one hour of service
+	dServed := v.adjustedDemand(served)
+	dStarved := v.adjustedDemand(starved)
+	if dStarved >= dServed {
+		t.Errorf("starved job must look smaller: served=%v starved=%v", dServed, dStarved)
+	}
+	// Epsilon 0 must reproduce raw remaining service.
+	v0 := New(Options{Epsilon: 0})
+	v0.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}})
+	if got := v0.adjustedDemand(starved); got != float64(starved.RemainingService()) {
+		t.Errorf("eps=0 adjusted demand = %v, want %v", got, starved.RemainingService())
+	}
+}
+
+func TestAdjustedQueueDirection(t *testing.T) {
+	v := New(Options{Epsilon: 2})
+	grid := device.NewGrid(device.Categories())
+	v.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}})
+	j1 := job.New(0, device.General, 10, 4, 0)
+	j1.Start(0)
+	j2 := job.New(1, device.General, 10, 4, 0)
+	j2.Start(0)
+	v.OnJobArrival(j1, 0)
+	v.OnJobArrival(j2, 0)
+	qStarved := v.adjustedQueue([]*job.Job{j1, j2})
+	if qStarved <= 2 {
+		t.Errorf("under-served group queue must be inflated: %v", qStarved)
+	}
+	v0 := New(Options{})
+	if got := v0.adjustedQueue([]*job.Job{j1, j2}); got != 2 {
+		t.Errorf("eps=0 queue = %v, want 2", got)
+	}
+}
+
+func TestClampRatio(t *testing.T) {
+	if clampRatio(0) != minFairRatio {
+		t.Error("zero must clamp up")
+	}
+	if clampRatio(1e9) != maxFairRatio {
+		t.Error("huge must clamp down")
+	}
+	if clampRatio(2.5) != 2.5 {
+		t.Error("interior must pass through")
+	}
+}
+
+func TestDecideTierRespectsDisable(t *testing.T) {
+	v := New(Options{DisableMatching: true})
+	grid := device.NewGrid(device.Categories())
+	v.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}})
+	j := job.New(0, device.General, 5, 1, 0)
+	j.Start(0)
+	if f := v.decideTier(j, 0); f != nil {
+		t.Error("DisableMatching must suppress tier filters")
+	}
+	v1 := New(Options{Tiers: 1})
+	v1.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}})
+	if f := v1.decideTier(j, 0); f != nil {
+		t.Error("V=1 must suppress tier filters")
+	}
+}
+
+func TestTierFilterAccepts(t *testing.T) {
+	f := &tierFilter{tier: 1, cuts: []float64{0.5}}
+	fast := device.New(0, 1, 1)
+	slow := device.New(1, 0, 0)
+	if !f.accepts(fast) {
+		t.Error("fast device belongs to tier 1")
+	}
+	if f.accepts(slow) {
+		t.Error("slow device is tier 0")
+	}
+}
+
+func TestAcquireSeconds(t *testing.T) {
+	if s := acquireSeconds(10, 20, 5); s != 1 {
+		t.Errorf("pool-covered demand = %vs, want 1", s)
+	}
+	if s := acquireSeconds(10, 0, 10); s != 3600 {
+		t.Errorf("rate-limited: %v, want 3600 (10 devices at 10/h)", s)
+	}
+	if s := acquireSeconds(10, 5, 0); s != 3600 {
+		t.Errorf("no rate: %v, want pessimistic 3600", s)
+	}
+}

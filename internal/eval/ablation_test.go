@@ -1,0 +1,37 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestSupplyWindowAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	res, err := SupplyWindowAblation(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	for _, wh := range res.WindowsHours {
+		if res.Speedup[wh] <= 0 {
+			t.Errorf("window %.0fh: no speedup recorded", wh)
+		}
+	}
+}
+
+func TestTaskHeavinessAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	res, err := TaskHeaviness(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Render())
+	// Heavier tasks must abort more often (they brush the deadline).
+	if res.AbortFrac[3.0] < res.AbortFrac[0.5] {
+		t.Errorf("heavier tasks should abort at least as often: 0.5x=%.3f 3.0x=%.3f",
+			res.AbortFrac[0.5], res.AbortFrac[3.0])
+	}
+}

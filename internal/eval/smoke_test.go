@@ -1,0 +1,26 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestSmokeCompare runs the full pipeline end-to-end at quick scale and
+// sanity-checks the headline result direction: Venn should beat Random.
+func TestSmokeCompare(t *testing.T) {
+	setup := NewSetup(ScaleQuick, 7)
+	cmp, err := Compare(setup, StandardSchedulers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range cmp.Results {
+		t.Logf("%s: %v", name, res)
+		if res.CompletionRate() < 0.5 {
+			t.Errorf("%s completed only %.0f%% of jobs", name, 100*res.CompletionRate())
+		}
+	}
+	if sp := cmp.Speedup("Venn", "Random"); sp <= 0.9 {
+		t.Errorf("Venn speedup over Random = %.2f, want > 0.9", sp)
+	} else {
+		t.Logf("Venn speedup over Random: %.2fx", sp)
+	}
+}

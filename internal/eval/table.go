@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal text-table builder for experiment reports.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// FormatSpeedup renders a speed-up factor as the paper prints them (1.88x).
+func FormatSpeedup(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,103 @@
+package fl
+
+import (
+	"venn/internal/stats"
+)
+
+// TrainConfig controls per-round local training.
+type TrainConfig struct {
+	LocalEpochs int     // default 2
+	LR          float64 // default 0.05
+	L2          float64 // default 1e-4
+	Seed        int64
+}
+
+func (c *TrainConfig) normalize() {
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 2
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.L2 < 0 {
+		c.L2 = 1e-4
+	}
+}
+
+// Trainer runs FedAvg rounds for one CL job over a federated dataset. The
+// simulator feeds it the device IDs that reported each round (via the
+// RoundObserver hook), so the training curve reflects exactly the
+// participants the resource manager delivered.
+type Trainer struct {
+	DS     *Dataset
+	Model  *Model
+	Cfg    TrainConfig
+	rng    *stats.RNG
+	rounds int
+
+	// History records test accuracy after each round.
+	History []RoundResult
+}
+
+// RoundResult is one point of the accuracy-vs-round curve.
+type RoundResult struct {
+	Round        int
+	Participants int
+	Diversity    int // distinct labels among participants
+	TestAccuracy float64
+}
+
+// NewTrainer creates a FedAvg trainer over the dataset.
+func NewTrainer(ds *Dataset, cfg TrainConfig) *Trainer {
+	cfg.normalize()
+	return &Trainer{
+		DS:    ds,
+		Model: NewModel(ds.Cfg.Classes, ds.Cfg.Features),
+		Cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
+	}
+}
+
+// RunRound performs one FedAvg round with the given participant device IDs
+// and returns the post-round test accuracy.
+func (t *Trainer) RunRound(deviceIDs []int) RoundResult {
+	t.rounds++
+	clients := make([]int, 0, len(deviceIDs))
+	for _, id := range deviceIDs {
+		clients = append(clients, t.DS.ClientFor(id))
+	}
+
+	deltas := make([]*Model, 0, len(clients))
+	weights := make([]float64, 0, len(clients))
+	for _, c := range clients {
+		shard := t.DS.Shards[c]
+		if len(shard) == 0 {
+			continue
+		}
+		local := t.Model.Clone()
+		local.TrainLocal(shard, t.Cfg.LocalEpochs, t.Cfg.LR, t.Cfg.L2, t.rng)
+		deltas = append(deltas, local.Sub(t.Model))
+		weights = append(weights, float64(len(shard)))
+	}
+	FedAvg(t.Model, deltas, weights)
+
+	res := RoundResult{
+		Round:        t.rounds,
+		Participants: len(clients),
+		Diversity:    t.DS.LabelDiversity(clients),
+		TestAccuracy: t.Model.Accuracy(t.DS.Test),
+	}
+	t.History = append(t.History, res)
+	return res
+}
+
+// Rounds returns the number of rounds run so far.
+func (t *Trainer) Rounds() int { return t.rounds }
+
+// FinalAccuracy returns the latest test accuracy (0 before any round).
+func (t *Trainer) FinalAccuracy() float64 {
+	if len(t.History) == 0 {
+		return 0
+	}
+	return t.History[len(t.History)-1].TestAccuracy
+}

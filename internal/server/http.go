@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler wraps a Manager with the HTTP/JSON API:
+//
+//	POST /v1/jobs            {JobSpec}  -> JobStatus
+//	GET  /v1/jobs            -> []JobStatus
+//	GET  /v1/jobs/{id}       -> JobStatus
+//	POST /v1/checkin         {CheckIn}  -> Assignment
+//	POST /v1/report          {Report}   -> {}
+//	GET  /v1/stats           -> Stats
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var spec JobSpec
+			if !decode(w, r, &spec) {
+				return
+			}
+			st, err := m.RegisterJob(spec)
+			if err != nil {
+				writeErr(w, err, http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, st, http.StatusCreated)
+		case http.MethodGet:
+			writeJSON(w, m.Jobs(), http.StatusOK)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			writeErr(w, errors.New("bad job id"), http.StatusBadRequest)
+			return
+		}
+		st, err := m.JobStatusByID(id)
+		if err != nil {
+			writeErr(w, err, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st, http.StatusOK)
+	})
+	mux.HandleFunc("/v1/checkin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var ci CheckIn
+		if !decode(w, r, &ci) {
+			return
+		}
+		asg, err := m.DeviceCheckIn(ci)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrDeviceBusy) {
+				code = http.StatusConflict
+			}
+			writeErr(w, err, code)
+			return
+		}
+		writeJSON(w, asg, http.StatusOK)
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var rep Report
+		if !decode(w, r, &rep) {
+			return
+		}
+		if err := m.DeviceReport(rep); err != nil {
+			writeErr(w, err, http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, struct{}{}, http.StatusOK)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, m.StatsSnapshot(), http.StatusOK)
+	})
+	return mux
+}
+
+// Serve runs the HTTP API plus the deadline ticker until the server fails.
+func Serve(addr string, m *Manager) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	srv := &http.Server{Addr: addr, Handler: Handler(m), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error, code int) {
+	writeJSON(w, map[string]string{"error": err.Error()}, code)
+}

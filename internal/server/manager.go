@@ -1,0 +1,440 @@
+// Package server hosts Venn as a live, wall-clock resource manager — the
+// standalone service of Figure 6. CL jobs register resource requests over
+// HTTP, edge devices check in as they become available, Venn assigns each
+// checked-in device to a job (step 2 of the paper's workflow), and devices
+// report results or drop out. The scheduling core is exactly the simulator's
+// (internal/core); this package adapts it to real time.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"venn/internal/core"
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+	"venn/internal/tsdb"
+)
+
+// Errors returned by the manager.
+var (
+	ErrUnknownJob      = errors.New("server: unknown job")
+	ErrUnknownCategory = errors.New("server: requirement must be one of the configured categories")
+	ErrDeviceBusy      = errors.New("server: device already has a task today")
+)
+
+// JobSpec is a job registration request.
+type JobSpec struct {
+	Name           string  `json:"name"`
+	Category       string  `json:"category"` // one of the configured requirement names
+	DemandPerRound int     `json:"demand_per_round"`
+	Rounds         int     `json:"rounds"`
+	TaskScale      float64 `json:"task_scale,omitempty"`
+}
+
+// JobStatus is the externally visible job state.
+type JobStatus struct {
+	ID              int     `json:"id"`
+	Name            string  `json:"name"`
+	Category        string  `json:"category"`
+	State           string  `json:"state"`
+	Round           int     `json:"round"`
+	Rounds          int     `json:"rounds"`
+	DemandPerRound  int     `json:"demand_per_round"`
+	Assigned        int     `json:"assigned"`
+	Responses       int     `json:"responses"`
+	CompletedRounds int     `json:"completed_rounds"`
+	JCTSeconds      float64 `json:"jct_seconds,omitempty"`
+}
+
+// CheckIn is a device's availability announcement.
+type CheckIn struct {
+	DeviceID string  `json:"device_id"`
+	CPU      float64 `json:"cpu"` // normalized [0,1]
+	Mem      float64 `json:"mem"` // normalized [0,1]
+}
+
+// Assignment is the manager's reply to a check-in.
+type Assignment struct {
+	Assigned bool   `json:"assigned"`
+	JobID    int    `json:"job_id,omitempty"`
+	JobName  string `json:"job_name,omitempty"`
+	Round    int    `json:"round,omitempty"`
+}
+
+// Report is a device's end-of-task message.
+type Report struct {
+	DeviceID        string  `json:"device_id"`
+	JobID           int     `json:"job_id"`
+	OK              bool    `json:"ok"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Stats summarizes the manager for monitoring.
+type Stats struct {
+	ActiveJobs     int     `json:"active_jobs"`
+	CompletedJobs  int     `json:"completed_jobs"`
+	CheckIns       int     `json:"check_ins"`
+	Assignments    int     `json:"assignments"`
+	Reports        int     `json:"reports"`
+	Failures       int     `json:"failures"`
+	Aborts         int     `json:"aborts"`
+	AvgJCTSeconds  float64 `json:"avg_jct_seconds"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	SupplyPerHour  float64 `json:"supply_per_hour"`
+	PlanRebuilds   int     `json:"plan_rebuilds"`
+	QueuedRequests int     `json:"queued_requests"`
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	// Categories are the requirement strata jobs may ask for. Defaults
+	// to the four standard strata.
+	Categories []device.Requirement
+	// Scheduler options for the Venn core.
+	Options core.Options
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// TSDBWindow is the supply-averaging window (default 24h).
+	TSDBWindow simtime.Duration
+}
+
+// Manager is the live resource manager. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu sync.Mutex
+
+	cfg        Config
+	start      time.Time
+	categories map[string]device.Requirement
+	venn       *core.Venn
+	env        *sim.Env
+
+	jobs      map[job.ID]*managedJob
+	nextJob   job.ID
+	completed []*managedJob
+
+	devices map[string]*managedDevice
+	nextDev device.ID
+
+	// deadlines holds the at-time per collecting job; checked by Tick.
+	deadlines map[job.ID]simtime.Time
+	attempt   map[job.ID]uint64
+
+	stats Stats
+}
+
+type managedJob struct {
+	spec JobSpec
+	j    *job.Job
+	// inFlight tracks devices working on the current attempt.
+	inFlight map[string]uint64 // deviceID -> attempt
+}
+
+type managedDevice struct {
+	dev  *device.Device
+	busy bool
+}
+
+// NewManager constructs a live manager.
+func NewManager(cfg Config) *Manager {
+	if len(cfg.Categories) == 0 {
+		cfg.Categories = device.Categories()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.TSDBWindow <= 0 {
+		cfg.TSDBWindow = 24 * simtime.Hour
+	}
+	if cfg.Options.Tiers == 0 {
+		cfg.Options = core.DefaultOptions()
+	}
+	m := &Manager{
+		cfg:        cfg,
+		start:      cfg.Clock(),
+		categories: make(map[string]device.Requirement, len(cfg.Categories)),
+		venn:       core.New(cfg.Options),
+		jobs:       make(map[job.ID]*managedJob),
+		devices:    make(map[string]*managedDevice),
+		deadlines:  make(map[job.ID]simtime.Time),
+		attempt:    make(map[job.ID]uint64),
+	}
+	for _, c := range cfg.Categories {
+		m.categories[c.Name] = c
+	}
+	grid := device.NewGrid(cfg.Categories)
+	m.env = &sim.Env{
+		Grid:          grid,
+		DB:            tsdb.New(grid.NumCells(), cfg.TSDBWindow, simtime.Hour),
+		CellPriorRate: make([]float64, grid.NumCells()),
+		Jobs:          make(map[job.ID]*job.Job),
+		RNG:           stats.NewRNG(cfg.Clock().UnixNano()),
+	}
+	m.venn.Bind(m.env)
+	return m
+}
+
+// now maps wall-clock to manager-relative simulated time.
+func (m *Manager) now() simtime.Time {
+	return simtime.Time(m.cfg.Clock().Sub(m.start) / time.Millisecond)
+}
+
+// RegisterJob admits a new CL job and opens its first-round request.
+func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
+	req, ok := m.categories[spec.Category]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownCategory, spec.Category)
+	}
+	if spec.DemandPerRound < 1 || spec.Rounds < 1 {
+		return JobStatus{}, errors.New("server: demand and rounds must be positive")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	id := m.nextJob
+	m.nextJob++
+	j := job.New(id, req, spec.DemandPerRound, spec.Rounds, now)
+	if spec.TaskScale > 0 {
+		j.TaskScale = spec.TaskScale
+	}
+	if spec.Name != "" {
+		j.Name = spec.Name
+	}
+	mj := &managedJob{spec: spec, j: j, inFlight: map[string]uint64{}}
+	m.jobs[id] = mj
+	m.env.Jobs[id] = j
+	m.attempt[id] = 1
+
+	j.Start(now)
+	m.venn.OnJobArrival(j, now)
+	m.venn.OnRequest(j, now)
+	m.stats.ActiveJobs++
+	return m.statusLocked(mj), nil
+}
+
+// DeviceCheckIn registers availability and returns an assignment (or none).
+func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
+	if ci.DeviceID == "" {
+		return Assignment{}, errors.New("server: device_id required")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.expireDeadlinesLocked(now)
+
+	md, ok := m.devices[ci.DeviceID]
+	if !ok {
+		md = &managedDevice{dev: device.New(m.nextDev, ci.CPU, ci.Mem)}
+		m.nextDev++
+		m.devices[ci.DeviceID] = md
+	} else {
+		// Refresh scores (hardware doesn't change, but normalization or
+		// reporting might).
+		md.dev.CPU, md.dev.Mem = ci.CPU, ci.Mem
+	}
+	if md.busy {
+		return Assignment{}, ErrDeviceBusy
+	}
+	// One task per day per device (the paper's realism constraint).
+	if int(md.dev.LastTaskDay) == now.DayIndex() {
+		return Assignment{Assigned: false}, nil
+	}
+
+	m.stats.CheckIns++
+	m.env.DB.RecordCheckIn(m.env.Grid.CellOfDevice(md.dev), now)
+
+	j := m.venn.Assign(md.dev, now)
+	if j == nil {
+		return Assignment{Assigned: false}, nil
+	}
+	mj := m.jobs[j.ID]
+	md.busy = true
+	md.dev.LastTaskDay = int32(now.DayIndex())
+	mj.inFlight[ci.DeviceID] = m.attempt[j.ID]
+	m.stats.Assignments++
+
+	if full := j.AddAssignment(now); full {
+		m.venn.OnRequestFulfilled(j, now)
+		m.deadlines[j.ID] = now.Add(j.Deadline())
+		m.maybeCompleteLocked(mj, now)
+	}
+	return Assignment{Assigned: true, JobID: int(j.ID), JobName: j.Name, Round: j.Round()}, nil
+}
+
+// DeviceReport records a task result.
+func (m *Manager) DeviceReport(r Report) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.expireDeadlinesLocked(now)
+
+	md, ok := m.devices[r.DeviceID]
+	if !ok {
+		return errors.New("server: unknown device")
+	}
+	md.busy = false
+
+	mj, ok := m.jobs[job.ID(r.JobID)]
+	if !ok {
+		// Job finished meanwhile; the report is stale but harmless.
+		return nil
+	}
+	att, working := mj.inFlight[r.DeviceID]
+	delete(mj.inFlight, r.DeviceID)
+	if !working || att != m.attempt[mj.j.ID] || mj.j.Done() {
+		return nil // stale attempt
+	}
+	if r.OK {
+		m.stats.Reports++
+		m.venn.ObserveResponse(mj.j, md.dev, simtime.FromSeconds(r.DurationSeconds), now)
+		mj.j.AddResponse(now)
+		m.maybeCompleteLocked(mj, now)
+		return nil
+	}
+	m.stats.Failures++
+	mj.j.AddFailure()
+	if mj.j.State() == job.StateCollecting &&
+		mj.j.Demand-mj.j.AttemptFailures() < mj.j.TargetResponses() {
+		m.abortLocked(mj, now)
+	}
+	return nil
+}
+
+// maybeCompleteLocked finishes the round (and possibly the job) when enough
+// responses are in.
+func (m *Manager) maybeCompleteLocked(mj *managedJob, now simtime.Time) {
+	if !mj.j.CanComplete() {
+		return
+	}
+	delete(m.deadlines, mj.j.ID)
+	m.attempt[mj.j.ID]++
+	mj.inFlight = map[string]uint64{}
+	if done := mj.j.CompleteRound(now); done {
+		m.venn.OnJobDone(mj.j, now)
+		m.completed = append(m.completed, mj)
+		delete(m.jobs, mj.j.ID)
+		delete(m.attempt, mj.j.ID)
+		m.stats.ActiveJobs--
+		m.stats.CompletedJobs++
+		return
+	}
+	m.venn.OnRequest(mj.j, now)
+}
+
+// abortLocked resubmits the current attempt.
+func (m *Manager) abortLocked(mj *managedJob, now simtime.Time) {
+	m.stats.Aborts++
+	mj.j.AbortAttempt(now)
+	m.attempt[mj.j.ID]++
+	mj.inFlight = map[string]uint64{}
+	delete(m.deadlines, mj.j.ID)
+	m.venn.OnRequest(mj.j, now)
+}
+
+// expireDeadlinesLocked aborts attempts whose response deadline passed.
+func (m *Manager) expireDeadlinesLocked(now simtime.Time) {
+	for id, at := range m.deadlines {
+		if now < at {
+			continue
+		}
+		mj, ok := m.jobs[id]
+		if !ok {
+			delete(m.deadlines, id)
+			continue
+		}
+		if mj.j.CanComplete() {
+			m.maybeCompleteLocked(mj, now)
+			continue
+		}
+		if mj.j.State() == job.StateCollecting {
+			m.abortLocked(mj, now)
+		} else {
+			delete(m.deadlines, id)
+		}
+	}
+}
+
+// Tick runs deadline expiry; call it periodically (the HTTP server does).
+func (m *Manager) Tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireDeadlinesLocked(m.now())
+}
+
+// JobStatusByID returns the status of an active or completed job.
+func (m *Manager) JobStatusByID(id int) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mj, ok := m.jobs[job.ID(id)]; ok {
+		return m.statusLocked(mj), nil
+	}
+	for _, mj := range m.completed {
+		if int(mj.j.ID) == id {
+			return m.statusLocked(mj), nil
+		}
+	}
+	return JobStatus{}, ErrUnknownJob
+}
+
+// Jobs returns the statuses of all jobs (active first, then completed).
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.jobs)+len(m.completed))
+	for _, mj := range m.jobs {
+		out = append(out, m.statusLocked(mj))
+	}
+	for _, mj := range m.completed {
+		out = append(out, m.statusLocked(mj))
+	}
+	return out
+}
+
+func (m *Manager) statusLocked(mj *managedJob) JobStatus {
+	j := mj.j
+	st := JobStatus{
+		ID:              int(j.ID),
+		Name:            j.Name,
+		Category:        j.Requirement.Name,
+		State:           j.State().String(),
+		Round:           j.Round(),
+		Rounds:          j.Rounds,
+		DemandPerRound:  j.Demand,
+		Assigned:        j.AttemptAssigned(),
+		Responses:       j.AttemptResponses(),
+		CompletedRounds: j.CompletedRounds(),
+	}
+	if j.Done() {
+		st.JCTSeconds = j.JCT().Seconds()
+	}
+	return st
+}
+
+// StatsSnapshot returns a monitoring snapshot.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.UptimeSeconds = float64(m.now()) / 1000
+	s.SupplyPerHour = m.env.DB.TotalRatePerHour(m.now())
+	s.PlanRebuilds = m.venn.PlanRebuilds
+	for _, mj := range m.jobs {
+		if mj.j.State() == job.StateScheduling {
+			s.QueuedRequests++
+		}
+	}
+	var jct float64
+	for _, mj := range m.completed {
+		jct += mj.j.JCT().Seconds()
+	}
+	if len(m.completed) > 0 {
+		s.AvgJCTSeconds = jct / float64(len(m.completed))
+	}
+	return s
+}

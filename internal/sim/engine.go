@@ -1,0 +1,470 @@
+package sim
+
+import (
+	"fmt"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+	"venn/internal/trace"
+	"venn/internal/tsdb"
+)
+
+// RoundObserver is an optional hook invoked on every successful round
+// completion with the devices that reported. The federated-learning emulator
+// uses it to run actual model updates with the scheduled participants.
+type RoundObserver func(j *job.Job, round int, participants []device.ID, now simtime.Time)
+
+// Config describes one simulation run.
+type Config struct {
+	Fleet     *trace.Fleet
+	Jobs      []*job.Job // arrival times set; need not be sorted
+	Scheduler Scheduler
+	Response  ResponseModel
+	// Horizon caps the run; zero means the fleet horizon.
+	Horizon simtime.Duration
+	// TSDBWindow is the supply-averaging window (default 24h, §4.4).
+	TSDBWindow simtime.Duration
+	Seed       int64
+	Observer   RoundObserver
+}
+
+// devRuntime is the engine's per-device state.
+type devRuntime struct {
+	dev         *device.Device
+	cell        device.CellID
+	online      bool
+	busy        bool
+	intervalEnd simtime.Time
+	idleSeq     uint64 // position in the idle queue; 0 = not enqueued
+}
+
+// Engine executes one simulation run.
+type Engine struct {
+	cfg   Config
+	cal   *calendar
+	now   simtime.Time
+	grid  *device.Grid
+	env   *Env
+	sched Scheduler
+	rng   *stats.RNG
+
+	devs map[device.ID]*devRuntime
+
+	// idle is the FIFO queue of idle online devices (lazy deletion:
+	// entries are skipped unless the runtime's idleSeq matches).
+	idle    []idleEntry
+	idleSeq uint64
+
+	// attempt tracks each job's current attempt sequence number; response
+	// and deadline events from older attempts are stale.
+	attempt map[job.ID]uint64
+	// responders collects the successful participants of the current
+	// attempt per job, handed to the RoundObserver on completion.
+	responders map[job.ID][]device.ID
+
+	jobs      map[job.ID]*job.Job
+	active    int // jobs arrived and not done
+	completed []*job.Job
+
+	// Aggregate counters.
+	assignments int
+	responses   int
+	failures    int
+	aborts      int
+	checkIns    int
+}
+
+type idleEntry struct {
+	rt  *devRuntime
+	seq uint64
+}
+
+// NewEngine validates the config and builds a ready-to-run engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Fleet == nil || len(cfg.Fleet.Devices) == 0 {
+		return nil, fmt.Errorf("sim: config needs a non-empty fleet")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: config needs a scheduler")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: config needs at least one job")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = cfg.Fleet.Horizon
+	}
+	if cfg.TSDBWindow <= 0 {
+		cfg.TSDBWindow = 24 * simtime.Hour
+	}
+	if cfg.Response.Median <= 0 {
+		cfg.Response = DefaultResponseModel()
+	}
+
+	reqs := make([]device.Requirement, 0, len(cfg.Jobs))
+	for _, j := range cfg.Jobs {
+		reqs = append(reqs, j.Requirement)
+	}
+	grid := device.NewGrid(reqs)
+
+	e := &Engine{
+		cfg:        cfg,
+		cal:        newCalendar(),
+		grid:       grid,
+		sched:      cfg.Scheduler,
+		rng:        stats.NewRNG(cfg.Seed),
+		devs:       make(map[device.ID]*devRuntime, len(cfg.Fleet.Devices)),
+		attempt:    make(map[job.ID]uint64, len(cfg.Jobs)),
+		responders: make(map[job.ID][]device.ID, len(cfg.Jobs)),
+		jobs:       make(map[job.ID]*job.Job, len(cfg.Jobs)),
+	}
+
+	// Seed device events from the availability trace.
+	for i, d := range cfg.Fleet.Devices {
+		rt := &devRuntime{dev: d, cell: grid.CellOfDevice(d)}
+		e.devs[d.ID] = rt
+		for _, iv := range cfg.Fleet.Intervals[i] {
+			if iv.Start >= simtime.Time(cfg.Horizon) {
+				break
+			}
+			e.cal.push(&event{at: iv.Start, kind: evDeviceOnline, dev: d, intervalEnd: iv.End})
+			if iv.End < simtime.Time(cfg.Horizon) {
+				e.cal.push(&event{at: iv.End, kind: evDeviceOffline, dev: d})
+			}
+		}
+	}
+
+	// Seed job arrivals.
+	for _, j := range cfg.Jobs {
+		if _, dup := e.jobs[j.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate job id %d", j.ID)
+		}
+		e.jobs[j.ID] = j
+		e.cal.push(&event{at: j.Arrival, kind: evJobArrival, job: j})
+	}
+
+	// Environment for the scheduler: cell priors from the fleet trace.
+	db := tsdb.New(grid.NumCells(), cfg.TSDBWindow, simtime.Hour)
+	prior := make([]float64, grid.NumCells())
+	horizonHours := simtime.Duration(cfg.Horizon).Hours()
+	if horizonHours <= 0 {
+		horizonHours = 1
+	}
+	for i, d := range cfg.Fleet.Devices {
+		c := grid.CellOfDevice(d)
+		prior[c] += float64(len(cfg.Fleet.Intervals[i])) / horizonHours
+	}
+	e.env = &Env{
+		Grid:          grid,
+		DB:            db,
+		CellPriorRate: prior,
+		Jobs:          e.jobs,
+		RNG:           e.rng.Fork(),
+		IdlePerCell:   make([]int, grid.NumCells()),
+	}
+	e.env.CountIdle = func(pred func(*device.Device) bool) int {
+		n := 0
+		for _, ent := range e.idle {
+			rt := ent.rt
+			if rt.idleSeq != ent.seq || !rt.online || rt.busy {
+				continue
+			}
+			if pred(rt.dev) {
+				n++
+			}
+		}
+		return n
+	}
+	e.sched.Bind(e.env)
+	return e, nil
+}
+
+// Env exposes the engine's scheduler environment (useful in tests).
+func (e *Engine) Env() *Env { return e.env }
+
+// Grid returns the requirement grid of the run.
+func (e *Engine) Grid() *device.Grid { return e.grid }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Run executes the simulation to the horizon (or event exhaustion) and
+// returns the result.
+func (e *Engine) Run() *Result {
+	for !e.cal.empty() {
+		ev := e.cal.pop()
+		if ev.at > simtime.Time(e.cfg.Horizon) {
+			break
+		}
+		e.now = ev.at
+		switch ev.kind {
+		case evDeviceOnline:
+			e.handleOnline(ev)
+		case evDeviceOffline:
+			e.handleOffline(ev)
+		case evJobArrival:
+			e.handleArrival(ev)
+		case evResponse:
+			e.handleResponse(ev)
+		case evDeadline:
+			e.handleDeadline(ev)
+		}
+	}
+	return e.buildResult()
+}
+
+func (e *Engine) handleOnline(ev *event) {
+	rt := e.devs[ev.dev.ID]
+	rt.online = true
+	rt.intervalEnd = ev.intervalEnd
+	// One CL task per device per day (§5.1): a device that already worked
+	// today checks in but is not schedulable until tomorrow's session.
+	if int(rt.dev.LastTaskDay) == e.now.DayIndex() {
+		return
+	}
+	e.checkIns++
+	e.env.DB.RecordCheckIn(rt.cell, e.now)
+	e.enqueueIdle(rt)
+	// Fast path: try to place just this device before a full drain.
+	e.tryAssign(rt)
+}
+
+func (e *Engine) handleOffline(ev *event) {
+	rt := e.devs[ev.dev.ID]
+	rt.online = false
+	if rt.idleSeq != 0 {
+		rt.idleSeq = 0 // lazily removes it from the idle queue
+		e.env.IdlePerCell[rt.cell]--
+	}
+}
+
+func (e *Engine) handleArrival(ev *event) {
+	j := ev.job
+	j.Start(e.now)
+	e.active++
+	e.attempt[j.ID] = 1
+	e.responders[j.ID] = e.responders[j.ID][:0]
+	e.sched.OnJobArrival(j, e.now)
+	e.sched.OnRequest(j, e.now)
+	e.drain()
+}
+
+func (e *Engine) handleResponse(ev *event) {
+	rt := e.devs[ev.dev.ID]
+	rt.busy = false
+	// The device stays out of the pool until its next check-in (it has
+	// used its task-per-day budget).
+	j := ev.job
+	if j.Done() || ev.attempt != e.attempt[j.ID] {
+		return // stale: round completed or attempt aborted meanwhile
+	}
+	if ev.ok {
+		e.responses++
+		e.observeResponseDuration(j, ev)
+		j.AddResponse(e.now)
+		e.responders[j.ID] = append(e.responders[j.ID], ev.dev.ID)
+		if j.CanComplete() {
+			e.completeRound(j)
+		}
+		return
+	}
+	e.failures++
+	j.AddFailure()
+	// Early abort: if enough devices failed that the 80% target can never
+	// be met by the remaining in-flight tasks, resubmit immediately
+	// rather than waiting for the deadline.
+	if j.State() == job.StateCollecting {
+		maxPossible := j.Demand - j.AttemptFailures()
+		if maxPossible < j.TargetResponses() {
+			e.abortAttempt(j)
+		}
+	}
+}
+
+// observeResponseDuration forwards the measured task duration to the
+// scheduler's profiler. The duration is reconstructed from the attempt's
+// request bookkeeping on the event itself.
+func (e *Engine) observeResponseDuration(j *job.Job, ev *event) {
+	// ev.intervalEnd doubles as the task start time for response events.
+	start := ev.intervalEnd
+	if start > 0 && ev.at > start {
+		e.sched.ObserveResponse(j, ev.dev, ev.at.Sub(start), e.now)
+	}
+}
+
+func (e *Engine) handleDeadline(ev *event) {
+	j := ev.job
+	if j.Done() || ev.attempt != e.attempt[j.ID] {
+		return
+	}
+	if j.State() != job.StateCollecting {
+		return
+	}
+	if j.CanComplete() {
+		e.completeRound(j)
+		return
+	}
+	e.abortAttempt(j)
+}
+
+func (e *Engine) abortAttempt(j *job.Job) {
+	e.aborts++
+	j.AbortAttempt(e.now)
+	e.attempt[j.ID]++
+	e.responders[j.ID] = e.responders[j.ID][:0]
+	e.sched.OnRequest(j, e.now)
+	e.drain()
+}
+
+func (e *Engine) completeRound(j *job.Job) {
+	round := j.Round()
+	if e.cfg.Observer != nil {
+		parts := make([]device.ID, len(e.responders[j.ID]))
+		copy(parts, e.responders[j.ID])
+		e.cfg.Observer(j, round, parts, e.now)
+	}
+	done := j.CompleteRound(e.now)
+	e.attempt[j.ID]++
+	e.responders[j.ID] = e.responders[j.ID][:0]
+	if done {
+		e.active--
+		e.completed = append(e.completed, j)
+		e.sched.OnJobDone(j, e.now)
+	} else {
+		e.sched.OnRequest(j, e.now)
+	}
+	e.drain()
+}
+
+// enqueueIdle appends the device to the idle FIFO.
+func (e *Engine) enqueueIdle(rt *devRuntime) {
+	e.idleSeq++
+	rt.idleSeq = e.idleSeq
+	e.idle = append(e.idle, idleEntry{rt: rt, seq: e.idleSeq})
+	e.env.IdlePerCell[rt.cell]++
+}
+
+// tryAssign offers a single idle device to the scheduler.
+func (e *Engine) tryAssign(rt *devRuntime) bool {
+	if !rt.online || rt.busy || rt.idleSeq == 0 {
+		return false
+	}
+	j := e.sched.Assign(rt.dev, e.now)
+	if j == nil {
+		return false
+	}
+	e.validateAssignment(rt.dev, j)
+	rt.idleSeq = 0
+	e.env.IdlePerCell[rt.cell]--
+	e.assign(rt, j)
+	return true
+}
+
+// drain repeatedly offers idle devices (in check-in order) to the scheduler
+// until a full pass yields no assignment.
+func (e *Engine) drain() {
+	for {
+		assignedAny := false
+		// Compact while scanning: keep only still-valid entries.
+		kept := e.idle[:0]
+		for _, ent := range e.idle {
+			rt := ent.rt
+			if rt.idleSeq != ent.seq || !rt.online || rt.busy {
+				continue // stale entry
+			}
+			j := e.sched.Assign(rt.dev, e.now)
+			if j == nil {
+				kept = append(kept, ent)
+				continue
+			}
+			e.validateAssignment(rt.dev, j)
+			rt.idleSeq = 0
+			e.env.IdlePerCell[rt.cell]--
+			e.assign(rt, j)
+			assignedAny = true
+		}
+		// Zero the tail so stale pointers don't leak.
+		for i := len(kept); i < len(e.idle); i++ {
+			e.idle[i] = idleEntry{}
+		}
+		e.idle = kept
+		if !assignedAny {
+			return
+		}
+	}
+}
+
+func (e *Engine) validateAssignment(d *device.Device, j *job.Job) {
+	if !j.Requirement.Eligible(d) {
+		panic(fmt.Sprintf("sim: scheduler %s assigned ineligible %v to %v",
+			e.sched.Name(), d, j))
+	}
+	if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
+		panic(fmt.Sprintf("sim: scheduler %s assigned %v to %v with no open demand",
+			e.sched.Name(), d, j))
+	}
+}
+
+// assign commits a device to a job's open request and schedules its outcome.
+func (e *Engine) assign(rt *devRuntime, j *job.Job) {
+	e.assignments++
+	rt.busy = true
+	rt.dev.LastTaskDay = int32(e.now.DayIndex())
+
+	dur, ok := e.cfg.Response.Sample(e.rng, rt.dev, j)
+	finish := e.now.Add(dur)
+	// The device leaves when its availability window closes: tasks that
+	// would outlive the window fail at the window's end.
+	if finish > rt.intervalEnd {
+		ok = false
+		finish = rt.intervalEnd
+		if finish <= e.now {
+			finish = e.now.Add(simtime.Second)
+		}
+	}
+	e.cal.push(&event{
+		at:          finish,
+		kind:        evResponse,
+		dev:         rt.dev,
+		job:         j,
+		attempt:     e.attempt[j.ID],
+		ok:          ok,
+		intervalEnd: e.now, // repurposed: task start time for profiling
+	})
+
+	fully := j.AddAssignment(e.now)
+	if fully {
+		e.sched.OnRequestFulfilled(j, e.now)
+		e.cal.push(&event{
+			at:      e.now.Add(j.Deadline()),
+			kind:    evDeadline,
+			job:     j,
+			attempt: e.attempt[j.ID],
+		})
+		if j.CanComplete() {
+			e.completeRound(j)
+		}
+	}
+}
+
+func (e *Engine) buildResult() *Result {
+	r := &Result{
+		SchedulerName: e.sched.Name(),
+		Horizon:       e.cfg.Horizon,
+		Assignments:   e.assignments,
+		Responses:     e.responses,
+		Failures:      e.failures,
+		Aborts:        e.aborts,
+		CheckIns:      e.checkIns,
+	}
+	for _, j := range e.cfg.Jobs {
+		if j.Done() {
+			r.Completed = append(r.Completed, j)
+		} else {
+			r.Unfinished = append(r.Unfinished, j)
+		}
+	}
+	r.finalize()
+	return r
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+)
+
+// ResponseModel generates per-task response durations and failures. Device
+// response times follow a log-normal distribution (Wang et al., 2023, as the
+// paper assumes), scaled down by the device's compute speed and up by the
+// job's task scale; devices additionally fail with their per-task failure
+// probability, or when their availability window closes mid-task.
+type ResponseModel struct {
+	// Median and P95 parameterize the reference log-normal task duration
+	// (on a Speed-1.0 device for a TaskScale-1.0 job).
+	Median simtime.Duration
+	P95    simtime.Duration
+	// DisableFailures turns random dropouts off (availability-window
+	// truncation still applies).
+	DisableFailures bool
+}
+
+// DefaultResponseModel returns the model used in experiments: a reference
+// task of median 60 s, p95 3 min — within the paper's 5-15 min round
+// deadlines even for slow devices.
+func DefaultResponseModel() ResponseModel {
+	return ResponseModel{Median: 60 * simtime.Second, P95: 180 * simtime.Second}
+}
+
+// Sample draws the task outcome for dev working on j: the duration until the
+// device would report, and whether the report succeeds.
+func (m ResponseModel) Sample(rng *stats.RNG, d *device.Device, j *job.Job) (dur simtime.Duration, ok bool) {
+	scale := j.TaskScale
+	if scale <= 0 {
+		scale = 1
+	}
+	speed := d.Speed
+	if speed <= 0 {
+		speed = 0.5
+	}
+	median := float64(m.Median) * scale / speed
+	p95 := float64(m.P95) * scale / speed
+	dur = simtime.Duration(rng.LogNormalMedianP95(median, p95))
+	if dur < simtime.Second {
+		dur = simtime.Second
+	}
+	ok = true
+	if !m.DisableFailures && rng.Bool(d.FailureProb) {
+		ok = false
+		// Dropouts happen part-way through the task.
+		dur = simtime.Duration(float64(dur) * rng.Uniform(0.1, 1.0))
+	}
+	return dur, ok
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"venn/internal/job"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	SchedulerName string
+	Horizon       simtime.Duration
+
+	Completed  []*job.Job
+	Unfinished []*job.Job
+
+	// Aggregate counters.
+	Assignments int
+	Responses   int
+	Failures    int
+	Aborts      int
+	CheckIns    int
+
+	// Derived metrics (filled by finalize).
+	AvgJCT          simtime.Duration
+	MedianJCT       simtime.Duration
+	AvgSchedDelay   simtime.Duration // mean per-attempt scheduling delay
+	AvgResponseTime simtime.Duration // mean per-attempt response-collection time
+}
+
+func (r *Result) finalize() {
+	jcts := r.JCTSeconds()
+	if len(jcts) > 0 {
+		r.AvgJCT = simtime.FromSeconds(stats.Mean(jcts))
+		r.MedianJCT = simtime.FromSeconds(stats.Median(jcts))
+	}
+	var sched, resp []float64
+	for _, j := range r.Completed {
+		for _, rec := range j.Records() {
+			for _, a := range rec.Attempts {
+				sched = append(sched, a.SchedulingDelay().Seconds())
+				resp = append(resp, a.ResponseTime().Seconds())
+			}
+		}
+	}
+	if len(sched) > 0 {
+		r.AvgSchedDelay = simtime.FromSeconds(stats.Mean(sched))
+		r.AvgResponseTime = simtime.FromSeconds(stats.Mean(resp))
+	}
+}
+
+// JCTSeconds returns the JCT of every completed job, in seconds.
+func (r *Result) JCTSeconds() []float64 {
+	out := make([]float64, 0, len(r.Completed))
+	for _, j := range r.Completed {
+		out = append(out, j.JCT().Seconds())
+	}
+	return out
+}
+
+// CompletionRate returns the fraction of jobs that finished within the
+// horizon.
+func (r *Result) CompletionRate() float64 {
+	total := len(r.Completed) + len(r.Unfinished)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(r.Completed)) / float64(total)
+}
+
+// JobJCT looks up the JCT (seconds) of a specific completed job; ok reports
+// whether the job completed.
+func (r *Result) JobJCT(id job.ID) (secs float64, ok bool) {
+	for _, j := range r.Completed {
+		if j.ID == id {
+			return j.JCT().Seconds(), true
+		}
+	}
+	return 0, false
+}
+
+// String renders a one-paragraph run summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d/%d jobs done, avg JCT %v (median %v), avg sched delay %v, avg resp time %v, %d assignments, %d aborts",
+		r.SchedulerName, len(r.Completed), len(r.Completed)+len(r.Unfinished),
+		r.AvgJCT, r.MedianJCT, r.AvgSchedDelay, r.AvgResponseTime, r.Assignments, r.Aborts)
+	return b.String()
+}
+
+// SpeedupOver returns baseline.AvgJCT / r.AvgJCT computed over the jobs both
+// runs completed (paired comparison), the metric every table of the paper
+// reports. Returns 0 when there is no overlap.
+func (r *Result) SpeedupOver(baseline *Result) float64 {
+	var mine, theirs float64
+	n := 0
+	for _, j := range r.Completed {
+		if base, ok := baseline.JobJCT(j.ID); ok {
+			mine += j.JCT().Seconds()
+			theirs += base
+			n++
+		}
+	}
+	if n == 0 || mine <= 0 {
+		return 0
+	}
+	return theirs / mine
+}

@@ -1,0 +1,130 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddSub(t *testing.T) {
+	t0 := Time(1000)
+	t1 := t0.Add(5 * Second)
+	if t1 != Time(6000) {
+		t.Fatalf("Add: got %d, want 6000", t1)
+	}
+	if d := t1.Sub(t0); d != 5*Second {
+		t.Fatalf("Sub: got %v, want 5s", d)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("Before/After disagree")
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base % (1 << 40))
+		d := Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDayIndex(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want int
+	}{
+		{0, 0},
+		{Time(Day) - 1, 0},
+		{Time(Day), 1},
+		{Time(36 * Hour), 1},
+		{Time(3*Day) + 5, 3},
+		{-1, -1},
+		{-Time(Day), -1},
+		{-Time(Day) - 1, -2},
+	}
+	for _, c := range cases {
+		if got := c.t.DayIndex(); got != c.want {
+			t.Errorf("DayIndex(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTimeOfDay(t *testing.T) {
+	if got := (Time(Day) + Time(3*Hour)).TimeOfDay(); got != 3*Hour {
+		t.Errorf("TimeOfDay = %v, want 3h", got)
+	}
+	if got := Time(0).TimeOfDay(); got != 0 {
+		t.Errorf("TimeOfDay(0) = %v, want 0", got)
+	}
+	// Negative times still land in [0, Day).
+	if got := Time(-Time(Hour)).TimeOfDay(); got != 23*Hour {
+		t.Errorf("TimeOfDay(-1h) = %v, want 23h", got)
+	}
+}
+
+func TestTimeOfDayRangeProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		d := Time(raw % (1 << 45)).TimeOfDay()
+		return d >= 0 && d < Day
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if s := (90 * Second).Seconds(); s != 90 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if m := (90 * Second).Minutes(); m != 1.5 {
+		t.Errorf("Minutes = %v", m)
+	}
+	if h := (2 * Day).Hours(); h != 48 {
+		t.Errorf("Hours = %v", h)
+	}
+	if std := (1500 * Millisecond).Std(); std != 1500*time.Millisecond {
+		t.Errorf("Std = %v", std)
+	}
+	if d := FromSeconds(1.5); d != 1500*Millisecond {
+		t.Errorf("FromSeconds = %v", d)
+	}
+	if d := FromStd(2 * time.Second); d != 2*Second {
+		t.Errorf("FromStd = %v", d)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0:00:00"},
+		{90 * Second, "0:01:30"},
+		{Hour + 2*Minute + 3*Second, "1:02:03"},
+		{25*Hour + 500*Millisecond, "25:00:00.500"},
+		{-90 * Second, "-0:01:30"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if MinDur(2, 9) != 2 || MaxDur(2, 9) != 9 {
+		t.Error("MinDur/MaxDur broken")
+	}
+	if Clamp(5, 1, 10) != 5 || Clamp(-2, 1, 10) != 1 || Clamp(20, 1, 10) != 10 {
+		t.Error("Clamp broken")
+	}
+}

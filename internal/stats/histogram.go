@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// are clamped into the first/last bin so mass is never silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := h.binOf(x)
+	h.Counts[idx]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	n := len(h.Counts)
+	if x < h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return n - 1
+	}
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// CDF returns the empirical cumulative fraction of observations <= the upper
+// edge of bin i.
+func (h *Histogram) CDF(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	c := 0
+	for j := 0; j <= i && j < len(h.Counts); j++ {
+		c += h.Counts[j]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) from the binned
+// data, interpolating within the containing bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.Lo
+	}
+	if q <= 0 {
+		return h.Lo
+	}
+	if q >= 1 {
+		return h.Hi
+	}
+	target := q * float64(h.total)
+	acc := 0.0
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		next := acc + float64(c)
+		if next >= target {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - acc) / float64(c)
+			}
+			return h.Lo + w*(float64(i)+frac)
+		}
+		acc = next
+	}
+	return h.Hi
+}
+
+// String renders an ASCII sketch of the histogram, one row per bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = int(math.Round(float64(c) / float64(maxC) * 40))
+		}
+		fmt.Fprintf(&b, "%10.3f | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// ECDF is an empirical CDF over an explicit sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return PercentileSorted(e.sorted, q*100)
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, h.Counts[i])
+		}
+		if f := h.Fraction(i); f != 0.1 {
+			t.Errorf("Fraction(%d) = %v", i, f)
+		}
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Errorf("BinCenter(0) = %v", c)
+	}
+	if cdf := h.CDF(4); math.Abs(cdf-0.5) > 1e-9 {
+		t.Errorf("CDF(4) = %v, want 0.5", cdf)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Errorf("out-of-range values must clamp to edge bins: %v", h.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("Quantile(0.5) = %v, want ~50", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	empty := NewHistogram(5, 10, 3)
+	if q := empty.Quantile(0.7); q != 5 {
+		t.Errorf("empty Quantile = %v, want Lo", q)
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo and bins<=0
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Error("degenerate histogram must still record")
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should draw at least one bar")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2.5 {
+		t.Errorf("Quantile(0.5) = %v, want 2.5", q)
+	}
+	if e.Len() != 4 {
+		t.Error("Len wrong")
+	}
+	if NewECDF(nil).At(3) != 0 {
+		t.Error("empty ECDF At must be 0")
+	}
+}

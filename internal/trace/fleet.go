@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"venn/internal/device"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+)
+
+// Fleet bundles a device population with its availability trace over a
+// simulation horizon. It is the complete "resources" input of one experiment.
+type Fleet struct {
+	Devices   []*device.Device `json:"devices"`
+	Intervals [][]Interval     `json:"intervals"` // Intervals[i] belongs to Devices[i]
+	Horizon   simtime.Duration `json:"horizon"`
+}
+
+// FleetConfig controls fleet synthesis.
+type FleetConfig struct {
+	NumDevices   int
+	Horizon      simtime.Duration
+	Capacity     *CapacityModel
+	Availability *AvailabilityModel
+	Seed         int64
+}
+
+// DefaultFleetConfig returns a mid-size fleet over a 4-day horizon.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		NumDevices:   5000,
+		Horizon:      4 * simtime.Day,
+		Capacity:     DefaultCapacityModel(),
+		Availability: DefaultAvailabilityModel(),
+		Seed:         1,
+	}
+}
+
+// GenerateFleet synthesizes a fleet from the config.
+func GenerateFleet(cfg FleetConfig) *Fleet {
+	if cfg.Capacity == nil {
+		cfg.Capacity = DefaultCapacityModel()
+	}
+	if cfg.Availability == nil {
+		cfg.Availability = DefaultAvailabilityModel()
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 4 * simtime.Day
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	capRNG := rng.Fork()
+	availRNG := rng.Fork()
+	f := &Fleet{
+		Devices:   cfg.Capacity.GenerateDevices(cfg.NumDevices, capRNG),
+		Intervals: make([][]Interval, cfg.NumDevices),
+		Horizon:   cfg.Horizon,
+	}
+	for i := range f.Devices {
+		f.Intervals[i] = cfg.Availability.Generate(availRNG, cfg.Horizon)
+	}
+	return f
+}
+
+// Reset clears per-run mutable device state (task-per-day bookkeeping) so
+// the same fleet can be replayed under another scheduler.
+func (f *Fleet) Reset() {
+	for _, d := range f.Devices {
+		d.LastTaskDay = -1
+	}
+}
+
+// CategoryCounts returns how many devices satisfy each of the standard
+// requirement strata (a device can satisfy several).
+func (f *Fleet) CategoryCounts() map[string]int {
+	out := make(map[string]int)
+	for _, d := range f.Devices {
+		for _, r := range device.Categories() {
+			if r.Eligible(d) {
+				out[r.Name]++
+			}
+		}
+	}
+	return out
+}
+
+// Save writes the fleet as JSON.
+func (f *Fleet) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// LoadFleet reads a fleet from JSON.
+func LoadFleet(r io.Reader) (*Fleet, error) {
+	var f Fleet
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode fleet: %w", err)
+	}
+	if len(f.Devices) != len(f.Intervals) {
+		return nil, fmt.Errorf("fleet corrupt: %d devices but %d interval lists",
+			len(f.Devices), len(f.Intervals))
+	}
+	return &f, nil
+}
+
+// SaveFile writes the fleet to a JSON file.
+func (f *Fleet) SaveFile(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return f.Save(w)
+}
+
+// LoadFleetFile reads a fleet from a JSON file.
+func LoadFleetFile(path string) (*Fleet, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return LoadFleet(r)
+}
