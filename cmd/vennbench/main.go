@@ -66,17 +66,49 @@ func main() {
 		{"ablation-heaviness", func() (string, error) { r, err := eval.TaskHeaviness(scale, *seeds); return render(r, err) }},
 	}
 
-	fmt.Printf("vennbench: scale=%s seeds=%d\n\n", scale, *seeds)
+	var todo []experiment
 	for _, ex := range experiments {
-		if !selected(ex.name) {
-			continue
+		if selected(ex.name) {
+			todo = append(todo, ex)
 		}
-		start := time.Now()
-		out, err := ex.run()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", ex.name, err))
+	}
+	if len(todo) == 0 {
+		fatal(fmt.Errorf("no experiments match -only %q", *only))
+	}
+
+	// Fan the experiments out across a bounded worker pool (each
+	// underlying simulation run is deterministic via its own seed, so
+	// concurrency cannot change any reported number), but print results
+	// in the canonical order as they become ready.
+	type outcome struct {
+		out  string
+		err  error
+		secs float64
+	}
+	workers := eval.Workers()
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	fmt.Printf("vennbench: scale=%s seeds=%d workers=%d\n\n", scale, *seeds, workers)
+	results := make([]chan outcome, len(todo))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	for i, ex := range todo {
+		go func() {
+			release := eval.WorkerSlot()
+			defer release()
+			start := time.Now()
+			out, err := ex.run()
+			results[i] <- outcome{out: out, err: err, secs: time.Since(start).Seconds()}
+		}()
+	}
+	for i, ex := range todo {
+		res := <-results[i]
+		if res.err != nil {
+			fatal(fmt.Errorf("%s: %w", ex.name, res.err))
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", ex.name, time.Since(start).Seconds(), out)
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", ex.name, res.secs, res.out)
 	}
 }
 

@@ -1,0 +1,3 @@
+module venn
+
+go 1.24

@@ -28,6 +28,11 @@ type GroupState struct {
 	// Outputs, filled by ComputeAllocation.
 	Alloc     device.RegionSet // S'_j: cells allocated to this group
 	AllocRate float64          // |S'_j| in devices/hour
+
+	// Planner scratch, valid only during ComputeAllocation/BuildCellPlan:
+	// m'_j as it accumulates absorbed queues, and the cached |Region|.
+	queueNow    float64
+	regionCells int
 }
 
 // ComputeAllocation runs Algorithm 1's group-level steps over the groups:
@@ -40,14 +45,9 @@ func ComputeAllocation(groups []*GroupState, cellRates []float64) {
 	if len(groups) == 0 {
 		return
 	}
-	rate := func(s device.RegionSet) float64 {
-		total := 0.0
-		s.ForEach(func(c device.CellID) {
-			if int(c) < len(cellRates) {
-				total += cellRates[c]
-			}
-		})
-		return total
+	for _, g := range groups {
+		g.queueNow = g.Queue
+		g.regionCells = g.Region.Count()
 	}
 
 	// --- Initial allocation (Algorithm 1 lines 5-9): scan groups from
@@ -61,19 +61,17 @@ func ComputeAllocation(groups []*GroupState, cellRates []float64) {
 		if byScarcity[i].Supply != byScarcity[j].Supply {
 			return byScarcity[i].Supply < byScarcity[j].Supply
 		}
-		return byScarcity[i].Region.Count() < byScarcity[j].Region.Count()
+		return byScarcity[i].regionCells < byScarcity[j].regionCells
 	})
-	remaining := byScarcity[0].Region.Clone()
-	{
-		// Union of all groups' regions forms the universe S.
-		for _, g := range groups {
-			remaining = remaining.Union(g.Region)
-		}
+	// Union of all groups' regions forms the universe S.
+	remaining := groups[0].Region.Clone()
+	for _, g := range groups[1:] {
+		remaining.UnionWith(g.Region)
 	}
 	for _, g := range byScarcity {
-		g.Alloc = remaining.Intersect(g.Region)
-		remaining = remaining.Subtract(g.Alloc)
-		g.AllocRate = rate(g.Alloc)
+		g.Alloc.IntersectOf(remaining, g.Region)
+		remaining.SubtractWith(g.Alloc)
+		g.AllocRate = g.Alloc.WeightedSum(cellRates)
 	}
 
 	// --- Cross-group reallocation (Algorithm 1 lines 10-23): scan groups
@@ -87,13 +85,9 @@ func ComputeAllocation(groups []*GroupState, cellRates []float64) {
 		if byAbundance[i].Supply != byAbundance[j].Supply {
 			return byAbundance[i].Supply > byAbundance[j].Supply
 		}
-		return byAbundance[i].Region.Count() > byAbundance[j].Region.Count()
+		return byAbundance[i].regionCells > byAbundance[j].regionCells
 	})
-	// queueNow tracks m'_j as it accumulates absorbed queues.
-	queueNow := make(map[*GroupState]float64, len(groups))
-	for _, g := range groups {
-		queueNow[g] = g.Queue
-	}
+	var steal device.RegionSet // scratch, reused across iterations
 	for idx, gj := range byAbundance {
 		if gj.Alloc.Empty() {
 			continue
@@ -105,22 +99,22 @@ func ComputeAllocation(groups []*GroupState, cellRates []float64) {
 			if !gk.Region.Overlaps(gj.Region) {
 				continue
 			}
-			rj := pressure(queueNow[gj], gj.AllocRate)
-			rk := pressure(queueNow[gk], gk.AllocRate)
+			rj := pressure(gj.queueNow, gj.AllocRate)
+			rk := pressure(gk.queueNow, gk.AllocRate)
 			if rj > rk {
 				// Reallocate the intersection held by k to j.
-				steal := gk.Alloc.Intersect(gj.Region)
+				steal.IntersectOf(gk.Alloc, gj.Region)
 				if steal.Empty() {
 					continue
 				}
-				gj.Alloc = gj.Alloc.Union(steal)
-				gk.Alloc = gk.Alloc.Subtract(steal)
-				moved := rate(steal)
+				gj.Alloc.UnionWith(steal)
+				gk.Alloc.SubtractWith(steal)
+				moved := steal.WeightedSum(cellRates)
 				gj.AllocRate += moved
 				gk.AllocRate -= moved
 				// k's waiting jobs now queue behind j on the
 				// shared cells; account them into m'_j.
-				queueNow[gj] += queueNow[gk]
+				gj.queueNow += gk.queueNow
 			} else {
 				break
 			}
@@ -150,35 +144,82 @@ type CellPlan struct {
 }
 
 // BuildCellPlan derives the per-cell priority lists for the given groups
-// (after ComputeAllocation has filled Alloc).
+// (after ComputeAllocation has filled Alloc). Order is always sized to
+// numCells, so every cell of the grid has a (possibly empty) row.
+//
+// Instead of sorting each cell's eligible groups independently (O(cells x
+// groups log groups) with two allocations per cell), the groups are sorted by
+// scarcity once and appended cell-row by cell-row into one flat backing
+// array, which is O(total region size) and three allocations total.
 func BuildCellPlan(groups []*GroupState, numCells int) *CellPlan {
+	if numCells < 0 {
+		numCells = 0
+	}
 	plan := &CellPlan{Order: make([][]int, numCells)}
-	for c := 0; c < numCells; c++ {
-		cell := device.CellID(c)
-		owner := -1
-		var others []int
-		for gi, g := range groups {
-			if !g.Region.Has(cell) {
-				continue
-			}
-			if g.Alloc.Has(cell) && owner < 0 {
-				owner = gi
-			} else {
-				others = append(others, gi)
-			}
+	if len(groups) == 0 || numCells == 0 {
+		return plan
+	}
+
+	// Scarcity order: lowest supply first, structurally scarcer (fewer
+	// eligible cells) on ties, original index on full ties (matching the
+	// former per-cell stable sort).
+	order := make([]int, len(groups))
+	counts := make([]int, len(groups))
+	for i, g := range groups {
+		order[i] = i
+		counts[i] = g.Region.Count()
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		if ga.Supply != gb.Supply {
+			return ga.Supply < gb.Supply
 		}
-		sort.SliceStable(others, func(i, j int) bool {
-			gi, gj := groups[others[i]], groups[others[j]]
-			if gi.Supply != gj.Supply {
-				return gi.Supply < gj.Supply
+		return counts[order[a]] < counts[order[b]]
+	})
+
+	// Size each cell's row, then carve all rows out of one backing slice.
+	sizes := make([]int, numCells)
+	for _, g := range groups {
+		g.Region.ForEach(func(c device.CellID) {
+			if int(c) < numCells {
+				sizes[c]++
 			}
-			return gi.Region.Count() < gj.Region.Count()
 		})
-		if owner >= 0 {
-			plan.Order[c] = append([]int{owner}, others...)
-		} else {
-			plan.Order[c] = others
-		}
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	backing := make([]int, 0, total)
+	off := 0
+	for c := range plan.Order {
+		plan.Order[c] = backing[off:off:off+sizes[c]]
+		off += sizes[c]
+	}
+
+	// The allocation owner leads its cell's row. First-in-group-order wins
+	// if allocations ever overlap (they are disjoint after
+	// ComputeAllocation); any extra alloc-holder falls through to the
+	// scarcity-ordered remainder below.
+	owner := make([]int32, numCells)
+	for c := range owner {
+		owner[c] = -1
+	}
+	for gi, g := range groups {
+		g.Alloc.ForEach(func(c device.CellID) {
+			if int(c) < numCells && owner[c] < 0 && g.Region.Has(c) {
+				owner[c] = int32(gi)
+				plan.Order[c] = append(plan.Order[c], gi)
+			}
+		})
+	}
+	for _, gi := range order {
+		g := groups[gi]
+		g.Region.ForEach(func(c device.CellID) {
+			if int(c) < numCells && owner[c] != int32(gi) {
+				plan.Order[c] = append(plan.Order[c], gi)
+			}
+		})
 	}
 	return plan
 }

@@ -37,8 +37,68 @@ func DefaultOptions() Options {
 type vgroup struct {
 	req    device.Requirement
 	region device.RegionSet
-	jobs   []*job.Job // open requests, sorted by adjusted remaining demand
-	state  *GroupState
+	// jobs holds the open requests sorted ascending by (adjusted demand,
+	// job ID). The sort key is cached in adj at insertion time — a job's
+	// adjusted demand only moves on its own lifecycle events (round
+	// completion, abort), each of which re-opens the request through
+	// OnRequest, so re-keying the one affected job keeps the whole queue
+	// ordered without the former full re-sort on every plan rebuild.
+	jobs []*job.Job
+	// adj caches each queued job's sort key and doubles as the O(1)
+	// membership index that replaced linear containment scans.
+	adj   map[job.ID]float64
+	state *GroupState
+}
+
+// insertJob places j into the group's demand order under sort key d.
+func (g *vgroup) insertJob(j *job.Job, d float64) {
+	g.adj[j.ID] = d
+	i := sort.Search(len(g.jobs), func(k int) bool {
+		jk := g.jobs[k]
+		if dk := g.adj[jk.ID]; dk != d {
+			return dk > d
+		}
+		return jk.ID > j.ID
+	})
+	g.jobs = append(g.jobs, nil)
+	copy(g.jobs[i+1:], g.jobs[i:])
+	g.jobs[i] = j
+}
+
+// removeJob deletes the job from the group's demand order, locating it by
+// its cached sort key. The vacated tail slot is nilled so completed jobs
+// (and their response histories) are released in long-horizon runs.
+func (g *vgroup) removeJob(id job.ID) {
+	d, ok := g.adj[id]
+	if !ok {
+		return
+	}
+	i := sort.Search(len(g.jobs), func(k int) bool {
+		jk := g.jobs[k]
+		if dk := g.adj[jk.ID]; dk != d {
+			return dk > d
+		}
+		return jk.ID >= id
+	})
+	if i >= len(g.jobs) || g.jobs[i].ID != id {
+		// The cached key went stale (cannot happen while the OnRequest
+		// re-keying invariant holds); fall back to a linear scan rather
+		// than corrupt the queue.
+		i = 0
+		for ; i < len(g.jobs); i++ {
+			if g.jobs[i].ID == id {
+				break
+			}
+		}
+		if i == len(g.jobs) {
+			delete(g.adj, id)
+			return
+		}
+	}
+	delete(g.adj, id)
+	copy(g.jobs[i:], g.jobs[i+1:])
+	g.jobs[len(g.jobs)-1] = nil
+	g.jobs = g.jobs[:len(g.jobs)-1]
 }
 
 // Venn is the paper's CL resource manager. It implements sim.Scheduler.
@@ -46,8 +106,13 @@ type Venn struct {
 	opts Options
 	env  *sim.Env
 
-	groups    map[device.RequirementKey]*vgroup
-	fifo      []*job.Job // request-open order, used when DisableScheduling
+	groups map[device.RequirementKey]*vgroup
+	// fifo holds every open request sorted by (arrival, job ID) — FIFO
+	// means arrival order across the job's whole lifetime, not
+	// request-reopen order (a job must not lose its place between
+	// rounds). inFIFO is its membership index.
+	fifo      []*job.Job
+	inFIFO    map[job.ID]struct{}
 	filters   map[job.ID]*tierFilter
 	profiles  *profiler
 	sdCache   map[job.ID]simtime.Duration
@@ -59,6 +124,15 @@ type Venn struct {
 	// Last computed plan.
 	plan       *CellPlan
 	planGroups []*vgroup
+
+	// Reused plan-rebuild buffers.
+	stateBuf []*GroupState
+	rateBuf  []float64
+
+	// cellCache memoizes the device → cell mapping by device ID (device
+	// scores are immutable for a run). Entries are cell+1 so the zero
+	// value means "unknown".
+	cellCache []int32
 
 	// PlanRebuilds counts Algorithm 1 invocations (observability).
 	PlanRebuilds int
@@ -78,6 +152,7 @@ func New(opts Options) *Venn {
 	return &Venn{
 		opts:     opts,
 		groups:   make(map[device.RequirementKey]*vgroup),
+		inFIFO:   make(map[job.ID]struct{}),
 		filters:  make(map[job.ID]*tierFilter),
 		profiles: newProfiler(opts.MinProfileSamples),
 		sdCache:  make(map[job.ID]simtime.Duration),
@@ -103,7 +178,10 @@ func (v *Venn) Name() string {
 }
 
 // Bind implements sim.Scheduler.
-func (v *Venn) Bind(env *sim.Env) { v.env = env }
+func (v *Venn) Bind(env *sim.Env) {
+	v.env = env
+	v.cellCache = v.cellCache[:0] // a new env means a new grid
+}
 
 // OnJobArrival implements sim.Scheduler.
 func (v *Venn) OnJobArrival(j *job.Job, now simtime.Time) {
@@ -117,20 +195,25 @@ func (v *Venn) OnJobArrival(j *job.Job, now simtime.Time) {
 func (v *Venn) OnRequest(j *job.Job, now simtime.Time) {
 	v.lastNow = now
 	g := v.ensureGroup(j.Requirement)
-	if !containsJob(g.jobs, j.ID) {
-		g.jobs = append(g.jobs, j)
+	d := v.adjustedDemand(j)
+	if old, queued := g.adj[j.ID]; !queued {
+		g.insertJob(j, d)
+	} else if old != d {
+		g.removeJob(j.ID)
+		g.insertJob(j, d)
 	}
-	if !containsJob(v.fifo, j.ID) {
-		v.fifo = append(v.fifo, j)
-		// FIFO means arrival order across the job's whole lifetime, not
-		// request-reopen order (a job must not lose its place between
-		// rounds).
-		sort.SliceStable(v.fifo, func(a, b int) bool {
-			if v.fifo[a].Arrival != v.fifo[b].Arrival {
-				return v.fifo[a].Arrival < v.fifo[b].Arrival
+	if _, queued := v.inFIFO[j.ID]; !queued {
+		v.inFIFO[j.ID] = struct{}{}
+		i := sort.Search(len(v.fifo), func(k int) bool {
+			jk := v.fifo[k]
+			if jk.Arrival != j.Arrival {
+				return jk.Arrival > j.Arrival
 			}
-			return v.fifo[a].ID < v.fifo[b].ID
+			return jk.ID > j.ID
 		})
+		v.fifo = append(v.fifo, nil)
+		copy(v.fifo[i+1:], v.fifo[i:])
+		v.fifo[i] = j
 	}
 	if f := v.decideTier(j, now); f != nil {
 		v.filters[j.ID] = f
@@ -165,48 +248,65 @@ func (v *Venn) ObserveResponse(j *job.Job, d *device.Device, dur simtime.Duratio
 	v.profiles.observe(j.ID, d.Capability(), dur.Seconds())
 }
 
-// Assign implements sim.Scheduler.
+// Assign implements sim.Scheduler. The per-device walk consults the cell
+// plan's group order for the device's cell and hands out the first
+// schedulable job, honoring tier filters (devices outside a job's tier flow
+// to the next job in the order).
 func (v *Venn) Assign(d *device.Device, now simtime.Time) *job.Job {
 	v.lastNow = now
 	if v.opts.DisableScheduling {
 		return v.assignFIFO(d)
 	}
 	v.ensurePlan(now)
-	cell := v.env.Grid.CellOfDevice(d)
+	cell := v.cellOf(d)
 	if int(cell) >= len(v.plan.Order) {
 		return nil
 	}
+	checkFilters := len(v.filters) > 0
 	for _, gi := range v.plan.Order[cell] {
-		g := v.planGroups[gi]
-		if jb := v.pickFromGroup(g, d, now); jb != nil {
-			return jb
+		for _, j := range v.planGroups[gi].jobs {
+			if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
+				continue
+			}
+			if !j.Requirement.Eligible(d) {
+				continue
+			}
+			if checkFilters {
+				if f := v.filters[j.ID]; f != nil && now < f.lapseAt && !f.accepts(d) {
+					continue
+				}
+			}
+			return j
 		}
 	}
 	return nil
 }
 
-// pickFromGroup returns the first job in the group's order that can take the
-// device, honoring tier filters (devices outside a job's tier flow to the
-// next job in the group).
-func (v *Venn) pickFromGroup(g *vgroup, d *device.Device, now simtime.Time) *job.Job {
-	for _, j := range g.jobs {
-		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
-			continue
-		}
-		if !j.Requirement.Eligible(d) {
-			continue
-		}
-		if f := v.filters[j.ID]; f != nil && now < f.lapseAt && !f.accepts(d) {
-			continue
-		}
-		return j
+// cellOf memoizes Grid.CellOfDevice by device ID: two binary searches per
+// assignment add up over millions of check-ins, and a device never changes
+// cells within a run.
+func (v *Venn) cellOf(d *device.Device) device.CellID {
+	id := int(d.ID)
+	if id < 0 {
+		return v.env.Grid.CellOfDevice(d)
 	}
-	return nil
+	if id >= len(v.cellCache) {
+		grown := make([]int32, id+1+1024)
+		copy(grown, v.cellCache)
+		v.cellCache = grown
+	}
+	if c := v.cellCache[id]; c > 0 {
+		return device.CellID(c - 1)
+	}
+	c := v.env.Grid.CellOfDevice(d)
+	v.cellCache[id] = int32(c) + 1
+	return c
 }
 
 // assignFIFO is the Venn-w/o-scheduling ablation: FIFO request order with
 // tier-based matching still in force.
 func (v *Venn) assignFIFO(d *device.Device) *job.Job {
+	checkFilters := len(v.filters) > 0
 	for _, j := range v.fifo {
 		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
 			continue
@@ -214,8 +314,10 @@ func (v *Venn) assignFIFO(d *device.Device) *job.Job {
 		if !j.Requirement.Eligible(d) {
 			continue
 		}
-		if f := v.filters[j.ID]; f != nil && v.lastNow < f.lapseAt && !f.accepts(d) {
-			continue
+		if checkFilters {
+			if f := v.filters[j.ID]; f != nil && v.lastNow < f.lapseAt && !f.accepts(d) {
+				continue
+			}
 		}
 		return j
 	}
@@ -230,26 +332,21 @@ func (v *Venn) ensurePlan(now simtime.Time) {
 	v.planDirty = false
 	v.PlanRebuilds++
 
-	// Collect groups with open requests and refresh their state.
+	// Collect groups with open requests and refresh their state. Each
+	// group's queue is already ordered by fairness-adjusted remaining
+	// demand, smallest first (Algorithm 1 line 3) — the order is
+	// maintained incrementally at request open/close, so the rebuild only
+	// refreshes supply and queue pressure.
 	v.planGroups = v.planGroups[:0]
 	for _, g := range v.groups {
 		if len(g.jobs) == 0 {
 			continue
 		}
-		g.state = &GroupState{
-			Region: g.region,
-			Supply: v.env.RegionRatePerHour(g.region, now),
-			Queue:  v.adjustedQueue(g.jobs),
+		if g.state == nil {
+			g.state = &GroupState{Region: g.region}
 		}
-		// Intra-group order: fairness-adjusted remaining demand,
-		// smallest first (Algorithm 1 line 3).
-		sort.SliceStable(g.jobs, func(a, b int) bool {
-			da, db := v.adjustedDemand(g.jobs[a]), v.adjustedDemand(g.jobs[b])
-			if da != db {
-				return da < db
-			}
-			return g.jobs[a].ID < g.jobs[b].ID
-		})
+		g.state.Supply = v.env.RegionRatePerHour(g.region, now)
+		g.state.Queue = v.adjustedQueue(g.jobs)
 		v.planGroups = append(v.planGroups, g)
 	}
 	// Deterministic planning order regardless of map iteration.
@@ -261,17 +358,22 @@ func (v *Venn) ensurePlan(now simtime.Time) {
 		return ka.MinMem < kb.MinMem
 	})
 
-	states := make([]*GroupState, len(v.planGroups))
-	for i, g := range v.planGroups {
-		states[i] = g.state
+	states := v.stateBuf[:0]
+	for _, g := range v.planGroups {
+		states = append(states, g.state)
 	}
-	rates := make([]float64, v.env.Grid.NumCells())
+	v.stateBuf = states
+	numCells := v.env.Grid.NumCells()
+	if cap(v.rateBuf) < numCells {
+		v.rateBuf = make([]float64, numCells)
+	}
+	rates := v.rateBuf[:numCells]
 	useDB := v.env.DB != nil && v.env.DB.HasHistory(now, 6)
 	for c := range rates {
 		rates[c] = v.env.CellRatePerHour(device.CellID(c), now, useDB)
 	}
 	ComputeAllocation(states, rates)
-	v.plan = BuildCellPlan(states, v.env.Grid.NumCells())
+	v.plan = BuildCellPlan(states, numCells)
 }
 
 func (v *Venn) ensureGroup(req device.Requirement) *vgroup {
@@ -279,32 +381,42 @@ func (v *Venn) ensureGroup(req device.Requirement) *vgroup {
 	if g, ok := v.groups[key]; ok {
 		return g
 	}
-	g := &vgroup{req: req, region: v.env.Grid.RegionOf(req)}
+	g := &vgroup{
+		req:    req,
+		region: v.env.Grid.RegionOf(req),
+		adj:    make(map[job.ID]float64),
+	}
 	v.groups[key] = g
 	return g
 }
 
 func (v *Venn) removeOpen(j *job.Job) {
 	if g, ok := v.groups[j.Requirement.Key()]; ok {
-		g.jobs = removeJob(g.jobs, j.ID)
+		g.removeJob(j.ID)
 	}
-	v.fifo = removeJob(v.fifo, j.ID)
-}
-
-func containsJob(js []*job.Job, id job.ID) bool {
-	for _, j := range js {
-		if j.ID == id {
-			return true
+	if _, ok := v.inFIFO[j.ID]; !ok {
+		return
+	}
+	delete(v.inFIFO, j.ID)
+	i := sort.Search(len(v.fifo), func(k int) bool {
+		jk := v.fifo[k]
+		if jk.Arrival != j.Arrival {
+			return jk.Arrival > j.Arrival
+		}
+		return jk.ID >= j.ID
+	})
+	if i >= len(v.fifo) || v.fifo[i].ID != j.ID {
+		i = 0
+		for ; i < len(v.fifo); i++ {
+			if v.fifo[i].ID == j.ID {
+				break
+			}
+		}
+		if i == len(v.fifo) {
+			return
 		}
 	}
-	return false
-}
-
-func removeJob(js []*job.Job, id job.ID) []*job.Job {
-	for i, j := range js {
-		if j.ID == id {
-			return append(js[:i], js[i+1:]...)
-		}
-	}
-	return js
+	copy(v.fifo[i:], v.fifo[i+1:])
+	v.fifo[len(v.fifo)-1] = nil
+	v.fifo = v.fifo[:len(v.fifo)-1]
 }

@@ -7,6 +7,7 @@ import (
 	"venn/internal/job"
 	"venn/internal/sim"
 	"venn/internal/simtime"
+	"venn/internal/stats"
 	"venn/internal/trace"
 )
 
@@ -116,6 +117,113 @@ func TestVennPlanRebuildCount(t *testing.T) {
 	if v.PlanRebuilds > 20 {
 		t.Errorf("too many plan rebuilds: %d", v.PlanRebuilds)
 	}
+}
+
+// hotPathEnv wires a bound Venn with one open job per requirement category,
+// mirroring the assignment benchmark's setup.
+func hotPathEnv(t *testing.T, v *Venn, jobsPerCat int) *sim.Env {
+	t.Helper()
+	grid := device.NewGrid(device.Categories())
+	env := &sim.Env{
+		Grid:          grid,
+		CellPriorRate: []float64{40, 20, 20, 10},
+		RNG:           stats.NewRNG(1),
+		Jobs:          map[job.ID]*job.Job{},
+		IdlePerCell:   make([]int, grid.NumCells()),
+	}
+	v.Bind(env)
+	cats := device.Categories()
+	for i := 0; i < jobsPerCat*len(cats); i++ {
+		j := job.New(job.ID(i), cats[i%len(cats)], 1000, 3, 0)
+		j.Start(0)
+		env.Jobs[j.ID] = j
+		v.OnJobArrival(j, 0)
+		v.OnRequest(j, 0)
+	}
+	return env
+}
+
+// TestAssignCoversLastCell pins the plan-sizing invariant: the cell plan
+// always spans Grid.NumCells(), so a device landing in the grid's final cell
+// (maximal scores) must be matched, not silently dropped by a short Order.
+func TestAssignCoversLastCell(t *testing.T) {
+	v := NewDefault()
+	env := hotPathEnv(t, v, 1)
+	d := device.New(0, 1, 1)
+	if cell := env.Grid.CellOfDevice(d); int(cell) != env.Grid.NumCells()-1 {
+		t.Fatalf("precondition: device must land in the last cell, got %d/%d", cell, env.Grid.NumCells())
+	}
+	got := v.Assign(d, 1)
+	if got == nil {
+		t.Fatal("device in the last grid cell must receive a job")
+	}
+	if len(v.plan.Order) != env.Grid.NumCells() {
+		t.Errorf("plan covers %d cells, want %d", len(v.plan.Order), env.Grid.NumCells())
+	}
+}
+
+// TestAssignHotPathAllocFree guards the assignment fast path against
+// allocation regressions: once the plan is built, handing out devices must
+// not allocate at all.
+func TestAssignHotPathAllocFree(t *testing.T) {
+	v := NewDefault()
+	hotPathEnv(t, v, 10)
+	d := device.New(0, 0.8, 0.8)
+	if v.Assign(d, 1) == nil { // warm up: builds the plan and cell cache
+		t.Fatal("no assignment")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if v.Assign(d, 1) == nil {
+			t.Fatal("no assignment")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Assign allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestGroupQueueOrderMaintained checks the incremental ordered insertion
+// that replaced the per-rebuild sort: jobs must come out smallest adjusted
+// demand first regardless of insertion order.
+func TestGroupQueueOrderMaintained(t *testing.T) {
+	v := New(Options{Tiers: 1})
+	grid := device.NewGrid(device.Categories())
+	v.Bind(&sim.Env{Grid: grid, CellPriorRate: []float64{10, 10, 10, 10}, Jobs: map[job.ID]*job.Job{}, IdlePerCell: make([]int, grid.NumCells())})
+	demands := []int{70, 10, 40, 90, 20, 60, 30}
+	jobs := make([]*job.Job, len(demands))
+	for i, dm := range demands {
+		j := job.New(job.ID(i), device.General, dm, 1, 0)
+		j.Start(0)
+		jobs[i] = j
+		v.OnJobArrival(j, 0)
+		v.OnRequest(j, 0)
+	}
+	g := v.groups[device.General.Key()]
+	checkSorted := func() {
+		t.Helper()
+		for i := 1; i < len(g.jobs); i++ {
+			if g.adj[g.jobs[i-1].ID] > g.adj[g.jobs[i].ID] {
+				t.Fatalf("queue out of order at %d: %v > %v", i, g.adj[g.jobs[i-1].ID], g.adj[g.jobs[i].ID])
+			}
+		}
+	}
+	if len(g.jobs) != len(demands) {
+		t.Fatalf("queue holds %d jobs, want %d", len(g.jobs), len(demands))
+	}
+	checkSorted()
+	// Removal from the middle must keep order and fully forget the job,
+	// including nilling the vacated tail slot so the pointer is released.
+	v.OnJobDone(jobs[2], 1)
+	if len(g.jobs) != len(demands)-1 {
+		t.Fatalf("queue holds %d jobs after removal, want %d", len(g.jobs), len(demands)-1)
+	}
+	if _, still := g.adj[jobs[2].ID]; still {
+		t.Error("removed job must leave the membership index")
+	}
+	if tail := g.jobs[:cap(g.jobs)][len(g.jobs)]; tail != nil {
+		t.Error("vacated tail slot must be nilled so the job can be collected")
+	}
+	checkSorted()
 }
 
 func TestVennFIFOAblationOrdersByArrival(t *testing.T) {

@@ -61,15 +61,20 @@ func (g *Grid) CellOf(cpu, mem float64) CellID {
 // CellOfDevice returns the atomic cell containing the device.
 func (g *Grid) CellOfDevice(d *Device) CellID { return g.CellOf(d.CPU, d.Mem) }
 
-// bandOf returns the index of the highest cut <= x.
+// bandOf returns the index of the highest cut <= x. Hand-rolled binary
+// search: sort.SearchFloat64s costs a non-inlinable closure call per probe,
+// which is measurable on the per-device assignment hot path.
 func bandOf(cuts []float64, x float64) int {
-	// sort.SearchFloat64s returns the first index with cuts[i] >= x; we
-	// want the last index with cuts[i] <= x.
-	i := sort.SearchFloat64s(cuts, x)
-	if i < len(cuts) && cuts[i] == x {
-		return i
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cuts[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return i - 1
+	return lo - 1
 }
 
 // CellCorner returns the lower-left corner (cpu, mem) of the cell, i.e. the
@@ -173,6 +178,61 @@ func (s RegionSet) Clone() RegionSet {
 	w := make([]uint64, len(s.words))
 	copy(w, s.words)
 	return RegionSet{words: w, n: s.n}
+}
+
+// UnionWith adds every cell of t to s, in place. Cells of t beyond s's grid
+// size are ignored (mirrors Union's clone-of-s semantics).
+func (s *RegionSet) UnionWith(t RegionSet) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// SubtractWith removes every cell of t from s, in place.
+func (s *RegionSet) SubtractWith(t RegionSet) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectOf sets s = a ∩ b, reusing s's storage. s takes a's grid size
+// (identical to a.Intersect(b) without the allocation once s has capacity).
+func (s *RegionSet) IntersectOf(a, b RegionSet) {
+	s.words = append(s.words[:0], a.words...)
+	s.n = a.n
+	for i := range s.words {
+		if i < len(b.words) {
+			s.words[i] &= b.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// WeightedSum sums w[c] over the cells c of the set; cells with no weight
+// entry contribute zero. It is the closure-free equivalent of iterating with
+// ForEach, used on the planner's hot path.
+func (s RegionSet) WeightedSum(w []float64) float64 {
+	total := 0.0
+	for i, word := range s.words {
+		base := i * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if c := base + b; c < len(w) {
+				total += w[c]
+			}
+			word &= word - 1
+		}
+	}
+	return total
 }
 
 // Union returns s ∪ t.

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"testing"
+
+	"venn/internal/sim"
+	"venn/internal/trace"
+	"venn/internal/workload"
+)
+
+// fingerprint flattens a result into an exactly comparable record: every
+// completed job's (ID, JCT) in completion order plus the engine counters.
+type runFingerprint struct {
+	jobs     []int64
+	counters [5]int
+}
+
+func fingerprintOf(r *sim.Result) runFingerprint {
+	fp := runFingerprint{counters: [5]int{r.Assignments, r.Responses, r.Failures, r.Aborts, r.CheckIns}}
+	for _, j := range r.Completed {
+		fp.jobs = append(fp.jobs, int64(j.ID), int64(j.JCT()))
+	}
+	return fp
+}
+
+func equalFingerprint(a, b runFingerprint) bool {
+	if a.counters != b.counters || len(a.jobs) != len(b.jobs) {
+		return false
+	}
+	for i := range a.jobs {
+		if a.jobs[i] != b.jobs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSchedulerDeterminism re-runs the same seeded comparison and demands
+// bit-identical JCT vectors per scheduler. This guards the two places where
+// incidental nondeterminism could creep in: map-iteration order feeding the
+// Venn plan (ensurePlan sorts planGroups explicitly) and the parallel
+// experiment runner (every run owns its fleet clone and RNG).
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() map[string]runFingerprint {
+		setup := NewSetup(ScaleQuick, 11)
+		cmp, err := Compare(setup, StandardSchedulers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]runFingerprint, len(cmp.Results))
+		for name, r := range cmp.Results {
+			out[name] = fingerprintOf(r)
+		}
+		return out
+	}
+	first := run()
+	for trial := 0; trial < 2; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: scheduler set changed: %d vs %d", trial, len(again), len(first))
+		}
+		for name, fp := range first {
+			if !equalFingerprint(fp, again[name]) {
+				t.Errorf("trial %d: %s produced different results for the same seed", trial, name)
+			}
+		}
+	}
+}
+
+// TestRunOneIndependentOfSharedFleet checks that concurrent runs over clones
+// of one fleet reproduce the sequential Reset-and-reuse results — the
+// invariant the parallel Compare depends on.
+func TestRunOneIndependentOfSharedFleet(t *testing.T) {
+	setup := NewSetup(ScaleQuick, 23)
+	factories := StandardSchedulers()
+
+	sequential := make(map[string]runFingerprint)
+	{
+		fleet := trace.GenerateFleet(setup.Fleet)
+		wl := workload.Generate(setup.Jobs)
+		for _, name := range []string{"FIFO", "Random", "SRSF", "Venn"} {
+			res, err := RunOne(fleet, wl, factories[name], setup.Seed+100, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential[name] = fingerprintOf(res)
+		}
+	}
+
+	cmp, err := Compare(setup, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range sequential {
+		if !equalFingerprint(fingerprintOf(cmp.Results[name]), want) {
+			t.Errorf("%s: parallel Compare diverged from sequential shared-fleet runs", name)
+		}
+	}
+}

@@ -56,15 +56,22 @@ func Table1(scale Scale, seeds int) (*Table1Result, error) {
 		Speedup:    make(map[workload.Scenario]map[string]float64),
 		Seeds:      seeds,
 	}
+	setups := make([]Setup, 0, len(res.Scenarios)*seeds)
 	for _, sc := range res.Scenarios {
-		acc := map[string][]float64{}
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(1000*int(sc)+s))
 			setup.Jobs.Scenario = sc
-			cmp, err := Compare(setup, StandardSchedulers())
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory { return StandardSchedulers() })
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range res.Scenarios {
+		acc := map[string][]float64{}
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			for _, name := range res.Schedulers {
 				acc[name] = append(acc[name], cmp.Speedup(name, "Random"))
 			}
@@ -114,15 +121,24 @@ func Table2(scale Scale, seeds int) (*Table2Result, error) {
 		Percentiles: []float64{25, 50, 75},
 		Speedup:     make(map[workload.Scenario][]float64),
 	}
+	setups := make([]Setup, 0, len(res.Scenarios)*seeds)
 	for _, sc := range res.Scenarios {
-		acc := make([][]float64, len(res.Percentiles))
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(2000*int(sc)+s))
 			setup.Jobs.Scenario = sc
-			cmp, err := Compare(setup, pick(StandardSchedulers(), "Random", "Venn"))
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory {
+		return pick(StandardSchedulers(), "Random", "Venn")
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range res.Scenarios {
+		acc := make([][]float64, len(res.Percentiles))
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			venn, random := cmp.Results["Venn"], cmp.Results["Random"]
 			totals := completedTotals(venn)
 			for i, p := range res.Percentiles {
@@ -189,15 +205,24 @@ func Table3(scale Scale, seeds int) (*Table3Result, error) {
 		Categories: cats,
 		Speedup:    make(map[workload.Scenario][]float64),
 	}
+	setups := make([]Setup, 0, len(res.Scenarios)*seeds)
 	for _, sc := range res.Scenarios {
-		acc := make([][]float64, len(cats))
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(3000*int(sc)+s))
 			setup.Jobs.Scenario = sc
-			cmp, err := Compare(setup, pick(StandardSchedulers(), "Random", "Venn"))
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory {
+		return pick(StandardSchedulers(), "Random", "Venn")
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range res.Scenarios {
+		acc := make([][]float64, len(cats))
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			venn, random := cmp.Results["Venn"], cmp.Results["Random"]
 			for i, cat := range cats {
 				name := cat
@@ -253,15 +278,22 @@ func Table4(scale Scale, seeds int) (*Table4Result, error) {
 		Schedulers: []string{"FIFO", "SRSF", "Venn"},
 		Speedup:    make(map[workload.Bias]map[string]float64),
 	}
+	setups := make([]Setup, 0, len(res.Biases)*seeds)
 	for _, bias := range res.Biases {
-		acc := map[string][]float64{}
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(4000*int(bias)+s))
 			setup.Jobs.Bias = bias
-			cmp, err := Compare(setup, StandardSchedulers())
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory { return StandardSchedulers() })
+	if err != nil {
+		return nil, err
+	}
+	for i, bias := range res.Biases {
+		acc := map[string][]float64{}
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			for _, name := range res.Schedulers {
 				acc[name] = append(acc[name], cmp.Speedup(name, "Random"))
 			}

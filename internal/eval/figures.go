@@ -103,28 +103,36 @@ type Figure3Result struct {
 func Figure3() (*Figure3Result, error) {
 	res := &Figure3Result{AvgJCT: map[string]float64{}}
 	const seeds = 20
-	for name, factory := range pick(StandardSchedulers(), "Random", "SRSF", "Venn") {
-		var acc []float64
-		for s := 0; s < seeds; s++ {
-			fleet := toyFleet()
-			keyboard := job.New(0, device.General, 3, 1, 0)
-			emoji1 := job.New(1, device.HighPerf, 4, 1, 0)
-			emoji2 := job.New(2, device.HighPerf, 4, 1, 0)
-			eng, err := sim.NewEngine(sim.Config{
-				Fleet:     fleet,
-				Jobs:      []*job.Job{keyboard, emoji1, emoji2},
-				Scheduler: factory(),
-				Response:  sim.ResponseModel{Median: simtime.Millisecond, P95: 2 * simtime.Millisecond, DisableFailures: true},
-				Horizon:   2 * simtime.Hour,
-				Seed:      int64(40 + s),
-			})
-			if err != nil {
-				return nil, err
-			}
-			r := eng.Run()
-			acc = append(acc, stats.Mean(r.JCTSeconds())/60) // minutes = check-in units
+	names := []string{"Random", "SRSF", "Venn"}
+	factories := pick(StandardSchedulers(), names...)
+	jcts := make([]float64, len(names)*seeds)
+	err := parallelEach(len(jcts), func(i int) error {
+		factory := factories[names[i/seeds]]
+		s := i % seeds
+		fleet := toyFleet()
+		keyboard := job.New(0, device.General, 3, 1, 0)
+		emoji1 := job.New(1, device.HighPerf, 4, 1, 0)
+		emoji2 := job.New(2, device.HighPerf, 4, 1, 0)
+		eng, err := sim.NewEngine(sim.Config{
+			Fleet:     fleet,
+			Jobs:      []*job.Job{keyboard, emoji1, emoji2},
+			Scheduler: factory(),
+			Response:  sim.ResponseModel{Median: simtime.Millisecond, P95: 2 * simtime.Millisecond, DisableFailures: true},
+			Horizon:   2 * simtime.Hour,
+			Seed:      int64(40 + s),
+		})
+		if err != nil {
+			return err
 		}
-		res.AvgJCT[name] = stats.Mean(acc)
+		r := eng.Run()
+		jcts[i] = stats.Mean(r.JCTSeconds()) / 60 // minutes = check-in units
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res.AvgJCT[name] = stats.Mean(jcts[i*seeds : (i+1)*seeds])
 	}
 	return res, nil
 }
@@ -179,14 +187,19 @@ func Figure5(scale Scale) (*Figure5Result, error) {
 		SchedDelaySec: map[int]float64{},
 		RespTimeSec:   map[int]float64{},
 	}
-	for _, n := range res.NumJobs {
-		setup := NewSetup(scale, int64(500+n))
-		setup.Jobs.NumJobs = n
-		cmp, err := Compare(setup, pick(StandardSchedulers(), "Random"))
-		if err != nil {
-			return nil, err
-		}
-		r := cmp.Results["Random"]
+	setups := make([]Setup, len(res.NumJobs))
+	for i, n := range res.NumJobs {
+		setups[i] = NewSetup(scale, int64(500+n))
+		setups[i].Jobs.NumJobs = n
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory {
+		return pick(StandardSchedulers(), "Random")
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range res.NumJobs {
+		r := cmps[i].Results["Random"]
 		res.SchedDelaySec[n] = simtime.Duration(r.AvgSchedDelay).Seconds()
 		res.RespTimeSec[n] = simtime.Duration(r.AvgResponseTime).Seconds()
 	}
@@ -318,15 +331,22 @@ func Figure11(scale Scale, seeds int) (*Figure11Result, error) {
 		Schedulers: []string{"FIFO", "Venn-w/o-sched", "Venn-w/o-match", "Venn"},
 		Speedup:    make(map[workload.Scenario]map[string]float64),
 	}
+	setups := make([]Setup, 0, len(res.Workloads)*seeds)
 	for _, sc := range res.Workloads {
-		acc := map[string][]float64{}
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(6000*int(sc)+s))
 			setup.Jobs.Scenario = sc
-			cmp, err := Compare(setup, AblationSchedulers())
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory { return AblationSchedulers() })
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range res.Workloads {
+		acc := map[string][]float64{}
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			for _, name := range res.Schedulers {
 				acc[name] = append(acc[name], cmp.Speedup(name, "Random"))
 			}
@@ -376,15 +396,22 @@ func Figure12(scale Scale, seeds int) (*Figure12Result, error) {
 	if scale == ScaleQuick {
 		res.JobCounts = []int{8, 16, 24}
 	}
+	setups := make([]Setup, 0, len(res.JobCounts)*seeds)
 	for _, n := range res.JobCounts {
-		acc := map[string][]float64{}
 		for s := 0; s < seeds; s++ {
 			setup := NewSetup(scale, int64(7000+100*n+s))
 			setup.Jobs.NumJobs = n
-			cmp, err := Compare(setup, StandardSchedulers())
-			if err != nil {
-				return nil, err
-			}
+			setups = append(setups, setup)
+		}
+	}
+	cmps, err := CompareMany(setups, func(int) map[string]SchedulerFactory { return StandardSchedulers() })
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range res.JobCounts {
+		acc := map[string][]float64{}
+		for s := 0; s < seeds; s++ {
+			cmp := cmps[i*seeds+s]
 			for _, name := range res.Schedulers {
 				acc[name] = append(acc[name], cmp.Speedup(name, "Random"))
 			}
@@ -427,9 +454,9 @@ func Figure13(scale Scale, seeds int) (*Figure13Result, error) {
 		seeds = 3
 	}
 	res := &Figure13Result{Tiers: []int{1, 2, 3, 4}, Speedup: map[int]float64{}}
+	setups := make([]Setup, 0, len(res.Tiers)*seeds)
+	tierOf := make([]int, 0, len(res.Tiers)*seeds)
 	for _, v := range res.Tiers {
-		tiers := v
-		var acc []float64
 		for s := 0; s < seeds; s++ {
 			// Same seed across tier counts so the sweep isolates V.
 			// Low contention (few small jobs on the full fleet) puts
@@ -440,19 +467,28 @@ func Figure13(scale Scale, seeds int) (*Figure13Result, error) {
 			setup.Jobs.MaxDemand = 15
 			setup.Jobs.MinRounds = 6
 			setup.Jobs.MeanInterArrival = 2 * simtime.Hour
-			factories := map[string]SchedulerFactory{
-				"Random": func() sim.Scheduler { return newRandomBaseline() },
-				"Venn": func() sim.Scheduler {
-					o := core.DefaultOptions()
-					o.Tiers = tiers
-					return core.New(o)
-				},
-			}
-			cmp, err := Compare(setup, factories)
-			if err != nil {
-				return nil, err
-			}
-			acc = append(acc, cmp.Speedup("Venn", "Random"))
+			setups = append(setups, setup)
+			tierOf = append(tierOf, v)
+		}
+	}
+	cmps, err := CompareMany(setups, func(i int) map[string]SchedulerFactory {
+		tiers := tierOf[i]
+		return map[string]SchedulerFactory{
+			"Random": func() sim.Scheduler { return newRandomBaseline() },
+			"Venn": func() sim.Scheduler {
+				o := core.DefaultOptions()
+				o.Tiers = tiers
+				return core.New(o)
+			},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range res.Tiers {
+		var acc []float64
+		for s := 0; s < seeds; s++ {
+			acc = append(acc, cmps[i*seeds+s].Speedup("Venn", "Random"))
 		}
 		res.Speedup[v] = stats.Mean(acc)
 	}
@@ -490,34 +526,41 @@ func Figure14(scale Scale, seeds int) (*Figure14Result, error) {
 		Speedup:   map[float64]float64{},
 		FairShare: map[float64]float64{},
 	}
-	for _, eps := range res.Epsilons {
-		epsilon := eps
-		var sp, fair []float64
-		for s := 0; s < seeds; s++ {
-			setup := NewSetup(scale, int64(9000+int(eps*37)+s))
-			factories := map[string]SchedulerFactory{
-				"Random": func() sim.Scheduler { return newRandomBaseline() },
-				"Venn": func() sim.Scheduler {
-					o := core.DefaultOptions()
-					o.Epsilon = epsilon
-					return core.New(o)
-				},
-			}
-			fleet := trace.GenerateFleet(setup.Fleet)
-			wl := workload.Generate(setup.Jobs)
-			random, err := RunOne(fleet, wl, factories["Random"], setup.Seed+100, nil)
-			if err != nil {
-				return nil, err
-			}
-			venn, err := RunOne(fleet, wl, factories["Venn"], setup.Seed+100, nil)
-			if err != nil {
-				return nil, err
-			}
-			sp = append(sp, venn.SpeedupOver(random))
-			fair = append(fair, fairShareFraction(venn, fleet, len(wl.Jobs)))
+	n := len(res.Epsilons) * seeds
+	sp := make([]float64, n)
+	fair := make([]float64, n)
+	err := parallelEach(n, func(i int) error {
+		epsilon := res.Epsilons[i/seeds]
+		s := i % seeds
+		setup := NewSetup(scale, int64(9000+int(epsilon*37)+s))
+		factories := map[string]SchedulerFactory{
+			"Random": func() sim.Scheduler { return newRandomBaseline() },
+			"Venn": func() sim.Scheduler {
+				o := core.DefaultOptions()
+				o.Epsilon = epsilon
+				return core.New(o)
+			},
 		}
-		res.Speedup[eps] = stats.Mean(sp)
-		res.FairShare[eps] = stats.Mean(fair)
+		fleet := trace.GenerateFleet(setup.Fleet)
+		wl := workload.Generate(setup.Jobs)
+		random, err := RunOne(fleet, wl, factories["Random"], setup.Seed+100, nil)
+		if err != nil {
+			return err
+		}
+		venn, err := RunOne(fleet, wl, factories["Venn"], setup.Seed+100, nil)
+		if err != nil {
+			return err
+		}
+		sp[i] = venn.SpeedupOver(random)
+		fair[i] = fairShareFraction(venn, fleet, len(wl.Jobs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, eps := range res.Epsilons {
+		res.Speedup[eps] = stats.Mean(sp[i*seeds : (i+1)*seeds])
+		res.FairShare[eps] = stats.Mean(fair[i*seeds : (i+1)*seeds])
 	}
 	return res, nil
 }

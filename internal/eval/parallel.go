@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Workers returns the experiment worker-pool size: GOMAXPROCS by default,
+// overridable with the VENN_WORKERS environment variable (1 restores fully
+// sequential execution).
+func Workers() int {
+	if s := os.Getenv("VENN_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// slots is the process-wide bound on extra experiment goroutines. Using one
+// shared pool (instead of one per call) keeps nested fan-outs — a sweep over
+// setups whose Compare fans out over schedulers — from multiplying into
+// workers² goroutines.
+var (
+	slotsOnce sync.Once
+	slots     chan struct{}
+)
+
+// acquireSlot reports whether a worker slot was free; callers that get none
+// must run the work inline, which guarantees progress without blocking (and
+// therefore cannot deadlock however deeply calls nest).
+func acquireSlot() bool {
+	slotsOnce.Do(func() { slots = make(chan struct{}, Workers()) })
+	select {
+	case slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func releaseSlot() { <-slots }
+
+// WorkerSlot blocks until a shared worker slot is free and returns its
+// release func. Top-level launchers (cmd/vennbench) draw on it so their
+// fan-out and the nested experiment parallelism share one process-wide
+// bound instead of stacking two pools. Safe against deadlock because slot
+// holders never block on further slots — nested parallelEach falls back to
+// inline execution when the pool is exhausted.
+func WorkerSlot() (release func()) {
+	slotsOnce.Do(func() { slots = make(chan struct{}, Workers()) })
+	slots <- struct{}{}
+	return func() { <-slots }
+}
+
+// parallelEach runs fn(0), ..., fn(n-1), each exactly once, fanning out
+// across free worker slots and running the remainder inline. It returns the
+// lowest-index error. Callers must write results to index-addressed slots so
+// the outcome is independent of scheduling order — every experiment run is
+// deterministic given its own seed, so fan-out cannot change results.
+func parallelEach(n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if acquireSlot() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer releaseSlot()
+				errs[i] = fn(i)
+			}()
+		} else {
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

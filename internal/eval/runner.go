@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 
 	"venn/internal/core"
 	"venn/internal/sched"
@@ -145,19 +146,55 @@ type Comparison struct {
 }
 
 // Compare runs the workload under every scheduler on the same fleet and
-// returns the results keyed by scheduler name.
+// returns the results keyed by scheduler name. The runs fan out across the
+// experiment worker pool: every run is deterministic given its own seed and
+// gets a private copy of the fleet's mutable device state, so concurrent
+// execution returns exactly the sequential results.
 func Compare(setup Setup, factories map[string]SchedulerFactory) (*Comparison, error) {
 	fleet := trace.GenerateFleet(setup.Fleet)
 	wl := workload.Generate(setup.Jobs)
-	cmp := &Comparison{Results: make(map[string]*sim.Result, len(factories))}
-	for name, f := range factories {
-		res, err := RunOne(fleet, wl, f, setup.Seed+100, nil)
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]*sim.Result, len(names))
+	err := parallelEach(len(names), func(i int) error {
+		res, err := RunOne(fleet.Clone(), wl, factories[names[i]], setup.Seed+100, nil)
 		if err != nil {
-			return nil, fmt.Errorf("run %s: %w", name, err)
+			return fmt.Errorf("run %s: %w", names[i], err)
 		}
-		cmp.Results[name] = res
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Results: make(map[string]*sim.Result, len(names))}
+	for i, name := range names {
+		cmp.Results[name] = results[i]
 	}
 	return cmp, nil
+}
+
+// CompareMany runs Compare over the given setups concurrently (bounded by
+// Workers()), returning the comparisons in setup order. The factories
+// callback builds the scheduler lineup for setup i; it must be safe to call
+// from multiple goroutines.
+func CompareMany(setups []Setup, factories func(i int) map[string]SchedulerFactory) ([]*Comparison, error) {
+	out := make([]*Comparison, len(setups))
+	err := parallelEach(len(setups), func(i int) error {
+		cmp, err := Compare(setups[i], factories(i))
+		if err != nil {
+			return err
+		}
+		out[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Speedup returns scheduler's average-JCT improvement over the named

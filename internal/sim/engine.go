@@ -68,6 +68,13 @@ type Engine struct {
 	active    int // jobs arrived and not done
 	completed []*job.Job
 
+	// openDemand is the total unassigned demand over jobs currently in
+	// StateScheduling. When it is zero no scheduler may legally assign
+	// anything (validateAssignment would panic), so idle-queue walks stop
+	// offering devices entirely instead of collecting nil answers from
+	// every entry.
+	openDemand int
+
 	// Aggregate counters.
 	assignments int
 	responses   int
@@ -242,6 +249,7 @@ func (e *Engine) handleOffline(ev *event) {
 func (e *Engine) handleArrival(ev *event) {
 	j := ev.job
 	j.Start(e.now)
+	e.openDemand += j.RemainingDemand()
 	e.active++
 	e.attempt[j.ID] = 1
 	e.responders[j.ID] = e.responders[j.ID][:0]
@@ -310,7 +318,9 @@ func (e *Engine) handleDeadline(ev *event) {
 
 func (e *Engine) abortAttempt(j *job.Job) {
 	e.aborts++
+	before := j.RemainingDemand()
 	j.AbortAttempt(e.now)
+	e.openDemand += j.RemainingDemand() - before
 	e.attempt[j.ID]++
 	e.responders[j.ID] = e.responders[j.ID][:0]
 	e.sched.OnRequest(j, e.now)
@@ -324,7 +334,9 @@ func (e *Engine) completeRound(j *job.Job) {
 		copy(parts, e.responders[j.ID])
 		e.cfg.Observer(j, round, parts, e.now)
 	}
+	before := j.RemainingDemand()
 	done := j.CompleteRound(e.now)
+	e.openDemand += j.RemainingDemand() - before
 	e.attempt[j.ID]++
 	e.responders[j.ID] = e.responders[j.ID][:0]
 	if done {
@@ -347,7 +359,7 @@ func (e *Engine) enqueueIdle(rt *devRuntime) {
 
 // tryAssign offers a single idle device to the scheduler.
 func (e *Engine) tryAssign(rt *devRuntime) bool {
-	if !rt.online || rt.busy || rt.idleSeq == 0 {
+	if e.openDemand <= 0 || !rt.online || rt.busy || rt.idleSeq == 0 {
 		return false
 	}
 	j := e.sched.Assign(rt.dev, e.now)
@@ -362,16 +374,32 @@ func (e *Engine) tryAssign(rt *devRuntime) bool {
 }
 
 // drain repeatedly offers idle devices (in check-in order) to the scheduler
-// until a full pass yields no assignment.
+// until a full pass yields no assignment or all open demand is satisfied.
+// No scheduler may legally assign with zero open demand, so once demand runs
+// out mid-pass the remaining live entries are retained in bulk without
+// consulting the scheduler, and dead entries are dropped wholesale.
 func (e *Engine) drain() {
+	if e.openDemand <= 0 {
+		return
+	}
 	for {
 		assignedAny := false
 		// Compact while scanning: keep only still-valid entries.
 		kept := e.idle[:0]
-		for _, ent := range e.idle {
+		for idx, ent := range e.idle {
 			rt := ent.rt
 			if rt.idleSeq != ent.seq || !rt.online || rt.busy {
 				continue // stale entry
+			}
+			if e.openDemand <= 0 {
+				// Bulk-skip: no more offers can succeed this pass;
+				// keep the rest, filtering dead entries only.
+				for _, rest := range e.idle[idx:] {
+					if rest.rt.idleSeq == rest.seq && rest.rt.online && !rest.rt.busy {
+						kept = append(kept, rest)
+					}
+				}
+				break
 			}
 			j := e.sched.Assign(rt.dev, e.now)
 			if j == nil {
@@ -389,7 +417,7 @@ func (e *Engine) drain() {
 			e.idle[i] = idleEntry{}
 		}
 		e.idle = kept
-		if !assignedAny {
+		if !assignedAny || e.openDemand <= 0 {
 			return
 		}
 	}
@@ -409,6 +437,7 @@ func (e *Engine) validateAssignment(d *device.Device, j *job.Job) {
 // assign commits a device to a job's open request and schedules its outcome.
 func (e *Engine) assign(rt *devRuntime, j *job.Job) {
 	e.assignments++
+	e.openDemand--
 	rt.busy = true
 	rt.dev.LastTaskDay = int32(e.now.DayIndex())
 

@@ -72,6 +72,19 @@ func (f *Fleet) Reset() {
 	}
 }
 
+// Clone returns a fleet that can be simulated concurrently with the
+// original: devices are copied (the engine mutates their task-per-day
+// state), while the availability intervals — read-only during a run — are
+// shared.
+func (f *Fleet) Clone() *Fleet {
+	devs := make([]*device.Device, len(f.Devices))
+	for i, d := range f.Devices {
+		cp := *d
+		devs[i] = &cp
+	}
+	return &Fleet{Devices: devs, Intervals: f.Intervals, Horizon: f.Horizon}
+}
+
 // CategoryCounts returns how many devices satisfy each of the standard
 // requirement strata (a device can satisfy several).
 func (f *Fleet) CategoryCounts() map[string]int {
