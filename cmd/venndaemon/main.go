@@ -10,10 +10,12 @@
 //
 // API:
 //
-//	POST /v1/jobs      {"name":"kbd","category":"General","demand_per_round":100,"rounds":50}
-//	POST /v1/checkin   {"device_id":"phone-1","cpu":0.8,"mem":0.7}
-//	POST /v1/report    {"device_id":"phone-1","job_id":0,"ok":true,"duration_seconds":42}
-//	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats
+//	POST /v1/jobs           {"name":"kbd","category":"General","demand_per_round":100,"rounds":50}
+//	POST /v1/checkin        {"device_id":"phone-1","cpu":0.8,"mem":0.7}
+//	POST /v1/checkin/batch  {"checkins":[...]}
+//	POST /v1/report         {"device_id":"phone-1","job_id":0,"ok":true,"duration_seconds":42}
+//	POST /v1/report/batch   {"reports":[...]}
+//	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats, /v1/metrics
 package main
 
 import (
@@ -30,14 +32,16 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		tiers   = flag.Int("tiers", 3, "device-tier granularity V")
 		epsilon = flag.Float64("epsilon", 0, "fairness knob")
+		shards  = flag.Int("shards", 0, "device-state lock shards (0 = default)")
 	)
 	flag.Parse()
 
 	opts := core.DefaultOptions()
 	opts.Tiers = *tiers
 	opts.Epsilon = *epsilon
-	m := server.NewManager(server.Config{Options: opts})
-	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f)\n", *addr, *tiers, *epsilon)
+	m := server.NewManager(server.Config{Options: opts, Shards: *shards})
+	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d)\n",
+		*addr, *tiers, *epsilon, m.MetricsSnapshot().Shards)
 	if err := server.Serve(*addr, m); err != nil {
 		fmt.Fprintln(os.Stderr, "venndaemon:", err)
 		os.Exit(1)

@@ -1,0 +1,440 @@
+// Command vennload is the serving-path load generator: it spins up N
+// thousand synthetic device agents against a live venndaemon, drives
+// registered jobs to completion, and writes throughput and latency
+// percentiles to a BENCH_serve.json artifact. It is the repo's continuous
+// measurement of the wall-clock serving path — CI runs a short smoke pass
+// on every PR, and the -compare mode records the batched+sharded speedup
+// over the former single-lock, one-request-per-check-in baseline.
+//
+// Against a running daemon:
+//
+//	venndaemon -addr :8080 &
+//	vennload -daemon http://localhost:8080 -agents 2000 -duration 10s
+//
+// Self-hosted (spins an in-process daemon; no external setup):
+//
+//	vennload -agents 2000 -duration 10s -out BENCH_serve.json
+//	vennload -compare -agents 2000 -duration 5s -out BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"venn/internal/client"
+	"venn/internal/server"
+	"venn/internal/stats"
+)
+
+func main() {
+	var (
+		daemon   = flag.String("daemon", "", "venndaemon base URL; empty self-hosts an in-process daemon")
+		agents   = flag.Int("agents", 2000, "number of synthetic device agents")
+		duration = flag.Duration("duration", 10*time.Second, "load duration per run")
+		batch    = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
+		conns    = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
+		jobs     = flag.Int("jobs", 8, "CL jobs to register")
+		demand   = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
+		rounds   = flag.Int("rounds", 1, "rounds per job")
+		shards   = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
+		seed     = flag.Int64("seed", 1, "random seed for the synthetic fleet")
+		out      = flag.String("out", "", "write a JSON benchmark report to this file")
+		compare  = flag.Bool("compare", false, "self-host two daemons and record batched+sharded vs single-lock baseline")
+	)
+	flag.Parse()
+
+	if *conns <= 0 {
+		*conns = 4 * runtime.NumCPU()
+		if *conns > 64 {
+			*conns = 64
+		}
+	}
+
+	report := benchReport{
+		Schema:    "venn/bench_serve/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		UnixTime:  time.Now().Unix(),
+	}
+
+	switch {
+	case *compare:
+		if *daemon != "" {
+			fmt.Fprintln(os.Stderr, "vennload: -compare self-hosts both runs; -daemon is ignored")
+		}
+		// Baseline: one lock stripe and one HTTP request per check-in —
+		// the seed serving path.
+		base := runSelfHosted(loadConfig{
+			Mode: "single", Shards: 1, Batch: 1,
+			Agents: *agents, Conns: *conns, Duration: *duration,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+		})
+		report.Runs = append(report.Runs, base)
+		// Contender: sharded manager, batched API.
+		cont := runSelfHosted(loadConfig{
+			Mode: "batched", Shards: *shards, Batch: max(*batch, 2),
+			Agents: *agents, Conns: *conns, Duration: *duration,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+		})
+		report.Runs = append(report.Runs, cont)
+		if base.CheckInsPerSec > 0 {
+			report.SpeedupBatchedVsSingle = cont.CheckInsPerSec / base.CheckInsPerSec
+			fmt.Printf("\nspeedup (batched+sharded vs single-lock): %.2fx\n", report.SpeedupBatchedVsSingle)
+		}
+	case *daemon != "":
+		cfg := loadConfig{
+			Mode: modeName(*batch), Batch: *batch,
+			Agents: *agents, Conns: *conns, Duration: *duration,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+		}
+		report.Runs = append(report.Runs, runLoad(*daemon, cfg))
+	default:
+		cfg := loadConfig{
+			Mode: modeName(*batch), Shards: *shards, Batch: *batch,
+			Agents: *agents, Conns: *conns, Duration: *duration,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+		}
+		report.Runs = append(report.Runs, runSelfHosted(cfg))
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *out)
+	}
+}
+
+func modeName(batch int) string {
+	if batch > 1 {
+		return "batched"
+	}
+	return "single"
+}
+
+type loadConfig struct {
+	Mode     string
+	Shards   int // self-hosted runs only; 0 = server default
+	Batch    int
+	Agents   int
+	Conns    int
+	Duration time.Duration
+	Jobs     int
+	Demand   int
+	Rounds   int
+	Seed     int64
+}
+
+type percentiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+type runResult struct {
+	Mode             string          `json:"mode"`
+	Shards           int             `json:"shards,omitempty"`
+	Agents           int             `json:"agents"`
+	Conns            int             `json:"conns"`
+	Batch            int             `json:"batch"`
+	DurationSeconds  float64         `json:"duration_seconds"`
+	CheckIns         int64           `json:"checkins"`
+	CheckInsPerSec   float64         `json:"checkins_per_sec"`
+	Assignments      int64           `json:"assignments"`
+	Reports          int64           `json:"reports"`
+	Errors           int64           `json:"errors"`
+	JobsTotal        int             `json:"jobs_total"`
+	JobsDone         int             `json:"jobs_done"`
+	RequestLatencyMs percentiles     `json:"request_latency_ms"`
+	ServerMetrics    *server.Metrics `json:"server_metrics,omitempty"`
+}
+
+type benchReport struct {
+	Schema                 string      `json:"schema"`
+	GoVersion              string      `json:"go_version"`
+	GOOS                   string      `json:"goos"`
+	GOARCH                 string      `json:"goarch"`
+	NumCPU                 int         `json:"num_cpu"`
+	UnixTime               int64       `json:"unix_time"`
+	Runs                   []runResult `json:"runs"`
+	SpeedupBatchedVsSingle float64     `json:"speedup_batched_vs_single,omitempty"`
+}
+
+// runSelfHosted spins an in-process daemon, drives the load against it over
+// real loopback HTTP, and tears it down.
+func runSelfHosted(cfg loadConfig) runResult {
+	m := server.NewManager(server.Config{Shards: cfg.Shards})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vennload: listen:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: server.Handler(m)}
+	go func() { _ = srv.Serve(ln) }()
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		_ = srv.Close()
+	}()
+	res := runLoad("http://"+ln.Addr().String(), cfg)
+	if cfg.Shards > 0 {
+		res.Shards = cfg.Shards
+	} else if res.ServerMetrics != nil {
+		res.Shards = res.ServerMetrics.Shards
+	}
+	return res
+}
+
+// runLoad drives one load run against the daemon at baseURL.
+func runLoad(baseURL string, cfg loadConfig) runResult {
+	tr := &http.Transport{
+		MaxIdleConns:        2 * cfg.Conns,
+		MaxIdleConnsPerHost: 2 * cfg.Conns,
+	}
+	c := client.New(baseURL,
+		client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second, Transport: tr}),
+		client.WithRetries(2))
+	if _, err := c.Stats(); err != nil {
+		fmt.Fprintf(os.Stderr, "vennload: daemon unreachable: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Register the CL jobs. Auto demand keeps total required responses
+	// well under the fleet's one-task-per-day capacity so every job can
+	// finish within the run.
+	demand := cfg.Demand
+	if demand <= 0 {
+		demand = cfg.Agents / (4 * cfg.Jobs * cfg.Rounds)
+		if demand < 1 {
+			demand = 1
+		}
+	}
+	categories := []string{"General", "General", "Compute-Rich", "Memory-Rich", "High-Perf"}
+	jobIDs := make([]int, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		st, err := c.RegisterJob(server.JobSpec{
+			Name:           fmt.Sprintf("load-job-%d", i),
+			Category:       categories[i%len(categories)],
+			DemandPerRound: demand,
+			Rounds:         cfg.Rounds,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: register job:", err)
+			os.Exit(1)
+		}
+		jobIDs = append(jobIDs, st.ID)
+	}
+
+	// Synthesize the fleet.
+	rng := stats.NewRNG(cfg.Seed)
+	type dev struct {
+		id       string
+		cpu, mem float64
+	}
+	fleet := make([]dev, cfg.Agents)
+	for i := range fleet {
+		fleet[i] = dev{
+			id:  fmt.Sprintf("load-%06d", i),
+			cpu: rng.Float64(),
+			mem: rng.Float64(),
+		}
+	}
+
+	var (
+		checkIns    atomic.Int64
+		assignments atomic.Int64
+		reports     atomic.Int64
+		errs        atomic.Int64
+
+		latMu     sync.Mutex
+		latencies []float64
+	)
+	const maxLatSamplesPerWorker = 100_000
+
+	fmt.Printf("run %q: %d agents, %d conns, batch %d, %v against %s\n",
+		cfg.Mode, cfg.Agents, cfg.Conns, cfg.Batch, cfg.Duration, baseURL)
+
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		lo := w * len(fleet) / cfg.Conns
+		hi := (w + 1) * len(fleet) / cfg.Conns
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(mine []dev, taskRNG *stats.RNG) {
+			defer wg.Done()
+			local := make([]float64, 0, 4096)
+			record := func(d time.Duration) {
+				if len(local) < maxLatSamplesPerWorker {
+					local = append(local, float64(d)/float64(time.Millisecond))
+				}
+			}
+			// A batch larger than this worker's fleet slice would carry
+			// duplicate devices whose reservations reject each other.
+			batchSize := min(cfg.Batch, len(mine))
+			next := 0
+			pendingReports := make([]server.Report, 0, batchSize)
+			for time.Now().Before(deadline) {
+				if cfg.Batch > 1 {
+					cis := make([]server.CheckIn, 0, batchSize)
+					for len(cis) < batchSize {
+						d := mine[next%len(mine)]
+						next++
+						cis = append(cis, server.CheckIn{DeviceID: d.id, CPU: d.cpu, Mem: d.mem})
+					}
+					t0 := time.Now()
+					results, err := c.CheckInBatch(cis)
+					record(time.Since(t0))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					pendingReports = pendingReports[:0]
+					served := 0
+					for i, res := range results {
+						if res.Error != "" {
+							// Per-item rejection (e.g. a still-busy
+							// device): not a served check-in — counting
+							// it would flatter the batched throughput.
+							errs.Add(1)
+							continue
+						}
+						served++
+						if !res.Assigned {
+							continue
+						}
+						assignments.Add(1)
+						pendingReports = append(pendingReports, server.Report{
+							DeviceID:        cis[i].DeviceID,
+							JobID:           res.JobID,
+							OK:              !taskRNG.Bool(0.05),
+							DurationSeconds: 10 + 50*taskRNG.Float64(),
+						})
+					}
+					checkIns.Add(int64(served))
+					if len(pendingReports) > 0 {
+						if _, err := c.ReportBatch(pendingReports); err != nil {
+							errs.Add(1)
+						} else {
+							reports.Add(int64(len(pendingReports)))
+						}
+					}
+					continue
+				}
+				// Unbatched path: one HTTP request per check-in.
+				d := mine[next%len(mine)]
+				next++
+				t0 := time.Now()
+				asg, err := c.CheckIn(server.CheckIn{DeviceID: d.id, CPU: d.cpu, Mem: d.mem})
+				record(time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				checkIns.Add(1)
+				if !asg.Assigned {
+					continue
+				}
+				assignments.Add(1)
+				err = c.Report(server.Report{
+					DeviceID:        d.id,
+					JobID:           asg.JobID,
+					OK:              !taskRNG.Bool(0.05),
+					DurationSeconds: 10 + 50*taskRNG.Float64(),
+				})
+				if err != nil {
+					errs.Add(1)
+				} else {
+					reports.Add(1)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(fleet[lo:hi], rng.Fork())
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Give in-flight rounds a moment to drain, then count completions.
+	jobsDone := 0
+	for waited := time.Duration(0); waited < 3*time.Second; waited += 200 * time.Millisecond {
+		jobsDone = 0
+		for _, id := range jobIDs {
+			if st, err := c.JobStatus(id); err == nil && st.State == "done" {
+				jobsDone++
+			}
+		}
+		if jobsDone == len(jobIDs) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	res := runResult{
+		Mode:            cfg.Mode,
+		Agents:          cfg.Agents,
+		Conns:           cfg.Conns,
+		Batch:           cfg.Batch,
+		DurationSeconds: elapsed.Seconds(),
+		CheckIns:        checkIns.Load(),
+		CheckInsPerSec:  float64(checkIns.Load()) / elapsed.Seconds(),
+		Assignments:     assignments.Load(),
+		Reports:         reports.Load(),
+		Errors:          errs.Load(),
+		JobsTotal:       len(jobIDs),
+		JobsDone:        jobsDone,
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		res.RequestLatencyMs = percentiles{
+			Mean: stats.Mean(latencies),
+			P50:  stats.PercentileSorted(latencies, 50),
+			P90:  stats.PercentileSorted(latencies, 90),
+			P99:  stats.PercentileSorted(latencies, 99),
+			Max:  latencies[len(latencies)-1],
+		}
+	}
+	if mt, err := c.Metrics(); err == nil {
+		res.ServerMetrics = &mt
+		res.Shards = mt.Shards
+	}
+	fmt.Printf("  %d check-ins in %.2fs = %.0f/s; %d assigned, %d reported, %d errors, %d/%d jobs done (req p50 %.3fms p99 %.3fms)\n",
+		res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
+		res.Reports, res.Errors, res.JobsDone, res.JobsTotal,
+		res.RequestLatencyMs.P50, res.RequestLatencyMs.P99)
+	return res
+}

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"venn/internal/server"
+)
+
+func TestClientBatchLifecycle(t *testing.T) {
+	c, _ := newTestPair(t)
+	st, err := c.RegisterJob(server.JobSpec{Name: "kbd", Category: "General", DemandPerRound: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := c.CheckInBatch([]server.CheckIn{
+		{DeviceID: "b0", CPU: 0.7, Mem: 0.7},
+		{DeviceID: "b1", CPU: 0.6, Mem: 0.6},
+		{DeviceID: "b2", CPU: 0.5, Mem: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results: %d", len(results))
+	}
+	ids := []string{"b0", "b1", "b2"}
+	var reports []server.Report
+	assigned := 0
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("item %d: %s", i, r.Error)
+		}
+		if r.Assigned {
+			assigned++
+			reports = append(reports, server.Report{
+				DeviceID: ids[i], JobID: r.JobID, OK: true, DurationSeconds: 12,
+			})
+		}
+	}
+	if assigned != 2 {
+		t.Fatalf("assigned = %d, want 2", assigned)
+	}
+	rr, err := c.ReportBatch(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rr {
+		if r.Error != "" {
+			t.Fatalf("report %d: %s", i, r.Error)
+		}
+	}
+	done, err := c.WaitForJob(st.ID, 10*time.Millisecond, time.Second)
+	if err != nil || done.State != "done" {
+		t.Fatalf("job: %+v %v", done, err)
+	}
+
+	mt, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.CheckIns != 3 || mt.Assignments != 2 || mt.Reports != 2 {
+		t.Errorf("metrics: %+v", mt)
+	}
+	if _, ok := mt.HandlerLatencyMs["checkin_batch"]; !ok {
+		t.Error("checkin_batch latency missing from metrics")
+	}
+}
+
+func TestClientGetRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"completed_jobs": 7}`))
+	}))
+	defer srv.Close()
+
+	// Without retries the transient 500 surfaces.
+	c := New(srv.URL)
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("expected error without retries")
+	}
+	calls.Store(0)
+
+	// With a retry budget the GET succeeds on the third attempt.
+	c = New(srv.URL, WithRetries(3), WithRetryDelay(time.Millisecond))
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompletedJobs != 7 {
+		t.Errorf("stats: %+v", st)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientPostNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(5), WithRetryDelay(time.Millisecond))
+	if err := c.Report(server.Report{DeviceID: "d0"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("POST attempted %d times; mutating requests must not retry", calls.Load())
+	}
+}
+
+func TestClientConfigurableTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	c := New(srv.URL, WithTimeout(50*time.Millisecond))
+	start := time.Now()
+	_, err := c.Stats()
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v; the configured 50ms timeout was not applied", elapsed)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := backoff(base, attempt)
+			lo := base << uint(attempt)
+			hi := lo + lo/2
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package client is the Go SDK for the venndaemon HTTP API: CL job owners
 // use it to register jobs and poll status; device agents use it to check in
-// and report task results.
+// and report task results. High-volume callers (fleets, load generators)
+// should prefer the batch methods, which amortize one HTTP round trip and
+// one scheduler-lock acquisition over many devices.
 package client
 
 import (
@@ -8,24 +10,76 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"venn/internal/server"
 )
 
+// Defaults for the configurable knobs.
+const (
+	DefaultTimeout    = 10 * time.Second
+	DefaultRetryDelay = 100 * time.Millisecond
+)
+
 // Client talks to one venndaemon instance.
 type Client struct {
-	base string
-	http *http.Client
+	base       string
+	http       *http.Client
+	retries    int           // extra attempts for idempotent GETs
+	retryDelay time.Duration // backoff base, doubled per attempt, jittered
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithTimeout sets the per-request HTTP timeout (default 10s). Ignored if
+// WithHTTPClient is also given.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithRetries enables up to n bounded retries with exponential backoff and
+// jitter for idempotent GET requests (status polls, stats, metrics).
+// Mutating POSTs are never retried: a timed-out check-in may still have
+// been applied server-side.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRetryDelay sets the backoff base delay (default 100ms); attempt k
+// waits delay*2^k plus up to 50% jitter.
+func WithRetryDelay(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.retryDelay = d
+		}
+	}
+}
+
+// WithHTTPClient replaces the underlying *http.Client entirely — use it to
+// tune the transport (connection pool size, keep-alives) for load
+// generation. Apply it before WithTimeout if both are given.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
 }
 
 // New creates a client for the daemon at baseURL (e.g. "http://host:8080").
-func New(baseURL string) *Client {
-	return &Client{
-		base: baseURL,
-		http: &http.Client{Timeout: 10 * time.Second},
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       baseURL,
+		http:       &http.Client{Timeout: DefaultTimeout},
+		retryDelay: DefaultRetryDelay,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // RegisterJob submits a new CL job and returns its status (including ID).
@@ -56,9 +110,36 @@ func (c *Client) CheckIn(ci server.CheckIn) (server.Assignment, error) {
 	return asg, err
 }
 
+// CheckInBatch announces availability for a whole batch of devices in one
+// request. Results[i] answers cis[i]; per-item rejections surface in each
+// result's Error field, not as a Go error.
+func (c *Client) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, error) {
+	var resp server.CheckInBatchResponse
+	if err := c.post("/v1/checkin/batch", server.CheckInBatchRequest{CheckIns: cis}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(cis) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d check-ins", len(resp.Results), len(cis))
+	}
+	return resp.Results, nil
+}
+
 // Report submits a task result.
 func (c *Client) Report(r server.Report) error {
 	return c.post("/v1/report", r, &struct{}{})
+}
+
+// ReportBatch submits a batch of task results in one request. Results[i]
+// answers rs[i].
+func (c *Client) ReportBatch(rs []server.Report) ([]server.ReportResult, error) {
+	var resp server.ReportBatchResponse
+	if err := c.post("/v1/report/batch", server.ReportBatchRequest{Reports: rs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(rs) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d reports", len(resp.Results), len(rs))
+	}
+	return resp.Results, nil
 }
 
 // Stats fetches the daemon's monitoring snapshot.
@@ -66,6 +147,13 @@ func (c *Client) Stats() (server.Stats, error) {
 	var st server.Stats
 	err := c.get("/v1/stats", &st)
 	return st, err
+}
+
+// Metrics fetches the daemon's serving-throughput and latency metrics.
+func (c *Client) Metrics() (server.Metrics, error) {
+	var mt server.Metrics
+	err := c.get("/v1/metrics", &mt)
+	return mt, err
 }
 
 // WaitForJob polls until the job completes or the timeout elapses.
@@ -99,13 +187,49 @@ func (c *Client) post(path string, body, out any) error {
 	return decodeResponse(resp, out)
 }
 
+// get fetches an idempotent resource, retrying transient failures (network
+// errors and 5xx statuses) up to the configured retry budget with jittered
+// exponential backoff.
 func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Get(c.base + path)
+		if err == nil && resp.StatusCode < 500 {
+			err := decodeResponse(resp, out)
+			resp.Body.Close()
+			return err
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("client: status %d", resp.StatusCode)
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		if attempt >= c.retries {
+			return lastErr
+		}
+		time.Sleep(backoff(c.retryDelay, attempt))
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+}
+
+// maxBackoff caps one retry wait; it also keeps the doubling shift far
+// from int64 overflow for large retry budgets.
+const maxBackoff = 30 * time.Second
+
+// backoff returns base*2^attempt plus up to 50% jitter, capped at
+// maxBackoff. The global math/rand source is goroutine-safe and fine for
+// jitter — unlike the simulator's seeded RNGs, there is no reproducibility
+// requirement here.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 func decodeResponse(resp *http.Response, out any) error {

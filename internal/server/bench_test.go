@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// newBenchManager returns a manager with one General job whose demand is
+// large enough that it never fills during the benchmark, so every check-in
+// walks the full admission + scheduling path.
+func newBenchManager(b *testing.B, shards int) *Manager {
+	b.Helper()
+	m := NewManager(Config{Shards: shards})
+	if _, err := m.RegisterJob(JobSpec{Category: "General", DemandPerRound: 1 << 30, Rounds: 1}); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkManagerCheckInSingleLock is the seed-equivalent serving path:
+// one lock stripe, one check-in per call, concurrent callers.
+func BenchmarkManagerCheckInSingleLock(b *testing.B) {
+	benchmarkCheckInSingle(b, 1)
+}
+
+// BenchmarkManagerCheckInSharded is the same per-call path on the sharded
+// manager.
+func BenchmarkManagerCheckInSharded(b *testing.B) {
+	benchmarkCheckInSingle(b, defaultShards)
+}
+
+func benchmarkCheckInSingle(b *testing.B, shards int) {
+	m := newBenchManager(b, shards)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			_, err := m.DeviceCheckIn(CheckIn{
+				DeviceID: fmt.Sprintf("bench-%d", n),
+				CPU:      float64(n%10) / 10,
+				Mem:      float64(n%7) / 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkManagerCheckInBatchSharded measures the batched entry point:
+// each op is one 64-item batch under a single core-lock acquisition. The
+// custom checkins/s metric is directly comparable with the single-call
+// benchmarks' ops/s.
+func BenchmarkManagerCheckInBatchSharded(b *testing.B) {
+	const batch = 64
+	m := newBenchManager(b, defaultShards)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cis := make([]CheckIn, batch)
+		for pb.Next() {
+			for i := range cis {
+				n := seq.Add(1)
+				cis[i] = CheckIn{
+					DeviceID: fmt.Sprintf("bench-%d", n),
+					CPU:      float64(n%10) / 10,
+					Mem:      float64(n%7) / 7,
+				}
+			}
+			for _, r := range m.CheckInBatch(cis) {
+				if r.Error != "" {
+					b.Fatal(r.Error)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*batch/sec, "checkins/s")
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -11,15 +12,28 @@ import (
 
 // Handler wraps a Manager with the HTTP/JSON API:
 //
-//	POST /v1/jobs            {JobSpec}  -> JobStatus
+//	POST /v1/jobs            {JobSpec}              -> JobStatus
 //	GET  /v1/jobs            -> []JobStatus
 //	GET  /v1/jobs/{id}       -> JobStatus
-//	POST /v1/checkin         {CheckIn}  -> Assignment
-//	POST /v1/report          {Report}   -> {}
+//	POST /v1/checkin         {CheckIn}              -> Assignment
+//	POST /v1/checkin/batch   {CheckInBatchRequest}  -> CheckInBatchResponse
+//	POST /v1/report          {Report}               -> {}
+//	POST /v1/report/batch    {ReportBatchRequest}   -> ReportBatchResponse
 //	GET  /v1/stats           -> Stats
+//	GET  /v1/metrics         -> Metrics
+//
+// Every route is wrapped in a latency-recording middleware feeding the
+// handler_latency_ms percentiles of /v1/metrics.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			m.metrics.observeLatency(route, time.Since(t0))
+		})
+	}
+	handle("/v1/jobs", routeJobs, func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			var spec JobSpec
@@ -38,7 +52,7 @@ func Handler(m *Manager) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
-	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/jobs/", routeJobs, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -56,7 +70,7 @@ func Handler(m *Manager) http.Handler {
 		}
 		writeJSON(w, st, http.StatusOK)
 	})
-	mux.HandleFunc("/v1/checkin", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin", routeCheckIn, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -76,7 +90,22 @@ func Handler(m *Manager) http.Handler {
 		}
 		writeJSON(w, asg, http.StatusOK)
 	})
-	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin/batch", routeCheckInBatch, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req CheckInBatchRequest
+		if !decodeBatch(w, r, &req) {
+			return
+		}
+		if len(req.CheckIns) > MaxBatch {
+			writeErr(w, fmt.Errorf("server: batch exceeds %d items", MaxBatch), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, CheckInBatchResponse{Results: m.CheckInBatch(req.CheckIns)}, http.StatusOK)
+	})
+	handle("/v1/report", routeReport, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -91,12 +120,34 @@ func Handler(m *Manager) http.Handler {
 		}
 		writeJSON(w, struct{}{}, http.StatusOK)
 	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/report/batch", routeReportBatch, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req ReportBatchRequest
+		if !decodeBatch(w, r, &req) {
+			return
+		}
+		if len(req.Reports) > MaxBatch {
+			writeErr(w, fmt.Errorf("server: batch exceeds %d items", MaxBatch), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, ReportBatchResponse{Results: m.ReportBatch(req.Reports)}, http.StatusOK)
+	})
+	handle("/v1/stats", routeOther, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		writeJSON(w, m.StatsSnapshot(), http.StatusOK)
+	})
+	handle("/v1/metrics", routeOther, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, m.MetricsSnapshot(), http.StatusOK)
 	})
 	return mux
 }
@@ -121,6 +172,11 @@ func Serve(addr string, m *Manager) error {
 	return srv.ListenAndServe()
 }
 
+// maxBatchBodyBytes bounds a batch request body BEFORE decoding, so the
+// MaxBatch item cap cannot be sidestepped by a huge payload (~1KB per item
+// of headroom).
+const maxBatchBodyBytes = MaxBatch * 1024
+
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -129,6 +185,11 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+func decodeBatch(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	return decode(w, r, v)
 }
 
 func writeJSON(w http.ResponseWriter, v any, code int) {

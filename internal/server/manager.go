@@ -4,12 +4,23 @@
 // checked-in device to a job (step 2 of the paper's workflow), and devices
 // report results or drop out. The scheduling core is exactly the simulator's
 // (internal/core); this package adapts it to real time.
+//
+// Concurrency model: per-device state (the device registry and busy flags)
+// is striped across Config.Shards lock shards keyed by a hash of the device
+// ID, so check-ins from different devices never contend on one global lock.
+// The scheduler core (Venn, job lifecycle, deadlines, supply history) stays
+// behind a single mutex but is only entered for a short critical section —
+// and the batch entry points (CheckInBatch, ReportBatch) amortize that one
+// acquisition across a whole batch. Lock order is always: shard locks in
+// ascending shard index, then the core mutex.
 package server
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"venn/internal/core"
@@ -26,7 +37,17 @@ var (
 	ErrUnknownJob      = errors.New("server: unknown job")
 	ErrUnknownCategory = errors.New("server: requirement must be one of the configured categories")
 	ErrDeviceBusy      = errors.New("server: device already has a task today")
+	ErrUnknownDevice   = errors.New("server: unknown device")
+	errDeviceIDMissing = errors.New("server: device_id required")
 )
+
+// MaxBatch bounds the number of items one batch request may carry.
+const MaxBatch = 8192
+
+// defaultShards is the device-state lock striping factor. 64 comfortably
+// exceeds the core counts this runs on, so two concurrent check-ins almost
+// never hash to the same stripe.
+const defaultShards = 64
 
 // JobSpec is a job registration request.
 type JobSpec struct {
@@ -67,6 +88,14 @@ type Assignment struct {
 	Round    int    `json:"round,omitempty"`
 }
 
+// CheckInResult is one element of a batch check-in reply. Error is set when
+// that item was rejected (busy device, missing device_id); the other items
+// of the batch are unaffected.
+type CheckInResult struct {
+	Assignment
+	Error string `json:"error,omitempty"`
+}
+
 // Report is a device's end-of-task message.
 type Report struct {
 	DeviceID        string  `json:"device_id"`
@@ -74,6 +103,31 @@ type Report struct {
 	OK              bool    `json:"ok"`
 	DurationSeconds float64 `json:"duration_seconds"`
 }
+
+// ReportResult is one element of a batch report reply.
+type ReportResult struct {
+	Error string `json:"error,omitempty"`
+}
+
+// Batch wire types shared by the HTTP layer and the client SDK.
+type (
+	// CheckInBatchRequest is the POST /v1/checkin/batch payload.
+	CheckInBatchRequest struct {
+		CheckIns []CheckIn `json:"checkins"`
+	}
+	// CheckInBatchResponse is its reply; Results[i] answers CheckIns[i].
+	CheckInBatchResponse struct {
+		Results []CheckInResult `json:"results"`
+	}
+	// ReportBatchRequest is the POST /v1/report/batch payload.
+	ReportBatchRequest struct {
+		Reports []Report `json:"reports"`
+	}
+	// ReportBatchResponse is its reply; Results[i] answers Reports[i].
+	ReportBatchResponse struct {
+		Results []ReportResult `json:"results"`
+	}
+)
 
 // Stats summarizes the manager for monitoring.
 type Stats struct {
@@ -96,17 +150,30 @@ type Config struct {
 	// Categories are the requirement strata jobs may ask for. Defaults
 	// to the four standard strata.
 	Categories []device.Requirement
-	// Scheduler options for the Venn core.
+	// Options are scheduler options for the Venn core.
 	Options core.Options
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 	// TSDBWindow is the supply-averaging window (default 24h).
 	TSDBWindow simtime.Duration
+	// Shards is the device-state lock striping factor (default 64; 1
+	// reproduces the former single-lock behavior for baselines).
+	Shards int
+}
+
+// deviceShard is one stripe of the device registry. The trailing pad keeps
+// neighboring stripe mutexes on separate cache lines.
+type deviceShard struct {
+	mu      sync.Mutex
+	devices map[string]*managedDevice
+	_       [40]byte
 }
 
 // Manager is the live resource manager. All methods are safe for concurrent
 // use.
 type Manager struct {
+	// mu guards the scheduler core: venn, env, jobs, deadlines, attempt,
+	// completed, and the lifecycle counters. Device state lives in shards.
 	mu sync.Mutex
 
 	cfg        Config
@@ -119,14 +186,22 @@ type Manager struct {
 	nextJob   job.ID
 	completed []*managedJob
 
-	devices map[string]*managedDevice
-	nextDev device.ID
+	shards      []deviceShard
+	nextDev     atomic.Int64
+	numDevices  atomic.Int64
+	busyDevices atomic.Int64
 
-	// deadlines holds the at-time per collecting job; checked by Tick.
-	deadlines map[job.ID]simtime.Time
-	attempt   map[job.ID]uint64
+	// deadlines holds the at-time per collecting job; checked by Tick and
+	// opportunistically on the serving paths. deadlineMin is a lower bound
+	// on the earliest entry so the common no-deadline-due case stays O(1).
+	deadlines   map[job.ID]simtime.Time
+	deadlineMin simtime.Time
+	attempt     map[job.ID]uint64
 
-	stats Stats
+	// Cumulative counters (guarded by mu; all mutated in core sections).
+	checkIns, assignments, reports, failures, aborts int
+
+	metrics *metricsRecorder
 }
 
 type managedJob struct {
@@ -137,7 +212,9 @@ type managedJob struct {
 }
 
 type managedDevice struct {
-	dev  *device.Device
+	dev *device.Device
+	// busy is true from assignment (or batch reservation) until the
+	// device reports; guarded by the owning shard's mutex.
 	busy bool
 }
 
@@ -155,15 +232,22 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Options.Tiers == 0 {
 		cfg.Options = core.DefaultOptions()
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
 	m := &Manager{
 		cfg:        cfg,
 		start:      cfg.Clock(),
 		categories: make(map[string]device.Requirement, len(cfg.Categories)),
 		venn:       core.New(cfg.Options),
 		jobs:       make(map[job.ID]*managedJob),
-		devices:    make(map[string]*managedDevice),
+		shards:     make([]deviceShard, cfg.Shards),
 		deadlines:  make(map[job.ID]simtime.Time),
 		attempt:    make(map[job.ID]uint64),
+		metrics:    newMetricsRecorder(),
+	}
+	for i := range m.shards {
+		m.shards[i].devices = make(map[string]*managedDevice)
 	}
 	for _, c := range cfg.Categories {
 		m.categories[c.Name] = c
@@ -183,6 +267,21 @@ func NewManager(cfg Config) *Manager {
 // now maps wall-clock to manager-relative simulated time.
 func (m *Manager) now() simtime.Time {
 	return simtime.Time(m.cfg.Clock().Sub(m.start) / time.Millisecond)
+}
+
+// nowSec is the wall-clock second used to bucket throughput rates.
+func (m *Manager) nowSec() int64 { return m.cfg.Clock().Unix() }
+
+// shardOf maps a device ID to its lock stripe.
+func (m *Manager) shardOf(deviceID string) *deviceShard {
+	return &m.shards[m.shardIndex(deviceID)]
+}
+
+// shardIndex is the FNV-1a stripe index of a device ID.
+func (m *Manager) shardIndex(deviceID string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(deviceID))
+	return int(h.Sum32()) % len(m.shards)
 }
 
 // RegisterJob admits a new CL job and opens its first-round request.
@@ -214,96 +313,290 @@ func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
 	j.Start(now)
 	m.venn.OnJobArrival(j, now)
 	m.venn.OnRequest(j, now)
-	m.stats.ActiveJobs++
 	return m.statusLocked(mj), nil
+}
+
+// admitShardLocked runs the shard-local admission checks for one check-in
+// and reserves the device (busy=true) on success, so a concurrent check-in
+// for the same device cannot double-book it while the core section runs.
+// The caller holds the device's shard mutex and clears the reservation if
+// the scheduler hands out no assignment.
+//
+// Returns (md, nil) when the check-in should proceed to assignment,
+// (nil, nil) when it is refused without error (daily task budget), and
+// (nil, err) for busy/validation rejections.
+func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time) (*managedDevice, error) {
+	md, ok := sh.devices[ci.DeviceID]
+	if !ok {
+		md = &managedDevice{dev: device.New(device.ID(m.nextDev.Add(1)-1), ci.CPU, ci.Mem)}
+		sh.devices[ci.DeviceID] = md
+		m.numDevices.Add(1)
+	} else {
+		if md.busy {
+			return nil, ErrDeviceBusy
+		}
+		// Refresh scores (hardware doesn't change, but normalization or
+		// reporting might).
+		md.dev.CPU, md.dev.Mem = ci.CPU, ci.Mem
+	}
+	// One task per day per device (the paper's realism constraint).
+	if int(md.dev.LastTaskDay) == now.DayIndex() {
+		return nil, nil
+	}
+	md.busy = true
+	m.busyDevices.Add(1)
+	return md, nil
+}
+
+// assignCoreLocked runs the short scheduler critical section for one
+// admitted check-in. The caller holds both the device's shard mutex and the
+// core mutex; the device stays reserved on assignment and the caller frees
+// it otherwise.
+func (m *Manager) assignCoreLocked(md *managedDevice, deviceID string, now simtime.Time) Assignment {
+	m.checkIns++
+	m.env.DB.RecordCheckIn(m.env.Grid.CellOfDevice(md.dev), now)
+
+	j := m.venn.Assign(md.dev, now)
+	if j == nil {
+		return Assignment{Assigned: false}
+	}
+	mj := m.jobs[j.ID]
+	md.dev.LastTaskDay = int32(now.DayIndex())
+	mj.inFlight[deviceID] = m.attempt[j.ID]
+	m.assignments++
+
+	if full := j.AddAssignment(now); full {
+		m.venn.OnRequestFulfilled(j, now)
+		m.setDeadlineLocked(j.ID, now.Add(j.Deadline()))
+		m.maybeCompleteLocked(mj, now)
+	}
+	return Assignment{Assigned: true, JobID: int(j.ID), JobName: j.Name, Round: j.Round()}
+}
+
+// release frees a reserved device that received no assignment. The caller
+// holds the device's shard mutex.
+func (m *Manager) release(md *managedDevice) {
+	md.busy = false
+	m.busyDevices.Add(-1)
 }
 
 // DeviceCheckIn registers availability and returns an assignment (or none).
 func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 	if ci.DeviceID == "" {
-		return Assignment{}, errors.New("server: device_id required")
+		return Assignment{}, errDeviceIDMissing
+	}
+	sh := m.shardOf(ci.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	now := m.now()
+	md, err := m.admitShardLocked(sh, ci, now)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if md == nil {
+		return Assignment{Assigned: false}, nil
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.now()
-	m.expireDeadlinesLocked(now)
-
-	md, ok := m.devices[ci.DeviceID]
-	if !ok {
-		md = &managedDevice{dev: device.New(m.nextDev, ci.CPU, ci.Mem)}
-		m.nextDev++
-		m.devices[ci.DeviceID] = md
+	m.expireDueLocked(now)
+	asg := m.assignCoreLocked(md, ci.DeviceID, now)
+	m.mu.Unlock()
+	sec := m.nowSec()
+	m.metrics.checkins.Add(sec, 1)
+	if asg.Assigned {
+		m.metrics.assignRate.Add(sec, 1)
 	} else {
-		// Refresh scores (hardware doesn't change, but normalization or
-		// reporting might).
-		md.dev.CPU, md.dev.Mem = ci.CPU, ci.Mem
+		m.release(md)
 	}
-	if md.busy {
-		return Assignment{}, ErrDeviceBusy
-	}
-	// One task per day per device (the paper's realism constraint).
-	if int(md.dev.LastTaskDay) == now.DayIndex() {
-		return Assignment{Assigned: false}, nil
-	}
-
-	m.stats.CheckIns++
-	m.env.DB.RecordCheckIn(m.env.Grid.CellOfDevice(md.dev), now)
-
-	j := m.venn.Assign(md.dev, now)
-	if j == nil {
-		return Assignment{Assigned: false}, nil
-	}
-	mj := m.jobs[j.ID]
-	md.busy = true
-	md.dev.LastTaskDay = int32(now.DayIndex())
-	mj.inFlight[ci.DeviceID] = m.attempt[j.ID]
-	m.stats.Assignments++
-
-	if full := j.AddAssignment(now); full {
-		m.venn.OnRequestFulfilled(j, now)
-		m.deadlines[j.ID] = now.Add(j.Deadline())
-		m.maybeCompleteLocked(mj, now)
-	}
-	return Assignment{Assigned: true, JobID: int(j.ID), JobName: j.Name, Round: j.Round()}, nil
+	return asg, nil
 }
 
-// DeviceReport records a task result.
-func (m *Manager) DeviceReport(r Report) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.now()
-	m.expireDeadlinesLocked(now)
-
-	md, ok := m.devices[r.DeviceID]
-	if !ok {
-		return errors.New("server: unknown device")
+// CheckInBatch processes a batch of check-ins with a single scheduler-lock
+// acquisition; Results[i] answers CheckIns[i]. Shard-local admission runs
+// per device stripe, then every admitted device is assigned under one core
+// critical section — the amortization that makes the batched serving path
+// scale.
+func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
+	out := make([]CheckInResult, len(cis))
+	if len(cis) == 0 {
+		return out
 	}
-	md.busy = false
+	held := m.lockShardsFor(func(yield func(string)) {
+		for _, ci := range cis {
+			if ci.DeviceID != "" {
+				yield(ci.DeviceID)
+			}
+		}
+	})
+	defer m.unlockShards(held)
 
+	now := m.now()
+	pending := make([]*managedDevice, len(cis))
+	admitted := 0
+	for i, ci := range cis {
+		if ci.DeviceID == "" {
+			out[i].Error = errDeviceIDMissing.Error()
+			continue
+		}
+		md, err := m.admitShardLocked(m.shardOf(ci.DeviceID), ci, now)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		if md == nil {
+			continue // daily budget: Assigned=false, no error
+		}
+		pending[i] = md
+		admitted++
+	}
+
+	assigned := 0
+	if admitted > 0 {
+		m.mu.Lock()
+		m.expireDueLocked(now)
+		for i, md := range pending {
+			if md == nil {
+				continue
+			}
+			out[i].Assignment = m.assignCoreLocked(md, cis[i].DeviceID, now)
+			if out[i].Assigned {
+				assigned++
+			}
+		}
+		m.mu.Unlock()
+	}
+	for i, md := range pending {
+		if md != nil && !out[i].Assigned {
+			m.release(md)
+		}
+	}
+	sec := m.nowSec()
+	m.metrics.checkins.Add(sec, int64(admitted))
+	m.metrics.assignRate.Add(sec, int64(assigned))
+	return out
+}
+
+// reportCoreLocked applies one report to the scheduler core. The caller
+// holds the core mutex (and the device's shard mutex).
+func (m *Manager) reportCoreLocked(r Report, md *managedDevice, now simtime.Time) {
 	mj, ok := m.jobs[job.ID(r.JobID)]
 	if !ok {
 		// Job finished meanwhile; the report is stale but harmless.
-		return nil
+		return
 	}
 	att, working := mj.inFlight[r.DeviceID]
 	delete(mj.inFlight, r.DeviceID)
 	if !working || att != m.attempt[mj.j.ID] || mj.j.Done() {
-		return nil // stale attempt
+		return // stale attempt
 	}
 	if r.OK {
-		m.stats.Reports++
+		m.reports++
 		m.venn.ObserveResponse(mj.j, md.dev, simtime.FromSeconds(r.DurationSeconds), now)
 		mj.j.AddResponse(now)
 		m.maybeCompleteLocked(mj, now)
-		return nil
+		return
 	}
-	m.stats.Failures++
+	m.failures++
 	mj.j.AddFailure()
 	if mj.j.State() == job.StateCollecting &&
 		mj.j.Demand-mj.j.AttemptFailures() < mj.j.TargetResponses() {
 		m.abortLocked(mj, now)
 	}
+}
+
+// DeviceReport records a task result.
+func (m *Manager) DeviceReport(r Report) error {
+	if r.DeviceID == "" {
+		return errDeviceIDMissing
+	}
+	sh := m.shardOf(r.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	md, ok := sh.devices[r.DeviceID]
+	if !ok {
+		return ErrUnknownDevice
+	}
+	if md.busy {
+		m.release(md)
+	}
+	now := m.now()
+	m.mu.Lock()
+	m.expireDueLocked(now)
+	m.reportCoreLocked(r, md, now)
+	m.mu.Unlock()
+	m.metrics.reportRate.Add(m.nowSec(), 1)
 	return nil
+}
+
+// ReportBatch processes a batch of reports with a single scheduler-lock
+// acquisition; Results[i] answers Reports[i].
+func (m *Manager) ReportBatch(rs []Report) []ReportResult {
+	out := make([]ReportResult, len(rs))
+	if len(rs) == 0 {
+		return out
+	}
+	held := m.lockShardsFor(func(yield func(string)) {
+		for _, r := range rs {
+			if r.DeviceID != "" {
+				yield(r.DeviceID)
+			}
+		}
+	})
+	defer m.unlockShards(held)
+
+	devs := make([]*managedDevice, len(rs))
+	accepted := 0
+	for i, r := range rs {
+		if r.DeviceID == "" {
+			out[i].Error = errDeviceIDMissing.Error()
+			continue
+		}
+		md, ok := m.shardOf(r.DeviceID).devices[r.DeviceID]
+		if !ok {
+			out[i].Error = ErrUnknownDevice.Error()
+			continue
+		}
+		if md.busy {
+			m.release(md)
+		}
+		devs[i] = md
+		accepted++
+	}
+	if accepted > 0 {
+		now := m.now()
+		m.mu.Lock()
+		m.expireDueLocked(now)
+		for i, md := range devs {
+			if md != nil {
+				m.reportCoreLocked(rs[i], md, now)
+			}
+		}
+		m.mu.Unlock()
+	}
+	m.metrics.reportRate.Add(m.nowSec(), int64(accepted))
+	return out
+}
+
+// lockShardsFor locks, in ascending index order, every shard that any
+// device ID produced by iter hashes to, and returns the locked indices.
+// Ascending acquisition keeps the global lock order consistent across
+// concurrent batches (shards ascending, then the core mutex).
+func (m *Manager) lockShardsFor(iter func(yield func(string))) []int {
+	need := make([]bool, len(m.shards))
+	iter(func(id string) { need[m.shardIndex(id)] = true })
+	held := make([]int, 0, 8)
+	for i := range m.shards {
+		if need[i] {
+			m.shards[i].mu.Lock()
+			held = append(held, i)
+		}
+	}
+	return held
+}
+
+func (m *Manager) unlockShards(held []int) {
+	for i := len(held) - 1; i >= 0; i-- {
+		m.shards[held[i]].mu.Unlock()
+	}
 }
 
 // maybeCompleteLocked finishes the round (and possibly the job) when enough
@@ -320,8 +613,6 @@ func (m *Manager) maybeCompleteLocked(mj *managedJob, now simtime.Time) {
 		m.completed = append(m.completed, mj)
 		delete(m.jobs, mj.j.ID)
 		delete(m.attempt, mj.j.ID)
-		m.stats.ActiveJobs--
-		m.stats.CompletedJobs++
 		return
 	}
 	m.venn.OnRequest(mj.j, now)
@@ -329,7 +620,7 @@ func (m *Manager) maybeCompleteLocked(mj *managedJob, now simtime.Time) {
 
 // abortLocked resubmits the current attempt.
 func (m *Manager) abortLocked(mj *managedJob, now simtime.Time) {
-	m.stats.Aborts++
+	m.aborts++
 	mj.j.AbortAttempt(now)
 	m.attempt[mj.j.ID]++
 	mj.inFlight = map[string]uint64{}
@@ -337,7 +628,28 @@ func (m *Manager) abortLocked(mj *managedJob, now simtime.Time) {
 	m.venn.OnRequest(mj.j, now)
 }
 
-// expireDeadlinesLocked aborts attempts whose response deadline passed.
+// setDeadlineLocked records a collecting job's response deadline and keeps
+// deadlineMin a lower bound on the earliest entry.
+func (m *Manager) setDeadlineLocked(id job.ID, at simtime.Time) {
+	m.deadlines[id] = at
+	if len(m.deadlines) == 1 || at < m.deadlineMin {
+		m.deadlineMin = at
+	}
+}
+
+// expireDueLocked is the O(1) fast path around deadline expiry: the full
+// scan only runs when the earliest recorded deadline can actually be due.
+// Removals leave deadlineMin stale-low, which at worst triggers one extra
+// scan, never a missed expiry.
+func (m *Manager) expireDueLocked(now simtime.Time) {
+	if len(m.deadlines) == 0 || now < m.deadlineMin {
+		return
+	}
+	m.expireDeadlinesLocked(now)
+}
+
+// expireDeadlinesLocked aborts attempts whose response deadline passed and
+// recomputes the earliest remaining deadline.
 func (m *Manager) expireDeadlinesLocked(now simtime.Time) {
 	for id, at := range m.deadlines {
 		if now < at {
@@ -358,13 +670,21 @@ func (m *Manager) expireDeadlinesLocked(now simtime.Time) {
 			delete(m.deadlines, id)
 		}
 	}
+	earliest := simtime.Time(0)
+	first := true
+	for _, at := range m.deadlines {
+		if first || at < earliest {
+			earliest, first = at, false
+		}
+	}
+	m.deadlineMin = earliest
 }
 
 // Tick runs deadline expiry; call it periodically (the HTTP server does).
 func (m *Manager) Tick() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.expireDeadlinesLocked(m.now())
+	m.expireDueLocked(m.now())
 }
 
 // JobStatusByID returns the status of an active or completed job.
@@ -420,7 +740,15 @@ func (m *Manager) statusLocked(mj *managedJob) JobStatus {
 func (m *Manager) StatsSnapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.stats
+	s := Stats{
+		ActiveJobs:    len(m.jobs),
+		CompletedJobs: len(m.completed),
+		CheckIns:      m.checkIns,
+		Assignments:   m.assignments,
+		Reports:       m.reports,
+		Failures:      m.failures,
+		Aborts:        m.aborts,
+	}
 	s.UptimeSeconds = float64(m.now()) / 1000
 	s.SupplyPerHour = m.env.DB.TotalRatePerHour(m.now())
 	s.PlanRebuilds = m.venn.PlanRebuilds

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"venn/internal/job"
+	"venn/internal/stats"
+)
+
+// Metrics is the GET /v1/metrics payload: serving throughput, queue depths,
+// and handler latency percentiles. Rates are averaged over the trailing
+// rateWindowSeconds full seconds; latency percentiles are computed over a
+// sliding window of the most recent latencyWindow requests per route.
+type Metrics struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Shards            int     `json:"shards"`
+	CheckIns          int64   `json:"checkins_total"`
+	Assignments       int64   `json:"assignments_total"`
+	Reports           int64   `json:"reports_total"`
+	CheckInsPerSec    float64 `json:"checkins_per_sec"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+	ReportsPerSec     float64 `json:"reports_per_sec"`
+
+	ActiveJobs     int   `json:"active_jobs"`
+	SchedulingJobs int   `json:"scheduling_jobs"` // queue depth: jobs with an open request
+	CollectingJobs int   `json:"collecting_jobs"`
+	KnownDevices   int64 `json:"known_devices"`
+	BusyDevices    int64 `json:"busy_devices"`
+
+	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
+}
+
+// LatencySummary describes one route's handler latency. Count is cumulative;
+// the percentiles cover the most recent latencyWindow observations.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+const (
+	// rateRingSeconds is the per-second bucket ring size; it must exceed
+	// rateWindowSeconds so a full window of closed seconds is available.
+	rateRingSeconds = 32
+	// rateWindowSeconds is the averaging window for the */s rates.
+	rateWindowSeconds = 10
+	// latencyWindow is the per-route sliding window for percentiles.
+	latencyWindow = 2048
+)
+
+// rateCounter counts events into per-second buckets with atomics only, so
+// the serving paths can record throughput without sharing a lock. A bucket
+// is reused once its second falls out of the ring; the CAS hand-off may
+// drop a handful of events on the reuse boundary, which is acceptable for
+// monitoring.
+type rateCounter struct {
+	buckets [rateRingSeconds]rateBucket
+}
+
+type rateBucket struct {
+	sec atomic.Int64
+	n   atomic.Int64
+}
+
+// Add records n events at the given wall-clock second.
+func (rc *rateCounter) Add(nowSec int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	b := &rc.buckets[nowSec%rateRingSeconds]
+	if s := b.sec.Load(); s != nowSec {
+		if b.sec.CompareAndSwap(s, nowSec) {
+			b.n.Store(0)
+		}
+	}
+	b.n.Add(n)
+}
+
+// PerSec averages the trailing window of fully elapsed seconds (the
+// current, still-filling second is excluded).
+func (rc *rateCounter) PerSec(nowSec int64) float64 {
+	var sum int64
+	for s := nowSec - rateWindowSeconds; s < nowSec; s++ {
+		if s < 0 {
+			continue
+		}
+		b := &rc.buckets[s%rateRingSeconds]
+		if b.sec.Load() == s {
+			sum += b.n.Load()
+		}
+	}
+	return float64(sum) / rateWindowSeconds
+}
+
+// latencyTrack keeps one route's cumulative count plus a ring of the most
+// recent observations for percentile estimation.
+type latencyTrack struct {
+	mu    sync.Mutex
+	count int64
+	ring  [latencyWindow]float64
+	n     int // filled entries
+	idx   int // next write position
+}
+
+func (t *latencyTrack) observe(ms float64) {
+	t.mu.Lock()
+	t.count++
+	t.ring[t.idx] = ms
+	t.idx = (t.idx + 1) % latencyWindow
+	if t.n < latencyWindow {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+func (t *latencyTrack) summary() LatencySummary {
+	t.mu.Lock()
+	count := t.count
+	window := make([]float64, t.n)
+	copy(window, t.ring[:t.n])
+	t.mu.Unlock()
+	if count == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(window)
+	return LatencySummary{
+		Count: count,
+		P50:   stats.PercentileSorted(window, 50),
+		P90:   stats.PercentileSorted(window, 90),
+		P99:   stats.PercentileSorted(window, 99),
+		Max:   window[len(window)-1],
+	}
+}
+
+// Routes tracked by the handler-latency middleware. Anything else lands in
+// routeOther.
+const (
+	routeCheckIn      = "checkin"
+	routeCheckInBatch = "checkin_batch"
+	routeReport       = "report"
+	routeReportBatch  = "report_batch"
+	routeJobs         = "jobs"
+	routeOther        = "other"
+)
+
+var metricRoutes = []string{
+	routeCheckIn, routeCheckInBatch, routeReport, routeReportBatch, routeJobs, routeOther,
+}
+
+// metricsRecorder aggregates the serving-path telemetry behind /v1/metrics.
+// The rate counters are fed by the manager's serving paths; the latency
+// tracks are fed by the HTTP middleware.
+type metricsRecorder struct {
+	checkins   rateCounter
+	assignRate rateCounter
+	reportRate rateCounter
+	// lat is written once at construction and then only read, so lookups
+	// need no lock.
+	lat map[string]*latencyTrack
+}
+
+func newMetricsRecorder() *metricsRecorder {
+	r := &metricsRecorder{lat: make(map[string]*latencyTrack, len(metricRoutes))}
+	for _, route := range metricRoutes {
+		r.lat[route] = &latencyTrack{}
+	}
+	return r
+}
+
+func (r *metricsRecorder) observeLatency(route string, d time.Duration) {
+	t, ok := r.lat[route]
+	if !ok {
+		t = r.lat[routeOther]
+	}
+	t.observe(float64(d) / float64(time.Millisecond))
+}
+
+// MetricsSnapshot assembles the /v1/metrics payload.
+func (m *Manager) MetricsSnapshot() Metrics {
+	sec := m.nowSec()
+	out := Metrics{
+		Shards:            len(m.shards),
+		CheckInsPerSec:    m.metrics.checkins.PerSec(sec),
+		AssignmentsPerSec: m.metrics.assignRate.PerSec(sec),
+		ReportsPerSec:     m.metrics.reportRate.PerSec(sec),
+		KnownDevices:      m.numDevices.Load(),
+		BusyDevices:       m.busyDevices.Load(),
+		HandlerLatencyMs:  make(map[string]LatencySummary, len(metricRoutes)),
+	}
+	for _, route := range metricRoutes {
+		s := m.metrics.lat[route].summary()
+		if s.Count > 0 {
+			out.HandlerLatencyMs[route] = s
+		}
+	}
+
+	m.mu.Lock()
+	out.UptimeSeconds = float64(m.now()) / 1000
+	out.CheckIns = int64(m.checkIns)
+	out.Assignments = int64(m.assignments)
+	out.Reports = int64(m.reports)
+	out.ActiveJobs = len(m.jobs)
+	for _, mj := range m.jobs {
+		switch mj.j.State() {
+		case job.StateScheduling:
+			out.SchedulingJobs++
+		case job.StateCollecting:
+			out.CollectingJobs++
+		}
+	}
+	m.mu.Unlock()
+	return out
+}
