@@ -1,0 +1,132 @@
+// Command benchguard is the CI gate over the serving-path benchmarks: it
+// compares a freshly measured vennload report against the committed
+// BENCH_serve.json and fails when batched+sharded throughput regressed
+// beyond the allowed margin, and (optionally) when the incremental-plan hit
+// rate of a live smoke run fell below its floor.
+//
+//	benchguard -baseline BENCH_serve.json -current BENCH_serve_fresh.json \
+//	    -max-regress 0.20 -live BENCH_serve_live.json -min-hit-rate 0.90
+//
+// Throughput comparisons are only meaningful on the same hardware, so the
+// regression check is skipped (with a note) when the recorded num_cpu
+// differs between the two reports — CI runners and developer laptops guard
+// against themselves, not against each other.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the subset of vennload's benchReport the guard reads.
+type report struct {
+	Schema string `json:"schema"`
+	NumCPU int    `json:"num_cpu"`
+	Runs   []struct {
+		Mode           string  `json:"mode"`
+		Batch          int     `json:"batch"`
+		CheckInsPerSec float64 `json:"checkins_per_sec"`
+		ServerMetrics  *struct {
+			PlanRebuilds           int64   `json:"plan_rebuilds"`
+			PlanPatches            int64   `json:"plan_patches"`
+			PlanIncrementalHitRate float64 `json:"plan_incremental_hit_rate"`
+		} `json:"server_metrics"`
+	} `json:"runs"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func batchedRate(r report) (float64, bool) {
+	for _, run := range r.Runs {
+		if run.Mode == "batched" {
+			return run.CheckInsPerSec, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_serve.json", "committed benchmark report")
+		currentPath  = flag.String("current", "", "freshly measured -compare report")
+		maxRegress   = flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
+		livePath     = flag.String("live", "", "live-daemon smoke report to check the plan hit rate in (optional)")
+		minHitRate   = flag.Float64("min-hit-rate", 0.90, "minimum incremental plan hit rate for the smoke run")
+	)
+	flag.Parse()
+
+	failed := false
+
+	if *currentPath != "" {
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		current, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		baseRate, okB := batchedRate(baseline)
+		curRate, okC := batchedRate(current)
+		switch {
+		case !okB || !okC:
+			fmt.Fprintln(os.Stderr, "benchguard: missing batched run in a report; skipping throughput check")
+		case baseline.NumCPU != current.NumCPU:
+			fmt.Printf("benchguard: num_cpu differs (%d baseline vs %d current); skipping throughput check\n",
+				baseline.NumCPU, current.NumCPU)
+		case curRate < baseRate*(1-*maxRegress):
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL batched throughput %.0f/s regressed more than %.0f%% below baseline %.0f/s\n",
+				curRate, *maxRegress*100, baseRate)
+			failed = true
+		default:
+			fmt.Printf("benchguard: batched throughput %.0f/s vs baseline %.0f/s (%.2fx) — OK\n",
+				curRate, baseRate, curRate/baseRate)
+		}
+	}
+
+	if *livePath != "" {
+		live, err := load(*livePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		checked := false
+		for _, run := range live.Runs {
+			mt := run.ServerMetrics
+			if mt == nil || mt.PlanRebuilds+mt.PlanPatches == 0 {
+				continue
+			}
+			checked = true
+			if mt.PlanIncrementalHitRate < *minHitRate {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL plan hit rate %.1f%% below %.1f%% (%d rebuilds, %d patches)\n",
+					100*mt.PlanIncrementalHitRate, 100**minHitRate, mt.PlanRebuilds, mt.PlanPatches)
+				failed = true
+			} else {
+				fmt.Printf("benchguard: plan hit rate %.1f%% (%d rebuilds, %d patches) — OK\n",
+					100*mt.PlanIncrementalHitRate, mt.PlanRebuilds, mt.PlanPatches)
+			}
+		}
+		if !checked {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL live report has no plan telemetry to check")
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -16,12 +16,23 @@
 //	POST /v1/report         {"device_id":"phone-1","job_id":0,"ok":true,"duration_seconds":42}
 //	POST /v1/report/batch   {"reports":[...]}
 //	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats, /v1/metrics
+//
+// Profiling: -pprof serves net/http/pprof on a side listener and
+// -cpuprofile records a CPU profile until the daemon receives SIGINT or
+// SIGTERM, so perf work can attribute serving-path time without ad-hoc
+// patches.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"venn/internal/core"
 	"venn/internal/server"
@@ -29,19 +40,50 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		tiers   = flag.Int("tiers", 3, "device-tier granularity V")
-		epsilon = flag.Float64("epsilon", 0, "fairness knob")
-		shards  = flag.Int("shards", 0, "device-state lock shards (0 = default)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		tiers     = flag.Int("tiers", 3, "device-tier granularity V")
+		epsilon   = flag.Float64("epsilon", 0, "fairness knob")
+		shards    = flag.Int("shards", 0, "device-state lock shards (0 = default)")
+		deviceTTL = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
+		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile here until SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "venndaemon: pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "venndaemon: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "venndaemon: cpuprofile:", err)
+			os.Exit(1)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			pprof.StopCPUProfile()
+			_ = f.Close()
+			fmt.Fprintln(os.Stderr, "venndaemon: CPU profile written to", *cpuProf)
+			os.Exit(0)
+		}()
+	}
 
 	opts := core.DefaultOptions()
 	opts.Tiers = *tiers
 	opts.Epsilon = *epsilon
-	m := server.NewManager(server.Config{Options: opts, Shards: *shards})
-	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d)\n",
-		*addr, *tiers, *epsilon, m.MetricsSnapshot().Shards)
+	m := server.NewManager(server.Config{Options: opts, Shards: *shards, DeviceTTL: *deviceTTL})
+	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d device-ttl=%v)\n",
+		*addr, *tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
 	if err := server.Serve(*addr, m); err != nil {
 		fmt.Fprintln(os.Stderr, "venndaemon:", err)
 		os.Exit(1)

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,10 +47,13 @@ func main() {
 		jobs     = flag.Int("jobs", 8, "CL jobs to register")
 		demand   = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
 		rounds   = flag.Int("rounds", 1, "rounds per job")
+		category = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
 		shards   = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
 		seed     = flag.Int64("seed", 1, "random seed for the synthetic fleet")
 		out      = flag.String("out", "", "write a JSON benchmark report to this file")
 		compare  = flag.Bool("compare", false, "self-host two daemons and record batched+sharded vs single-lock baseline")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +62,28 @@ func main() {
 		if *conns > 64 {
 			*conns = 64
 		}
+	}
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vennload: pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
 	}
 
 	report := benchReport{
@@ -78,14 +105,14 @@ func main() {
 		base := runSelfHosted(loadConfig{
 			Mode: "single", Shards: 1, Batch: 1,
 			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
 		})
 		report.Runs = append(report.Runs, base)
 		// Contender: sharded manager, batched API.
 		cont := runSelfHosted(loadConfig{
 			Mode: "batched", Shards: *shards, Batch: max(*batch, 2),
 			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
 		})
 		report.Runs = append(report.Runs, cont)
 		if base.CheckInsPerSec > 0 {
@@ -96,14 +123,14 @@ func main() {
 		cfg := loadConfig{
 			Mode: modeName(*batch), Batch: *batch,
 			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
 		}
 		report.Runs = append(report.Runs, runLoad(*daemon, cfg))
 	default:
 		cfg := loadConfig{
 			Mode: modeName(*batch), Shards: *shards, Batch: *batch,
 			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Seed: *seed,
+			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
 		}
 		report.Runs = append(report.Runs, runSelfHosted(cfg))
 	}
@@ -138,6 +165,7 @@ type loadConfig struct {
 	Jobs     int
 	Demand   int
 	Rounds   int
+	Category string // "" cycles the standard strata
 	Seed     int64
 }
 
@@ -240,6 +268,9 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 		}
 	}
 	categories := []string{"General", "General", "Compute-Rich", "Memory-Rich", "High-Perf"}
+	if cfg.Category != "" {
+		categories = []string{cfg.Category}
+	}
 	jobIDs := make([]int, 0, cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
 		st, err := c.RegisterJob(server.JobSpec{
@@ -436,5 +467,10 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 		res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
 		res.Reports, res.Errors, res.JobsDone, res.JobsTotal,
 		res.RequestLatencyMs.P50, res.RequestLatencyMs.P99)
+	if mt := res.ServerMetrics; mt != nil && mt.PlanRebuilds+mt.PlanPatches > 0 {
+		fmt.Printf("  plan: %d rebuilds, %d patches (incremental hit rate %.1f%%); %d/%d check-ins lock-free\n",
+			mt.PlanRebuilds, mt.PlanPatches, 100*mt.PlanIncrementalHitRate,
+			mt.LockFreeCheckIns, mt.CheckIns)
+	}
 	return res
 }

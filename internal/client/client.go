@@ -175,7 +175,15 @@ func (c *Client) WaitForJob(id int, poll, timeout time.Duration) (server.JobStat
 }
 
 func (c *Client) post(path string, body, out any) error {
-	buf, err := json.Marshal(body)
+	var buf []byte
+	var err error
+	// The hot batch wire types marshal themselves (see server/codec.go);
+	// calling them directly skips encoding/json's re-validation pass.
+	if m, ok := body.(json.Marshaler); ok {
+		buf, err = m.MarshalJSON()
+	} else {
+		buf, err = json.Marshal(body)
+	}
 	if err != nil {
 		return err
 	}
@@ -242,6 +250,16 @@ func decodeResponse(resp *http.Response, out any) error {
 			return fmt.Errorf("client: %s (status %d)", apiErr.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("client: status %d", resp.StatusCode)
+	}
+	// Hand-rolled unmarshalers get the raw bytes directly: a json.Decoder
+	// would tokenize the value once to find its extent and then have the
+	// custom unmarshaler parse it a second time.
+	if u, ok := out.(json.Unmarshaler); ok {
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return u.UnmarshalJSON(body)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

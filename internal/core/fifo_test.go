@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/simtime"
+)
+
+func fifoOrder(q *fifoQueue) []job.ID {
+	var out []job.ID
+	q.ForEachOpen(func(j *job.Job) bool {
+		out = append(out, j.ID)
+		return true
+	})
+	return out
+}
+
+func idsEqual(a, b []job.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFIFOQueueArrivalOrder(t *testing.T) {
+	q := newFIFOQueue()
+	// Out-of-order IDs at distinct arrivals, plus an ID tie-break at the
+	// same arrival instant.
+	j3 := job.New(3, device.General, 1, 1, 10)
+	j1 := job.New(1, device.General, 1, 1, 30)
+	j2 := job.New(2, device.General, 1, 1, 20)
+	j5 := job.New(5, device.General, 1, 1, 20)
+	for _, j := range []*job.Job{j3, j1, j2, j5} {
+		q.Open(j)
+	}
+	want := []job.ID{3, 2, 5, 1}
+	if got := fifoOrder(&q); !idsEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+
+	// A fulfilled request leaves the iteration but keeps its place: on
+	// re-open, the job is back at its arrival position, not at the tail.
+	q.Close(2)
+	if got := fifoOrder(&q); !idsEqual(got, []job.ID{3, 5, 1}) {
+		t.Fatalf("after close: %v", got)
+	}
+	q.Open(j2)
+	if got := fifoOrder(&q); !idsEqual(got, want) {
+		t.Fatalf("after reopen: %v, want %v", got, want)
+	}
+
+	// Duplicate opens are idempotent.
+	q.Open(j2)
+	if got := fifoOrder(&q); !idsEqual(got, want) {
+		t.Fatalf("after duplicate open: %v", got)
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	q := newFIFOQueue()
+	const n = 100
+	jobs := make([]*job.Job, n)
+	for i := range jobs {
+		jobs[i] = job.New(job.ID(i), device.General, 1, 1, simtime.Time(i))
+		jobs[i].Start(simtime.Time(i))
+		q.Open(jobs[i])
+	}
+	// Complete (and Drop) the first 80 jobs; the queue must compact and
+	// release their pointers.
+	for i := 0; i < 80; i++ {
+		j := jobs[i]
+		j.AddAssignment(simtime.Time(n))
+		j.AddResponse(simtime.Time(n))
+		j.CompleteRound(simtime.Time(n))
+		if !j.Done() {
+			t.Fatal("job must be done")
+		}
+		q.Drop(j.ID)
+	}
+	if q.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", q.Len())
+	}
+	if len(q.jobs) >= n {
+		t.Fatalf("compaction never ran: backing holds %d entries", len(q.jobs))
+	}
+	want := make([]job.ID, 0, 20)
+	for i := 80; i < n; i++ {
+		want = append(want, job.ID(i))
+	}
+	if got := fifoOrder(&q); !idsEqual(got, want) {
+		t.Fatalf("post-compaction order = %v", got)
+	}
+}

@@ -143,6 +143,29 @@ type CellPlan struct {
 	Order [][]int
 }
 
+// scarcityOrder returns the group indices sorted lowest supply first,
+// structurally scarcer (fewer eligible cells) on ties, original index on
+// full ties (matching the former per-cell stable sort). It is the single
+// definition of the per-cell priority order shared by the full plan build
+// and the incremental patch path — the patcher reuses existing rows only
+// when this permutation is unchanged.
+func scarcityOrder(groups []*GroupState) []int {
+	order := make([]int, len(groups))
+	counts := make([]int, len(groups))
+	for i, g := range groups {
+		order[i] = i
+		counts[i] = g.Region.Count()
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		if ga.Supply != gb.Supply {
+			return ga.Supply < gb.Supply
+		}
+		return counts[order[a]] < counts[order[b]]
+	})
+	return order
+}
+
 // BuildCellPlan derives the per-cell priority lists for the given groups
 // (after ComputeAllocation has filled Alloc). Order is always sized to
 // numCells, so every cell of the grid has a (possibly empty) row.
@@ -159,23 +182,13 @@ func BuildCellPlan(groups []*GroupState, numCells int) *CellPlan {
 	if len(groups) == 0 || numCells == 0 {
 		return plan
 	}
+	return buildCellPlanOrdered(groups, numCells, scarcityOrder(groups))
+}
 
-	// Scarcity order: lowest supply first, structurally scarcer (fewer
-	// eligible cells) on ties, original index on full ties (matching the
-	// former per-cell stable sort).
-	order := make([]int, len(groups))
-	counts := make([]int, len(groups))
-	for i, g := range groups {
-		order[i] = i
-		counts[i] = g.Region.Count()
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ga, gb := groups[order[a]], groups[order[b]]
-		if ga.Supply != gb.Supply {
-			return ga.Supply < gb.Supply
-		}
-		return counts[order[a]] < counts[order[b]]
-	})
+// buildCellPlanOrdered is BuildCellPlan with the scarcity permutation
+// precomputed by the caller.
+func buildCellPlanOrdered(groups []*GroupState, numCells int, order []int) *CellPlan {
+	plan := &CellPlan{Order: make([][]int, numCells)}
 
 	// Size each cell's row, then carve all rows out of one backing slice.
 	sizes := make([]int, numCells)
@@ -193,7 +206,7 @@ func BuildCellPlan(groups []*GroupState, numCells int) *CellPlan {
 	backing := make([]int, 0, total)
 	off := 0
 	for c := range plan.Order {
-		plan.Order[c] = backing[off:off:off+sizes[c]]
+		plan.Order[c] = backing[off : off : off+sizes[c]]
 		off += sizes[c]
 	}
 
@@ -221,5 +234,44 @@ func BuildCellPlan(groups []*GroupState, numCells int) *CellPlan {
 			}
 		})
 	}
+	return plan
+}
+
+// patchCellPlan derives the cell plan that buildCellPlanOrdered would
+// produce for the given groups, reusing every row of the previous plan
+// except those of the changed cells. It must only be called when the group
+// slice (set and order) and the scarcity permutation are unchanged since old
+// was built, so a row's content can only differ on a cell whose allocation
+// owner moved. The returned plan is a fresh object sharing the unchanged
+// rows: published snapshots stay immutable for concurrent readers, while the
+// patch cost is O(numCells pointer copies + changed cells x groups) instead
+// of a full O(total region size) rebuild.
+func patchCellPlan(old *CellPlan, groups []*GroupState, order []int, changed device.RegionSet) *CellPlan {
+	numCells := len(old.Order)
+	plan := &CellPlan{Order: make([][]int, numCells)}
+	copy(plan.Order, old.Order)
+	changed.ForEach(func(c device.CellID) {
+		if int(c) >= numCells {
+			return
+		}
+		row := make([]int, 0, len(old.Order[c]))
+		// Allocation owner leads the row: first group in original index
+		// order holding the cell (allocations are disjoint subsets of the
+		// group's region, mirroring buildCellPlanOrdered's owner rule).
+		ownerIdx := -1
+		for gi, g := range groups {
+			if g.Alloc.Has(c) {
+				ownerIdx = gi
+				row = append(row, gi)
+				break
+			}
+		}
+		for _, gi := range order {
+			if gi != ownerIdx && groups[gi].Region.Has(c) {
+				row = append(row, gi)
+			}
+		}
+		plan.Order[c] = row
+	})
 	return plan
 }

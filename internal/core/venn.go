@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"venn/internal/device"
 	"venn/internal/job"
@@ -25,6 +26,12 @@ type Options struct {
 	DisableMatching bool
 	// MinProfileSamples gates tier decisions on profile maturity.
 	MinProfileSamples int
+	// DisableIncrementalPlan forces a full Algorithm-1 rebuild on every
+	// plan refresh instead of the incremental patch path. Plans are
+	// byte-identical either way (the differential test in internal/eval
+	// pins this); the knob exists for that test and for attributing
+	// regressions.
+	DisableIncrementalPlan bool
 }
 
 // DefaultOptions returns the configuration used in the end-to-end
@@ -48,6 +55,11 @@ type vgroup struct {
 	// membership index that replaced linear containment scans.
 	adj   map[job.ID]float64
 	state *GroupState
+	// dirty marks that the queue changed (insert, remove, or re-key)
+	// since the group's planner inputs were last refreshed. The planner
+	// skips recomputing queue pressure for clean groups on the
+	// incremental path.
+	dirty bool
 }
 
 // insertJob places j into the group's demand order under sort key d.
@@ -101,29 +113,56 @@ func (g *vgroup) removeJob(id job.ID) {
 	g.jobs = g.jobs[:len(g.jobs)-1]
 }
 
+// maxCellCacheEntries caps the device→cell memoization table so the core's
+// footprint stays bounded no matter how many device IDs a long-lived server
+// hands out; devices beyond the cap fall back to the two binary searches.
+const maxCellCacheEntries = 1 << 20
+
 // Venn is the paper's CL resource manager. It implements sim.Scheduler.
 type Venn struct {
 	opts Options
 	env  *sim.Env
 
 	groups map[device.RequirementKey]*vgroup
-	// fifo holds every open request sorted by (arrival, job ID) — FIFO
-	// means arrival order across the job's whole lifetime, not
-	// request-reopen order (a job must not lose its place between
-	// rounds). inFIFO is its membership index.
-	fifo      []*job.Job
-	inFIFO    map[job.ID]struct{}
-	filters   map[job.ID]*tierFilter
-	profiles  *profiler
-	sdCache   map[job.ID]simtime.Duration
-	fairM     map[job.ID]int
-	active    int
-	lastNow   simtime.Time
-	planDirty bool
+	// fifo holds every open request in arrival order, used by the
+	// Venn-w/o-scheduling ablation (see fifoQueue for the structure).
+	fifo     fifoQueue
+	filters  map[job.ID]*tierFilter
+	profiles *profiler
+	sdCache  map[job.ID]simtime.Duration
+	fairM    map[job.ID]int
+	active   int
+	lastNow  simtime.Time
 
-	// Last computed plan.
+	// planStale is set by every lifecycle event that can invalidate the
+	// current plan and cleared when ensurePlan republishes. It is atomic
+	// so lock-free snapshot readers can pair it with the published
+	// snapshot (see PlanFresh).
+	planStale atomic.Bool
+	// structChanged records that the set of planned groups itself changed
+	// (a group gained its first or lost its last open request), which
+	// invalidates the plan's group indexing and forces a full rebuild.
+	structChanged bool
+	// fullRebuild forces the next ensurePlan through the full path (env
+	// rebinds, first plan).
+	fullRebuild bool
+
+	// Last computed plan and the groups it indexes into, sorted by
+	// requirement key for deterministic planning order.
 	plan       *CellPlan
 	planGroups []*vgroup
+
+	// Published snapshot state (see snapshot.go).
+	snap      atomic.Pointer[PlanSnapshot]
+	planEpoch uint64
+
+	// Incremental-plan input caches: the cell rates, per-group
+	// allocations, and scarcity permutation the current plan was built
+	// from. The patch path recomputes inputs, diffs against these, and
+	// only rebuilds what changed.
+	ratePrev  []float64
+	allocPrev []device.RegionSet
+	scarcity  []int
 
 	// Reused plan-rebuild buffers.
 	stateBuf []*GroupState
@@ -134,8 +173,12 @@ type Venn struct {
 	// value means "unknown".
 	cellCache []int32
 
-	// PlanRebuilds counts Algorithm 1 invocations (observability).
+	// PlanRebuilds counts full Algorithm-1 pipeline runs; PlanPatches
+	// counts refreshes served by the incremental path (including
+	// no-input-change hits). Their ratio is the incremental hit rate
+	// surfaced in /v1/metrics.
 	PlanRebuilds int
+	PlanPatches  int
 	// TierFiltersApplied counts requests that ran tier-restricted
 	// (observability).
 	TierFiltersApplied int
@@ -152,7 +195,7 @@ func New(opts Options) *Venn {
 	return &Venn{
 		opts:     opts,
 		groups:   make(map[device.RequirementKey]*vgroup),
-		inFIFO:   make(map[job.ID]struct{}),
+		fifo:     newFIFOQueue(),
 		filters:  make(map[job.ID]*tierFilter),
 		profiles: newProfiler(opts.MinProfileSamples),
 		sdCache:  make(map[job.ID]simtime.Duration),
@@ -181,6 +224,8 @@ func (v *Venn) Name() string {
 func (v *Venn) Bind(env *sim.Env) {
 	v.env = env
 	v.cellCache = v.cellCache[:0] // a new env means a new grid
+	v.fullRebuild = true          // ...and a new grid invalidates every plan row
+	v.planStale.Store(true)
 }
 
 // OnJobArrival implements sim.Scheduler.
@@ -197,38 +242,31 @@ func (v *Venn) OnRequest(j *job.Job, now simtime.Time) {
 	g := v.ensureGroup(j.Requirement)
 	d := v.adjustedDemand(j)
 	if old, queued := g.adj[j.ID]; !queued {
+		if len(g.jobs) == 0 {
+			v.structChanged = true // group enters the plan
+		}
 		g.insertJob(j, d)
+		g.dirty = true
 	} else if old != d {
 		g.removeJob(j.ID)
 		g.insertJob(j, d)
+		g.dirty = true
 	}
-	if _, queued := v.inFIFO[j.ID]; !queued {
-		v.inFIFO[j.ID] = struct{}{}
-		i := sort.Search(len(v.fifo), func(k int) bool {
-			jk := v.fifo[k]
-			if jk.Arrival != j.Arrival {
-				return jk.Arrival > j.Arrival
-			}
-			return jk.ID > j.ID
-		})
-		v.fifo = append(v.fifo, nil)
-		copy(v.fifo[i+1:], v.fifo[i:])
-		v.fifo[i] = j
-	}
+	v.fifo.Open(j)
 	if f := v.decideTier(j, now); f != nil {
 		v.filters[j.ID] = f
 		v.TierFiltersApplied++
 	} else {
 		delete(v.filters, j.ID)
 	}
-	v.planDirty = true
+	v.planStale.Store(true)
 }
 
 // OnRequestFulfilled implements sim.Scheduler.
 func (v *Venn) OnRequestFulfilled(j *job.Job, now simtime.Time) {
 	v.lastNow = now
 	v.removeOpen(j)
-	v.planDirty = true
+	v.planStale.Store(true)
 }
 
 // OnJobDone implements sim.Scheduler.
@@ -236,11 +274,12 @@ func (v *Venn) OnJobDone(j *job.Job, now simtime.Time) {
 	v.lastNow = now
 	v.active--
 	v.removeOpen(j)
+	v.fifo.Drop(j.ID)
 	v.profiles.drop(j.ID)
 	delete(v.sdCache, j.ID)
 	delete(v.fairM, j.ID)
 	delete(v.filters, j.ID)
-	v.planDirty = true
+	v.planStale.Store(true)
 }
 
 // ObserveResponse implements sim.Scheduler.
@@ -284,10 +323,11 @@ func (v *Venn) Assign(d *device.Device, now simtime.Time) *job.Job {
 
 // cellOf memoizes Grid.CellOfDevice by device ID: two binary searches per
 // assignment add up over millions of check-ins, and a device never changes
-// cells within a run.
+// cells within a run. The table is capped (see maxCellCacheEntries) so it
+// cannot grow without bound as a long-lived server mints device IDs.
 func (v *Venn) cellOf(d *device.Device) device.CellID {
 	id := int(d.ID)
-	if id < 0 {
+	if id < 0 || id >= maxCellCacheEntries {
 		return v.env.Grid.CellOfDevice(d)
 	}
 	if id >= len(v.cellCache) {
@@ -303,34 +343,84 @@ func (v *Venn) cellOf(d *device.Device) device.CellID {
 	return c
 }
 
+// ResetCellCache drops the device→cell memoization table. The live server
+// calls this after evicting idle devices: their IDs are never reused, so
+// keeping their entries would leak table space proportional to fleet churn.
+// The cache repopulates on demand.
+func (v *Venn) ResetCellCache() { v.cellCache = nil }
+
 // assignFIFO is the Venn-w/o-scheduling ablation: FIFO request order with
 // tier-based matching still in force.
 func (v *Venn) assignFIFO(d *device.Device) *job.Job {
 	checkFilters := len(v.filters) > 0
-	for _, j := range v.fifo {
+	var out *job.Job
+	v.fifo.ForEachOpen(func(j *job.Job) bool {
 		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
-			continue
+			return true
 		}
 		if !j.Requirement.Eligible(d) {
-			continue
+			return true
 		}
 		if checkFilters {
 			if f := v.filters[j.ID]; f != nil && v.lastNow < f.lapseAt && !f.accepts(d) {
-				continue
+				return true
 			}
 		}
-		return j
-	}
-	return nil
+		out = j
+		return false
+	})
+	return out
 }
 
-// ensurePlan lazily recomputes the IRS allocation and cell plan.
+// ensurePlan lazily refreshes the IRS allocation and cell plan, then
+// republishes the snapshot. Three paths, cheapest first:
+//
+//   - nothing stale: return (the hot path — one atomic load);
+//   - plan stale but the planned group set unchanged: refresh the planner
+//     inputs for dirty groups only, rerun the (cheap, group-level)
+//     Algorithm-1 allocation when any input moved, and patch just the cells
+//     whose allocation owner changed — or keep the plan outright when the
+//     recomputed inputs and allocations are identical (PlanPatches);
+//   - the group set changed or the env was rebound: full rebuild
+//     (PlanRebuilds).
+//
+// Both refresh paths produce byte-identical plans for identical inputs —
+// the patch path only reuses a row when the scarcity permutation is
+// unchanged and the cell's owner did not move, which together determine the
+// row's exact content.
 func (v *Venn) ensurePlan(now simtime.Time) {
-	if !v.planDirty && v.plan != nil {
+	if v.plan != nil && !v.planStale.Load() {
 		return
 	}
-	v.planDirty = false
+	if v.plan == nil || v.fullRebuild || v.structChanged || v.opts.DisableIncrementalPlan {
+		v.rebuildPlan(now)
+	} else {
+		v.patchPlan(now)
+	}
+	v.fullRebuild, v.structChanged = false, false
+	v.publishSnapshot()
+	v.planStale.Store(false)
+}
+
+// refreshRates fills rateBuf with the current per-cell supply estimates.
+func (v *Venn) refreshRates(now simtime.Time, numCells int) []float64 {
+	if cap(v.rateBuf) < numCells {
+		v.rateBuf = make([]float64, numCells)
+	}
+	rates := v.rateBuf[:numCells]
+	useDB := v.env.DB != nil && v.env.DB.HasHistory(now, 6)
+	for c := range rates {
+		rates[c] = v.env.CellRatePerHour(device.CellID(c), now, useDB)
+	}
+	return rates
+}
+
+// rebuildPlan is the full Algorithm-1 pipeline: collect the non-empty
+// groups, refresh every planner input, allocate, and build all cell rows.
+func (v *Venn) rebuildPlan(now simtime.Time) {
 	v.PlanRebuilds++
+	numCells := v.env.Grid.NumCells()
+	rates := v.refreshRates(now, numCells)
 
 	// Collect groups with open requests and refresh their state. Each
 	// group's queue is already ordered by fairness-adjusted remaining
@@ -345,8 +435,9 @@ func (v *Venn) ensurePlan(now simtime.Time) {
 		if g.state == nil {
 			g.state = &GroupState{Region: g.region}
 		}
-		g.state.Supply = v.env.RegionRatePerHour(g.region, now)
+		g.state.Supply = g.region.WeightedSum(rates)
 		g.state.Queue = v.adjustedQueue(g.jobs)
+		g.dirty = false
 		v.planGroups = append(v.planGroups, g)
 	}
 	// Deterministic planning order regardless of map iteration.
@@ -363,17 +454,102 @@ func (v *Venn) ensurePlan(now simtime.Time) {
 		states = append(states, g.state)
 	}
 	v.stateBuf = states
-	numCells := v.env.Grid.NumCells()
-	if cap(v.rateBuf) < numCells {
-		v.rateBuf = make([]float64, numCells)
-	}
-	rates := v.rateBuf[:numCells]
-	useDB := v.env.DB != nil && v.env.DB.HasHistory(now, 6)
-	for c := range rates {
-		rates[c] = v.env.CellRatePerHour(device.CellID(c), now, useDB)
-	}
 	ComputeAllocation(states, rates)
-	v.plan = BuildCellPlan(states, numCells)
+	order := scarcityOrder(states)
+	v.plan = buildCellPlanOrdered(states, numCells, order)
+	v.savePlanInputs(rates, order)
+}
+
+// patchPlan refreshes the plan knowing the planned group set is unchanged:
+// group indices, regions, and row sizes all still hold, so the previous
+// plan's rows can be reused wherever the recomputed allocation and scarcity
+// order agree with the cached ones.
+func (v *Venn) patchPlan(now simtime.Time) {
+	numCells := v.env.Grid.NumCells()
+	rates := v.refreshRates(now, numCells)
+
+	inputChanged := !float64sEqual(v.ratePrev, rates)
+	refreshAll := v.opts.Epsilon > 0 // fairness terms drift with time for every group
+	for _, g := range v.planGroups {
+		if sup := g.region.WeightedSum(rates); sup != g.state.Supply {
+			g.state.Supply = sup
+			inputChanged = true
+		}
+		if g.dirty || refreshAll {
+			if q := v.adjustedQueue(g.jobs); q != g.state.Queue {
+				g.state.Queue = q
+				inputChanged = true
+			}
+			g.dirty = false
+		}
+	}
+	if !inputChanged {
+		// Identical inputs reproduce the identical plan; keep it.
+		v.PlanPatches++
+		return
+	}
+
+	ComputeAllocation(v.stateBuf, rates)
+	order := scarcityOrder(v.stateBuf)
+	if !intsEqual(order, v.scarcity) {
+		// The per-cell priority order shifted: every row may change.
+		v.PlanRebuilds++
+		v.plan = buildCellPlanOrdered(v.stateBuf, numCells, order)
+		v.savePlanInputs(rates, order)
+		return
+	}
+
+	// Same priority order: rows can only differ on cells whose allocation
+	// owner moved. Collect those cells and patch them copy-on-write.
+	changed := v.env.Grid.EmptySet()
+	for i, g := range v.planGroups {
+		if !g.state.Alloc.Equal(v.allocPrev[i]) {
+			changed.AccumulateDiff(g.state.Alloc, v.allocPrev[i])
+		}
+	}
+	v.PlanPatches++
+	if !changed.Empty() {
+		v.plan = patchCellPlan(v.plan, v.stateBuf, order, changed)
+	}
+	v.savePlanInputs(rates, order)
+}
+
+// savePlanInputs caches the inputs the current plan was derived from, for
+// the next patch-path diff.
+func (v *Venn) savePlanInputs(rates []float64, order []int) {
+	v.ratePrev = append(v.ratePrev[:0], rates...)
+	v.scarcity = append(v.scarcity[:0], order...)
+	if cap(v.allocPrev) < len(v.planGroups) {
+		v.allocPrev = make([]device.RegionSet, len(v.planGroups))
+	}
+	v.allocPrev = v.allocPrev[:len(v.planGroups)]
+	for i, g := range v.planGroups {
+		v.allocPrev[i].CopyFrom(g.state.Alloc)
+	}
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (v *Venn) ensureGroup(req device.Requirement) *vgroup {
@@ -392,31 +568,14 @@ func (v *Venn) ensureGroup(req device.Requirement) *vgroup {
 
 func (v *Venn) removeOpen(j *job.Job) {
 	if g, ok := v.groups[j.Requirement.Key()]; ok {
-		g.removeJob(j.ID)
-	}
-	if _, ok := v.inFIFO[j.ID]; !ok {
-		return
-	}
-	delete(v.inFIFO, j.ID)
-	i := sort.Search(len(v.fifo), func(k int) bool {
-		jk := v.fifo[k]
-		if jk.Arrival != j.Arrival {
-			return jk.Arrival > j.Arrival
-		}
-		return jk.ID >= j.ID
-	})
-	if i >= len(v.fifo) || v.fifo[i].ID != j.ID {
-		i = 0
-		for ; i < len(v.fifo); i++ {
-			if v.fifo[i].ID == j.ID {
-				break
+		if _, queued := g.adj[j.ID]; queued {
+			g.removeJob(j.ID)
+			if len(g.jobs) == 0 {
+				v.structChanged = true // group leaves the plan
+			} else {
+				g.dirty = true
 			}
 		}
-		if i == len(v.fifo) {
-			return
-		}
 	}
-	copy(v.fifo[i:], v.fifo[i+1:])
-	v.fifo[len(v.fifo)-1] = nil
-	v.fifo = v.fifo[:len(v.fifo)-1]
+	v.fifo.Close(j.ID)
 }

@@ -57,14 +57,20 @@ func New(id ID, cpu, mem float64) *Device {
 	}
 }
 
-func clamp01(x float64) float64 {
-	if x < 0 {
-		return 0
-	}
+func clamp01(x float64) float64 { return Clamp01(x) }
+
+// Clamp01 clamps a reported hardware score into the valid [0, 1] range;
+// NaN maps to 0. Callers that overwrite a Device's scores with raw wire
+// values (the live server's check-in refresh) must clamp the same way New
+// does, or grid lookups can return out-of-range cells.
+func Clamp01(x float64) float64 {
 	if x > 1 {
 		return 1
 	}
-	return x
+	if x >= 0 {
+		return x
+	}
+	return 0 // negative or NaN
 }
 
 // Capability is a combined capacity score used for tier partitioning in the

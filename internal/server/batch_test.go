@@ -21,7 +21,7 @@ func TestCheckInBatchBasic(t *testing.T) {
 	res := m.CheckInBatch([]CheckIn{
 		{DeviceID: "d0", CPU: 0.6, Mem: 0.6},
 		{DeviceID: "d1", CPU: 0.7, Mem: 0.7},
-		{DeviceID: "", CPU: 0.5, Mem: 0.5},  // missing id: per-item error
+		{DeviceID: "", CPU: 0.5, Mem: 0.5},   // missing id: per-item error
 		{DeviceID: "d2", CPU: 0.5, Mem: 0.5}, // demand filled: no assignment
 	})
 	if len(res) != 4 {

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -177,7 +179,30 @@ func Serve(addr string, m *Manager) error {
 // of headroom).
 const maxBatchBodyBytes = MaxBatch * 1024
 
+// bodyPool recycles request-body read buffers across the hot endpoints.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decode parses the request body into v. Types with a hand-rolled
+// UnmarshalJSON (the hot wire types, see codec.go) are fed the raw bytes
+// directly — a json.Decoder would tokenize the value once just to find its
+// extent and then have the custom unmarshaler parse it again. Everything
+// else takes the reflective decoder with the original unknown-field
+// strictness, which the custom codecs replicate.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if u, ok := v.(json.Unmarshaler); ok {
+		buf := bodyPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bodyPool.Put(buf)
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			writeErr(w, err, http.StatusBadRequest)
+			return false
+		}
+		if err := u.UnmarshalJSON(buf.Bytes()); err != nil {
+			writeErr(w, err, http.StatusBadRequest)
+			return false
+		}
+		return true
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -193,9 +218,25 @@ func decodeBatch(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func writeJSON(w http.ResponseWriter, v any, code int) {
+	var buf []byte
+	var err error
+	// The hot wire types marshal themselves; calling them directly skips
+	// encoding/json's re-validation pass over their output.
+	if m, ok := v.(json.Marshaler); ok {
+		buf, err = m.MarshalJSON()
+	} else {
+		buf, err = json.Marshal(v)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	// Explicit Content-Length keeps large batch replies out of chunked
+	// framing.
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf)
 }
 
 func writeErr(w http.ResponseWriter, err error, code int) {

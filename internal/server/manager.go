@@ -8,11 +8,21 @@
 // Concurrency model: per-device state (the device registry and busy flags)
 // is striped across Config.Shards lock shards keyed by a hash of the device
 // ID, so check-ins from different devices never contend on one global lock.
-// The scheduler core (Venn, job lifecycle, deadlines, supply history) stays
-// behind a single mutex but is only entered for a short critical section —
-// and the batch entry points (CheckInBatch, ReportBatch) amortize that one
-// acquisition across a whole batch. Lock order is always: shard locks in
-// ascending shard index, then the core mutex.
+// The scheduler core (Venn, job lifecycle, deadlines) stays behind a single
+// mutex, but that mutex now guards only job-state mutation and plan
+// construction: the finished cell plan is published as an immutable,
+// epoch-versioned snapshot (core.PlanSnapshot) that the check-in paths read
+// without any lock. A check-in whose device provably has no eligible open
+// request under the fresh snapshot is answered entirely outside the core
+// mutex — in a surplus fleet (most devices, most of the time) the serving
+// path touches only its shard stripe and a few atomics. Supply history is
+// likewise kept off the hot path: check-in counts accumulate in per-cell
+// atomic counters and drain into the TSDB at the next core section (or
+// Tick), trading sub-second recording precision — irrelevant at the 24h
+// supply-averaging window — for a lock-free fast path. The batch entry
+// points (CheckInBatch, ReportBatch) amortize one core-mutex acquisition
+// across every item that still needs the scheduler. Lock order is always:
+// shard locks in ascending shard index, then the core mutex.
 package server
 
 import (
@@ -80,9 +90,12 @@ type CheckIn struct {
 	Mem      float64 `json:"mem"` // normalized [0,1]
 }
 
-// Assignment is the manager's reply to a check-in.
+// Assignment is the manager's reply to a check-in. The unassigned reply is
+// the empty object: at load-test rates the overwhelmingly common answer is
+// "no work", and omitting the false flag meaningfully shrinks batch
+// responses (absent fields decode to their zero values in every client).
 type Assignment struct {
-	Assigned bool   `json:"assigned"`
+	Assigned bool   `json:"assigned,omitempty"`
 	JobID    int    `json:"job_id,omitempty"`
 	JobName  string `json:"job_name,omitempty"`
 	Round    int    `json:"round,omitempty"`
@@ -142,6 +155,7 @@ type Stats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	SupplyPerHour  float64 `json:"supply_per_hour"`
 	PlanRebuilds   int     `json:"plan_rebuilds"`
+	PlanPatches    int     `json:"plan_patches"`
 	QueuedRequests int     `json:"queued_requests"`
 }
 
@@ -159,6 +173,12 @@ type Config struct {
 	// Shards is the device-state lock striping factor (default 64; 1
 	// reproduces the former single-lock behavior for baselines).
 	Shards int
+	// DeviceTTL evicts devices that have not checked in for this long
+	// (swept incrementally by Tick), bounding registry growth under fleet
+	// churn. 0 disables eviction (the library default; venndaemon enables
+	// it with a 24h default). Applies to busy devices too: a reservation
+	// a full TTL old belongs to a device that crashed mid-task.
+	DeviceTTL time.Duration
 }
 
 // deviceShard is one stripe of the device registry. The trailing pad keeps
@@ -191,6 +211,24 @@ type Manager struct {
 	numDevices  atomic.Int64
 	busyDevices atomic.Int64
 
+	// lockFreeOK gates the snapshot-probe fast path; false when the core
+	// runs the FIFO ablation (whose order is not captured by plan
+	// snapshots).
+	lockFreeOK bool
+	// checkIns counts admitted check-ins; atomic because the fast path
+	// bumps it without the core mutex.
+	checkIns atomic.Int64
+	// lockFreeCheckIns counts check-ins answered purely from a plan
+	// snapshot, never entering the core mutex (observability).
+	lockFreeCheckIns atomic.Int64
+	// pendingSupply[c] accumulates check-in counts for grid cell c until a
+	// core section drains them into the TSDB (see drainSupplyLocked).
+	pendingSupply []atomic.Int64
+	// sweepCursor round-robins TTL sweeps across shards.
+	sweepCursor atomic.Int64
+	// evictions counts devices dropped by TTL sweeps.
+	evictions atomic.Int64
+
 	// deadlines holds the at-time per collecting job; checked by Tick and
 	// opportunistically on the serving paths. deadlineMin is a lower bound
 	// on the earliest entry so the common no-deadline-due case stays O(1).
@@ -199,7 +237,7 @@ type Manager struct {
 	attempt     map[job.ID]uint64
 
 	// Cumulative counters (guarded by mu; all mutated in core sections).
-	checkIns, assignments, reports, failures, aborts int
+	assignments, reports, failures, aborts int
 
 	metrics *metricsRecorder
 }
@@ -216,6 +254,12 @@ type managedDevice struct {
 	// busy is true from assignment (or batch reservation) until the
 	// device reports; guarded by the owning shard's mutex.
 	busy bool
+	// cell caches the device's grid cell (recomputed only when the
+	// reported scores change); guarded by the owning shard's mutex.
+	cell int32
+	// lastSeenSec is the wall-clock second of the device's latest
+	// check-in, driving TTL eviction; guarded by the owning shard's mutex.
+	lastSeenSec int64
 }
 
 // NewManager constructs a live manager.
@@ -261,6 +305,8 @@ func NewManager(cfg Config) *Manager {
 		RNG:           stats.NewRNG(cfg.Clock().UnixNano()),
 	}
 	m.venn.Bind(m.env)
+	m.pendingSupply = make([]atomic.Int64, grid.NumCells())
+	m.lockFreeOK = !cfg.Options.DisableScheduling
 	return m
 }
 
@@ -296,6 +342,7 @@ func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
+	m.drainSupplyLocked(now) // the arrival estimate reads supply history
 	id := m.nextJob
 	m.nextJob++
 	j := job.New(id, req, spec.DemandPerRound, spec.Rounds, now)
@@ -325,20 +372,29 @@ func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
 // Returns (md, nil) when the check-in should proceed to assignment,
 // (nil, nil) when it is refused without error (daily task budget), and
 // (nil, err) for busy/validation rejections.
-func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time) (*managedDevice, error) {
+func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time, nowSec int64) (*managedDevice, error) {
 	md, ok := sh.devices[ci.DeviceID]
 	if !ok {
 		md = &managedDevice{dev: device.New(device.ID(m.nextDev.Add(1)-1), ci.CPU, ci.Mem)}
+		md.cell = int32(m.env.Grid.CellOfDevice(md.dev))
 		sh.devices[ci.DeviceID] = md
 		m.numDevices.Add(1)
 	} else {
 		if md.busy {
+			md.lastSeenSec = nowSec
 			return nil, ErrDeviceBusy
 		}
 		// Refresh scores (hardware doesn't change, but normalization or
-		// reporting might).
-		md.dev.CPU, md.dev.Mem = ci.CPU, ci.Mem
+		// reporting might); the cached cell follows them. Clamp exactly
+		// like device.New — raw wire values can be negative or NaN, and an
+		// unclamped score would put the device in an out-of-range cell
+		// (panicking the pendingSupply index).
+		if cpu, mem := device.Clamp01(ci.CPU), device.Clamp01(ci.Mem); md.dev.CPU != cpu || md.dev.Mem != mem {
+			md.dev.CPU, md.dev.Mem = cpu, mem
+			md.cell = int32(m.env.Grid.CellOfDevice(md.dev))
+		}
 	}
+	md.lastSeenSec = nowSec
 	// One task per day per device (the paper's realism constraint).
 	if int(md.dev.LastTaskDay) == now.DayIndex() {
 		return nil, nil
@@ -348,14 +404,46 @@ func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time
 	return md, nil
 }
 
+// countCheckIn records an admitted check-in without the core mutex: the
+// cumulative counter and the pending supply history for the device's cell.
+func (m *Manager) countCheckIn(md *managedDevice) {
+	m.checkIns.Add(1)
+	m.pendingSupply[md.cell].Add(1)
+}
+
+// drainSupplyLocked flushes the pending per-cell check-in counts into the
+// TSDB. Called at the start of every core critical section (and from Tick),
+// so supply estimates lag true check-in times by at most a tick — noise at
+// the 24-hour averaging window the scheduler reads.
+func (m *Manager) drainSupplyLocked(now simtime.Time) {
+	for c := range m.pendingSupply {
+		if n := m.pendingSupply[c].Swap(0); n > 0 {
+			m.env.DB.RecordCheckIns(device.CellID(c), int(n), now)
+		}
+	}
+}
+
+// snapshotSaysIdle reports whether the published plan snapshot proves the
+// device would leave the scheduler empty-handed, in which case the check-in
+// can be answered without the core mutex. A true answer requires the
+// snapshot to be fresh: every lifecycle event marks the plan stale before
+// its effects land, and the core republishes before clearing the flag, so
+// the freshness check (first) and snapshot load (second) bracket a provably
+// current view. Devices with a candidate — and any check-in racing a plan
+// refresh — fall back to the locked path.
+func (m *Manager) snapshotSaysIdle(md *managedDevice, now simtime.Time) bool {
+	if !m.lockFreeOK || !m.venn.PlanFresh() {
+		return false
+	}
+	snap := m.venn.PlanSnapshot()
+	return snap != nil && !snap.HasCandidate(md.dev, device.CellID(md.cell), now)
+}
+
 // assignCoreLocked runs the short scheduler critical section for one
 // admitted check-in. The caller holds both the device's shard mutex and the
 // core mutex; the device stays reserved on assignment and the caller frees
 // it otherwise.
 func (m *Manager) assignCoreLocked(md *managedDevice, deviceID string, now simtime.Time) Assignment {
-	m.checkIns++
-	m.env.DB.RecordCheckIn(m.env.Grid.CellOfDevice(md.dev), now)
-
 	j := m.venn.Assign(md.dev, now)
 	if j == nil {
 		return Assignment{Assigned: false}
@@ -389,18 +477,25 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	now := m.now()
-	md, err := m.admitShardLocked(sh, ci, now)
+	sec := m.nowSec()
+	md, err := m.admitShardLocked(sh, ci, now, sec)
 	if err != nil {
 		return Assignment{}, err
 	}
 	if md == nil {
 		return Assignment{Assigned: false}, nil
 	}
-	m.mu.Lock()
-	m.expireDueLocked(now)
-	asg := m.assignCoreLocked(md, ci.DeviceID, now)
-	m.mu.Unlock()
-	sec := m.nowSec()
+	m.countCheckIn(md)
+	var asg Assignment
+	if m.snapshotSaysIdle(md, now) {
+		m.lockFreeCheckIns.Add(1)
+	} else {
+		m.mu.Lock()
+		m.drainSupplyLocked(now)
+		m.expireDueLocked(now)
+		asg = m.assignCoreLocked(md, ci.DeviceID, now)
+		m.mu.Unlock()
+	}
 	m.metrics.checkins.Add(sec, 1)
 	if asg.Assigned {
 		m.metrics.assignRate.Add(sec, 1)
@@ -410,11 +505,12 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 	return asg, nil
 }
 
-// CheckInBatch processes a batch of check-ins with a single scheduler-lock
-// acquisition; Results[i] answers CheckIns[i]. Shard-local admission runs
-// per device stripe, then every admitted device is assigned under one core
-// critical section — the amortization that makes the batched serving path
-// scale.
+// CheckInBatch processes a batch of check-ins; Results[i] answers
+// CheckIns[i]. Shard-local admission runs per device stripe; each admitted
+// device is then probed against the lock-free plan snapshot, and only the
+// devices with a potential assignment enter the single core critical
+// section. In a surplus fleet (no open requests the device could serve) a
+// whole batch completes without ever touching the scheduler lock.
 func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 	out := make([]CheckInResult, len(cis))
 	if len(cis) == 0 {
@@ -430,14 +526,26 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 	defer m.unlockShards(held)
 
 	now := m.now()
+	nowSec := m.nowSec()
+	// If churn left the plan stale, pay one refresh up front so the whole
+	// batch probes a fresh snapshot instead of queueing for the locked
+	// path item by item.
+	if m.lockFreeOK && !m.venn.PlanFresh() {
+		m.mu.Lock()
+		m.drainSupplyLocked(now)
+		m.expireDueLocked(now)
+		m.venn.RefreshPlan(now)
+		m.mu.Unlock()
+	}
 	pending := make([]*managedDevice, len(cis))
+	var needCore []int
 	admitted := 0
 	for i, ci := range cis {
 		if ci.DeviceID == "" {
 			out[i].Error = errDeviceIDMissing.Error()
 			continue
 		}
-		md, err := m.admitShardLocked(m.shardOf(ci.DeviceID), ci, now)
+		md, err := m.admitShardLocked(m.shardOf(ci.DeviceID), ci, now, nowSec)
 		if err != nil {
 			out[i].Error = err.Error()
 			continue
@@ -447,17 +555,23 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 		}
 		pending[i] = md
 		admitted++
+		m.countCheckIn(md)
+		// The probe re-checks freshness per item: a concurrent batch may
+		// fulfil a request (or a job may register) mid-loop.
+		if m.snapshotSaysIdle(md, now) {
+			m.lockFreeCheckIns.Add(1)
+			continue
+		}
+		needCore = append(needCore, i)
 	}
 
 	assigned := 0
-	if admitted > 0 {
+	if len(needCore) > 0 {
 		m.mu.Lock()
+		m.drainSupplyLocked(now)
 		m.expireDueLocked(now)
-		for i, md := range pending {
-			if md == nil {
-				continue
-			}
-			out[i].Assignment = m.assignCoreLocked(md, cis[i].DeviceID, now)
+		for _, i := range needCore {
+			out[i].Assignment = m.assignCoreLocked(pending[i], cis[i].DeviceID, now)
 			if out[i].Assigned {
 				assigned++
 			}
@@ -469,9 +583,8 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 			m.release(md)
 		}
 	}
-	sec := m.nowSec()
-	m.metrics.checkins.Add(sec, int64(admitted))
-	m.metrics.assignRate.Add(sec, int64(assigned))
+	m.metrics.checkins.Add(nowSec, int64(admitted))
+	m.metrics.assignRate.Add(nowSec, int64(assigned))
 	return out
 }
 
@@ -520,6 +633,7 @@ func (m *Manager) DeviceReport(r Report) error {
 	}
 	now := m.now()
 	m.mu.Lock()
+	m.drainSupplyLocked(now)
 	m.expireDueLocked(now)
 	m.reportCoreLocked(r, md, now)
 	m.mu.Unlock()
@@ -564,6 +678,7 @@ func (m *Manager) ReportBatch(rs []Report) []ReportResult {
 	if accepted > 0 {
 		now := m.now()
 		m.mu.Lock()
+		m.drainSupplyLocked(now)
 		m.expireDueLocked(now)
 		for i, md := range devs {
 			if md != nil {
@@ -680,11 +795,63 @@ func (m *Manager) expireDeadlinesLocked(now simtime.Time) {
 	m.deadlineMin = earliest
 }
 
-// Tick runs deadline expiry; call it periodically (the HTTP server does).
+// Tick runs the periodic maintenance: TTL eviction of idle devices,
+// draining the pending supply counters, and deadline expiry. Call it
+// periodically (the HTTP server does, once a second).
 func (m *Manager) Tick() {
+	m.sweepExpiredDevices() // shard locks only — before the core mutex
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.expireDueLocked(m.now())
+	now := m.now()
+	m.drainSupplyLocked(now)
+	m.expireDueLocked(now)
+}
+
+// sweepExpiredDevices walks a rotating slice of the shard registries and
+// evicts devices not seen within Config.DeviceTTL. The sweep covers a
+// fraction of the shards per tick so a huge registry never stalls one tick;
+// with the default 64 shards and a 1s tick the whole fleet is revisited
+// roughly every 16 seconds — instantaneous against any sensible TTL.
+//
+// Busy devices are evicted too once their last check-in is a full TTL in
+// the past: a reservation that old belongs to a device that crashed
+// mid-task (task deadlines are minutes, the TTL is hours), and exempting it
+// would leak exactly the registry growth the TTL exists to cap. A
+// straggler's late report gets ErrUnknownDevice, which the agent protocol
+// already tolerates. After evictions, the core's device→cell cache is
+// reset: evicted IDs are never reused, so their entries would otherwise
+// leak with fleet churn.
+func (m *Manager) sweepExpiredDevices() {
+	ttl := m.cfg.DeviceTTL
+	if ttl <= 0 {
+		return
+	}
+	cutoff := m.cfg.Clock().Add(-ttl).Unix()
+	sweep := len(m.shards)/16 + 1
+	evicted, busyEvicted := 0, 0
+	for i := 0; i < sweep; i++ {
+		sh := &m.shards[int(m.sweepCursor.Add(1)-1)%len(m.shards)]
+		sh.mu.Lock()
+		for id, md := range sh.devices {
+			if md.lastSeenSec >= cutoff {
+				continue
+			}
+			if md.busy {
+				busyEvicted++
+			}
+			delete(sh.devices, id)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		m.numDevices.Add(int64(-evicted))
+		m.busyDevices.Add(int64(-busyEvicted))
+		m.evictions.Add(int64(evicted))
+		m.mu.Lock()
+		m.venn.ResetCellCache()
+		m.mu.Unlock()
+	}
 }
 
 // JobStatusByID returns the status of an active or completed job.
@@ -743,15 +910,18 @@ func (m *Manager) StatsSnapshot() Stats {
 	s := Stats{
 		ActiveJobs:    len(m.jobs),
 		CompletedJobs: len(m.completed),
-		CheckIns:      m.checkIns,
+		CheckIns:      int(m.checkIns.Load()),
 		Assignments:   m.assignments,
 		Reports:       m.reports,
 		Failures:      m.failures,
 		Aborts:        m.aborts,
 	}
-	s.UptimeSeconds = float64(m.now()) / 1000
-	s.SupplyPerHour = m.env.DB.TotalRatePerHour(m.now())
+	now := m.now()
+	m.drainSupplyLocked(now)
+	s.UptimeSeconds = float64(now) / 1000
+	s.SupplyPerHour = m.env.DB.TotalRatePerHour(now)
 	s.PlanRebuilds = m.venn.PlanRebuilds
+	s.PlanPatches = m.venn.PlanPatches
 	for _, mj := range m.jobs {
 		if mj.j.State() == job.StateScheduling {
 			s.QueuedRequests++

@@ -30,6 +30,17 @@ type Metrics struct {
 	KnownDevices   int64 `json:"known_devices"`
 	BusyDevices    int64 `json:"busy_devices"`
 
+	// Plan-lifecycle telemetry: full Algorithm-1 rebuilds vs incremental
+	// patches, and the fraction of refreshes the incremental path served.
+	PlanRebuilds           int64   `json:"plan_rebuilds"`
+	PlanPatches            int64   `json:"plan_patches"`
+	PlanIncrementalHitRate float64 `json:"plan_incremental_hit_rate"`
+	// LockFreeCheckIns counts check-ins answered from a plan snapshot
+	// without entering the scheduler lock.
+	LockFreeCheckIns int64 `json:"lock_free_checkins_total"`
+	// DevicesEvicted counts registry entries dropped by TTL sweeps.
+	DevicesEvicted int64 `json:"devices_evicted_total"`
+
 	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
 }
 
@@ -190,6 +201,9 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		ReportsPerSec:     m.metrics.reportRate.PerSec(sec),
 		KnownDevices:      m.numDevices.Load(),
 		BusyDevices:       m.busyDevices.Load(),
+		CheckIns:          m.checkIns.Load(),
+		LockFreeCheckIns:  m.lockFreeCheckIns.Load(),
+		DevicesEvicted:    m.evictions.Load(),
 		HandlerLatencyMs:  make(map[string]LatencySummary, len(metricRoutes)),
 	}
 	for _, route := range metricRoutes {
@@ -201,9 +215,13 @@ func (m *Manager) MetricsSnapshot() Metrics {
 
 	m.mu.Lock()
 	out.UptimeSeconds = float64(m.now()) / 1000
-	out.CheckIns = int64(m.checkIns)
 	out.Assignments = int64(m.assignments)
 	out.Reports = int64(m.reports)
+	out.PlanRebuilds = int64(m.venn.PlanRebuilds)
+	out.PlanPatches = int64(m.venn.PlanPatches)
+	if total := out.PlanRebuilds + out.PlanPatches; total > 0 {
+		out.PlanIncrementalHitRate = float64(out.PlanPatches) / float64(total)
+	}
 	out.ActiveJobs = len(m.jobs)
 	for _, mj := range m.jobs {
 		switch mj.j.State() {

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDeviceTTLEviction pins the registry-bounding behavior: devices idle
+// past Config.DeviceTTL are swept out by Tick (busy ones included once
+// their reservation is a full TTL stale), and a returning device simply
+// re-registers.
+func TestDeviceTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager(Config{Clock: clk.now, DeviceTTL: time.Hour})
+
+	// Register a job and get one device assigned so it is busy.
+	if _, err := m.RegisterJob(JobSpec{Category: "General", DemandPerRound: 1, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	busyAsg, err := m.DeviceCheckIn(CheckIn{DeviceID: "busy", CPU: 0.9, Mem: 0.9})
+	if err != nil || !busyAsg.Assigned {
+		t.Fatalf("busy device must be assigned: %+v %v", busyAsg, err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.DeviceCheckIn(CheckIn{DeviceID: fmt.Sprintf("idle-%d", i), CPU: 0.5, Mem: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.MetricsSnapshot().KnownDevices; got != 11 {
+		t.Fatalf("known devices = %d, want 11", got)
+	}
+
+	// Within the TTL nothing is evicted.
+	clk.advance(30 * time.Minute)
+	for i := 0; i < len(m.shards); i++ {
+		m.Tick()
+	}
+	if got := m.MetricsSnapshot().KnownDevices; got != 11 {
+		t.Fatalf("premature eviction: known devices = %d, want 11", got)
+	}
+
+	// Past the TTL everything goes — including the busy device, whose
+	// reservation is a full TTL old and therefore belongs to a crashed
+	// agent (its gauge entry must be released with it). Tick enough times
+	// for the round-robin sweep to cover all shards.
+	clk.advance(time.Hour)
+	for i := 0; i < len(m.shards); i++ {
+		m.Tick()
+	}
+	mt := m.MetricsSnapshot()
+	if mt.KnownDevices != 0 {
+		t.Errorf("known devices after sweep = %d, want 0", mt.KnownDevices)
+	}
+	if mt.DevicesEvicted != 11 {
+		t.Errorf("devices_evicted = %d, want 11", mt.DevicesEvicted)
+	}
+	if mt.BusyDevices != 0 {
+		t.Errorf("busy gauge after evicting a busy device = %d, want 0", mt.BusyDevices)
+	}
+
+	// An evicted device can come back as a fresh registration.
+	if _, err := m.DeviceCheckIn(CheckIn{DeviceID: "idle-0", CPU: 0.5, Mem: 0.5}); err != nil {
+		t.Fatalf("returning device rejected: %v", err)
+	}
+	if got := m.MetricsSnapshot().KnownDevices; got != 1 {
+		t.Errorf("known devices after return = %d, want 1", got)
+	}
+	// A late report from the evicted busy device is an expected, tolerated
+	// error — not a crash or a phantom response.
+	if err := m.DeviceReport(Report{DeviceID: "busy", JobID: busyAsg.JobID, OK: true, DurationSeconds: 5}); err != ErrUnknownDevice {
+		t.Errorf("stale report error = %v, want ErrUnknownDevice", err)
+	}
+
+	// TTL disabled (the default) must never evict.
+	m2 := NewManager(Config{Clock: clk.now})
+	if _, err := m2.DeviceCheckIn(CheckIn{DeviceID: "d", CPU: 0.5, Mem: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(1000 * time.Hour)
+	for i := 0; i < len(m2.shards); i++ {
+		m2.Tick()
+	}
+	if got := m2.MetricsSnapshot().KnownDevices; got != 1 {
+		t.Errorf("TTL-disabled manager evicted: known devices = %d, want 1", got)
+	}
+}
+
+// TestLockFreeFastPathServesSurplus checks the snapshot fast path end to
+// end: demand is still fulfilled exactly while surplus check-ins are
+// answered without the core mutex, and the lock-free counter proves the
+// fast path actually ran.
+func TestLockFreeFastPathServesSurplus(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager(Config{Clock: clk.now})
+	if _, err := m.RegisterJob(JobSpec{Category: "Compute-Rich", DemandPerRound: 3, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fleet where only some devices are eligible; batch them through.
+	cis := make([]CheckIn, 40)
+	for i := range cis {
+		cpu := 0.2
+		if i%4 == 0 {
+			cpu = 0.9 // eligible for Compute-Rich
+		}
+		cis[i] = CheckIn{DeviceID: fmt.Sprintf("d%02d", i), CPU: cpu, Mem: 0.5}
+	}
+	res := m.CheckInBatch(cis)
+	assigned := 0
+	for i, r := range res {
+		if r.Error != "" {
+			t.Fatalf("item %d: %s", i, r.Error)
+		}
+		if r.Assigned {
+			assigned++
+			if cis[i].CPU < 0.5 {
+				t.Errorf("ineligible device %s assigned", cis[i].DeviceID)
+			}
+		}
+	}
+	if assigned != 3 {
+		t.Fatalf("assigned = %d, want exactly the demand 3", assigned)
+	}
+
+	// Let the assigned devices report so the round (and job) completes and
+	// the devices are free again.
+	var reports []Report
+	for i, r := range res {
+		if r.Assigned {
+			reports = append(reports, Report{DeviceID: cis[i].DeviceID, JobID: r.JobID, OK: true, DurationSeconds: 5})
+		}
+	}
+	for _, rr := range m.ReportBatch(reports) {
+		if rr.Error != "" {
+			t.Fatal(rr.Error)
+		}
+	}
+
+	// The job is done, the plan is republished: a second surplus batch
+	// must ride the lock-free path entirely.
+	before := m.MetricsSnapshot().LockFreeCheckIns
+	clk.advance(25 * time.Hour) // reset the daily budget
+	m.Tick()
+	res = m.CheckInBatch(cis)
+	for i, r := range res {
+		if r.Error != "" || r.Assigned {
+			t.Fatalf("surplus item %d: %+v", i, r)
+		}
+	}
+	after := m.MetricsSnapshot().LockFreeCheckIns
+	if after-before != int64(len(cis)) {
+		t.Errorf("lock-free check-ins grew by %d, want %d", after-before, len(cis))
+	}
+}
+
+// TestCheckInClampsWireScores is the regression guard for the
+// out-of-range-cell panic: a device re-checking in with negative or NaN
+// scores must be clamped exactly like a fresh registration, never indexing
+// the per-cell supply counters out of range.
+func TestCheckInClampsWireScores(t *testing.T) {
+	m := NewManager(Config{Clock: newFakeClock().now})
+	if _, err := m.DeviceCheckIn(CheckIn{DeviceID: "d1", CPU: 0.5, Mem: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	for _, ci := range []CheckIn{
+		{DeviceID: "d1", CPU: 0.5, Mem: -0.1},
+		{DeviceID: "d1", CPU: -2, Mem: 0.9},
+		{DeviceID: "d1", CPU: nan, Mem: nan},
+		{DeviceID: "d1", CPU: 7, Mem: 7},
+		{DeviceID: "fresh-nan", CPU: nan, Mem: -1},
+	} {
+		if _, err := m.DeviceCheckIn(ci); err != nil {
+			t.Fatalf("%+v: %v", ci, err)
+		}
+	}
+	res := m.CheckInBatch([]CheckIn{{DeviceID: "d1", CPU: -1, Mem: 2}})
+	if res[0].Error != "" {
+		t.Fatalf("batch with out-of-range scores: %s", res[0].Error)
+	}
+}
+
+// TestMetricsExposePlanTelemetry checks the new /v1/metrics fields.
+func TestMetricsExposePlanTelemetry(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager(Config{Clock: clk.now})
+	for i := 0; i < 4; i++ {
+		if _, err := m.RegisterJob(JobSpec{Category: "General", DemandPerRound: 2, Rounds: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("m%02d", i)
+		asg, err := m.DeviceCheckIn(CheckIn{DeviceID: id, CPU: 0.7, Mem: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg.Assigned {
+			if err := m.DeviceReport(Report{DeviceID: id, JobID: asg.JobID, OK: true, DurationSeconds: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mt := m.MetricsSnapshot()
+	if mt.PlanRebuilds == 0 {
+		t.Error("plan_rebuilds must be positive after serving traffic")
+	}
+	if mt.PlanPatches == 0 {
+		t.Error("plan_patches must be positive: round churn within a stable group set must patch, not rebuild")
+	}
+	if hr := mt.PlanIncrementalHitRate; hr <= 0 || hr >= 1 {
+		t.Errorf("plan_incremental_hit_rate = %v, want in (0,1)", hr)
+	}
+	st := m.StatsSnapshot()
+	if st.PlanRebuilds != int(mt.PlanRebuilds) || st.PlanPatches != int(mt.PlanPatches) {
+		t.Errorf("stats/metrics disagree: %+v vs %+v", st, mt)
+	}
+}

@@ -87,11 +87,19 @@ func (db *DB) slotFor(t simtime.Time) int {
 // RecordCheckIn notes one device check-in for the given cell at time t.
 // Times must be non-decreasing across calls (simulation order).
 func (db *DB) RecordCheckIn(cell device.CellID, t simtime.Time) {
-	if int(cell) < 0 || int(cell) >= db.cells {
+	db.RecordCheckIns(cell, 1, t)
+}
+
+// RecordCheckIns notes n device check-ins for the given cell at time t in
+// one call — the bulk entry point for callers (like the live server) that
+// batch check-in counts outside their scheduler lock and drain them
+// periodically.
+func (db *DB) RecordCheckIns(cell device.CellID, n int, t simtime.Time) {
+	if n <= 0 || int(cell) < 0 || int(cell) >= db.cells {
 		return
 	}
 	slot := db.slotFor(t)
-	db.counts[cell][slot]++
+	db.counts[cell][slot] += float64(n)
 	if t > db.lastTime {
 		db.lastTime = t
 	}
