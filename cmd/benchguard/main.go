@@ -1,6 +1,7 @@
 // Command benchguard is the CI gate over the serving-path benchmarks: it
 // compares a freshly measured vennload report against the committed
-// BENCH_serve.json and fails when batched+sharded throughput regressed
+// BENCH_serve.json and fails when batched+sharded HTTP throughput — or,
+// when both reports carry one, streaming-transport throughput — regressed
 // beyond the allowed margin, and (optionally) when the incremental-plan hit
 // rate of a live smoke run fell below its floor.
 //
@@ -8,7 +9,7 @@
 //	    -max-regress 0.20 -live BENCH_serve_live.json -min-hit-rate 0.90
 //
 // Throughput comparisons are only meaningful on the same hardware, so the
-// regression check is skipped (with a note) when the recorded num_cpu
+// regression checks are skipped (with a note) when the recorded num_cpu
 // differs between the two reports — CI runners and developer laptops guard
 // against themselves, not against each other.
 package main
@@ -20,12 +21,15 @@ import (
 	"os"
 )
 
-// report mirrors the subset of vennload's benchReport the guard reads.
+// report mirrors the subset of vennload's benchReport the guard reads. The
+// three-way shape labels each run with a transport; pre-stream reports
+// lack the field, which decodes as "" and classifies as HTTP.
 type report struct {
 	Schema string `json:"schema"`
 	NumCPU int    `json:"num_cpu"`
 	Runs   []struct {
 		Mode           string  `json:"mode"`
+		Transport      string  `json:"transport"`
 		Batch          int     `json:"batch"`
 		CheckInsPerSec float64 `json:"checkins_per_sec"`
 		ServerMetrics  *struct {
@@ -48,9 +52,20 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
+// batchedRate finds the batched HTTP rung (transport absent or "http").
 func batchedRate(r report) (float64, bool) {
 	for _, run := range r.Runs {
-		if run.Mode == "batched" {
+		if run.Mode == "batched" && run.Transport != "stream" {
+			return run.CheckInsPerSec, true
+		}
+	}
+	return 0, false
+}
+
+// streamRate finds the streaming-transport rung.
+func streamRate(r report) (float64, bool) {
+	for _, run := range r.Runs {
+		if run.Transport == "stream" {
 			return run.CheckInsPerSec, true
 		}
 	}
@@ -80,21 +95,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(1)
 		}
-		baseRate, okB := batchedRate(baseline)
-		curRate, okC := batchedRate(current)
-		switch {
-		case !okB || !okC:
-			fmt.Fprintln(os.Stderr, "benchguard: missing batched run in a report; skipping throughput check")
-		case baseline.NumCPU != current.NumCPU:
-			fmt.Printf("benchguard: num_cpu differs (%d baseline vs %d current); skipping throughput check\n",
+		if baseline.NumCPU != current.NumCPU {
+			fmt.Printf("benchguard: num_cpu differs (%d baseline vs %d current); skipping throughput checks\n",
 				baseline.NumCPU, current.NumCPU)
-		case curRate < baseRate*(1-*maxRegress):
-			fmt.Fprintf(os.Stderr, "benchguard: FAIL batched throughput %.0f/s regressed more than %.0f%% below baseline %.0f/s\n",
-				curRate, *maxRegress*100, baseRate)
-			failed = true
-		default:
-			fmt.Printf("benchguard: batched throughput %.0f/s vs baseline %.0f/s (%.2fx) — OK\n",
-				curRate, baseRate, curRate/baseRate)
+		} else {
+			check := func(label string, rate func(report) (float64, bool)) {
+				baseRate, okB := rate(baseline)
+				curRate, okC := rate(current)
+				switch {
+				case !okB:
+					fmt.Printf("benchguard: baseline has no %s run; skipping its throughput check\n", label)
+				case !okC:
+					fmt.Fprintf(os.Stderr, "benchguard: FAIL current report lost its %s run (baseline has one)\n", label)
+					failed = true
+				case curRate < baseRate*(1-*maxRegress):
+					fmt.Fprintf(os.Stderr, "benchguard: FAIL %s throughput %.0f/s regressed more than %.0f%% below baseline %.0f/s\n",
+						label, curRate, *maxRegress*100, baseRate)
+					failed = true
+				default:
+					fmt.Printf("benchguard: %s throughput %.0f/s vs baseline %.0f/s (%.2fx) — OK\n",
+						label, curRate, baseRate, curRate/baseRate)
+				}
+			}
+			check("batched-http", batchedRate)
+			check("stream", streamRate)
 		}
 	}
 

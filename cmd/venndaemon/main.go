@@ -1,14 +1,14 @@
-// Command venndaemon runs Venn as a live HTTP resource manager (the
-// standalone service of the paper's Figure 6). CL jobs register resource
-// requests, devices check in as they become available, and the daemon
-// assigns each device to a job using the IRS scheduling and tier-based
-// matching algorithms.
+// Command venndaemon runs Venn as a live resource manager (the standalone
+// service of the paper's Figure 6). CL jobs register resource requests,
+// devices check in as they become available, and the daemon assigns each
+// device to a job using the IRS scheduling and tier-based matching
+// algorithms.
 //
 // Usage:
 //
-//	venndaemon -addr :8080 -tiers 3 -epsilon 0
+//	venndaemon -addr :8080 -stream-addr :8081 -tiers 3 -epsilon 0
 //
-// API:
+// HTTP API:
 //
 //	POST /v1/jobs           {"name":"kbd","category":"General","demand_per_round":100,"rounds":50}
 //	POST /v1/checkin        {"device_id":"phone-1","cpu":0.8,"mem":0.7}
@@ -17,13 +17,22 @@
 //	POST /v1/report/batch   {"reports":[...]}
 //	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats, /v1/metrics
 //
+// Stream API: -stream-addr opens a persistent binary framed listener
+// (internal/transport) carrying the same operations over pipelined frames;
+// high-volume agents should prefer it (see the README's Transports
+// section). Both transports drive one scheduler core.
+//
+// Shutdown: SIGINT/SIGTERM drains both listeners — in-flight requests
+// complete (bounded grace) before the process exits.
+//
 // Profiling: -pprof serves net/http/pprof on a side listener and
-// -cpuprofile records a CPU profile until the daemon receives SIGINT or
-// SIGTERM, so perf work can attribute serving-path time without ad-hoc
-// patches.
+// -cpuprofile records a CPU profile until shutdown, so perf work can
+// attribute serving-path time without ad-hoc patches.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -31,22 +40,28 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"venn/internal/core"
 	"venn/internal/server"
+	"venn/internal/transport"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		tiers     = flag.Int("tiers", 3, "device-tier granularity V")
-		epsilon   = flag.Float64("epsilon", 0, "fairness knob")
-		shards    = flag.Int("shards", 0, "device-state lock shards (0 = default)")
-		deviceTTL = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
-		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile here until SIGINT/SIGTERM")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		streamAddr = flag.String("stream-addr", "", "binary stream listen address (empty disables)")
+		tiers      = flag.Int("tiers", 3, "device-tier granularity V")
+		epsilon    = flag.Float64("epsilon", 0, "fairness knob")
+		shards     = flag.Int("shards", 0, "device-state lock shards (0 = default)")
+		deviceTTL  = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
+		maxBody    = flag.Int64("max-body-bytes", 0, "HTTP single-item request body bound in bytes (0 = default 1MiB)")
+		window     = flag.Int("stream-window", 0, "max in-flight frames per stream connection (0 = default)")
+		pprofSrv   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
 	)
 	flag.Parse()
 
@@ -57,6 +72,10 @@ func main() {
 			}
 		}()
 	}
+	// stopProfile flushes the CPU profile; idempotent so it can run both on
+	// the normal return path (defer) and right before the error-path
+	// os.Exit, which would skip deferred calls.
+	stopProfile := func() {}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -67,25 +86,59 @@ func main() {
 			fmt.Fprintln(os.Stderr, "venndaemon: cpuprofile:", err)
 			os.Exit(1)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
+		stopProfile = sync.OnceFunc(func() {
 			pprof.StopCPUProfile()
 			_ = f.Close()
 			fmt.Fprintln(os.Stderr, "venndaemon: CPU profile written to", *cpuProf)
-			os.Exit(0)
-		}()
+		})
+		defer stopProfile()
 	}
+
+	// ctx ends on SIGINT/SIGTERM; both transports then drain in-flight
+	// requests before main returns (and the deferred profile flushes).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	opts := core.DefaultOptions()
 	opts.Tiers = *tiers
 	opts.Epsilon = *epsilon
 	m := server.NewManager(server.Config{Options: opts, Shards: *shards, DeviceTTL: *deviceTTL})
-	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d device-ttl=%v)\n",
-		*addr, *tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
-	if err := server.Serve(*addr, m); err != nil {
+
+	var streamFailed atomic.Bool
+	var streamSrv *transport.Server
+	if *streamAddr != "" {
+		streamSrv = transport.NewServer(m, transport.Options{Window: *window})
+		go func() {
+			if err := streamSrv.ListenAndServe(*streamAddr); err != nil && !errors.Is(err, transport.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "venndaemon: stream listener:", err)
+				streamFailed.Store(true)
+				cancel() // take the HTTP side down too
+			}
+		}()
+	}
+
+	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d device-ttl=%v", *addr,
+		*tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
+	if *streamAddr != "" {
+		fmt.Printf(" stream=%s", *streamAddr)
+	}
+	fmt.Println(")")
+
+	err := server.Serve(ctx, *addr, m, server.HandlerConfig{MaxBodyBytes: *maxBody})
+	if streamSrv != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if serr := streamSrv.Shutdown(sctx); serr != nil {
+			fmt.Fprintln(os.Stderr, "venndaemon: stream shutdown:", serr)
+		}
+		scancel()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "venndaemon:", err)
+	}
+	if err != nil || streamFailed.Load() {
+		stopProfile()
 		os.Exit(1)
 	}
 }

@@ -3,17 +3,20 @@
 // registered jobs to completion, and writes throughput and latency
 // percentiles to a BENCH_serve.json artifact. It is the repo's continuous
 // measurement of the wall-clock serving path — CI runs a short smoke pass
-// on every PR, and the -compare mode records the batched+sharded speedup
-// over the former single-lock, one-request-per-check-in baseline.
+// on every PR, and the -compare mode records a three-way ladder: the
+// single-lock one-request-per-check-in baseline, the batched+sharded HTTP
+// path, and the persistent binary stream transport.
 //
 // Against a running daemon:
 //
-//	venndaemon -addr :8080 &
+//	venndaemon -addr :8080 -stream-addr :8081 &
 //	vennload -daemon http://localhost:8080 -agents 2000 -duration 10s
+//	vennload -transport stream -stream-daemon localhost:8081 -agents 2000 -duration 10s
 //
 // Self-hosted (spins an in-process daemon; no external setup):
 //
 //	vennload -agents 2000 -duration 10s -out BENCH_serve.json
+//	vennload -transport stream -agents 2000 -duration 10s
 //	vennload -compare -agents 2000 -duration 5s -out BENCH_serve.json
 package main
 
@@ -35,28 +38,53 @@ import (
 	"venn/internal/client"
 	"venn/internal/server"
 	"venn/internal/stats"
+	"venn/internal/transport"
 )
+
+// apiClient is the client surface one load run drives; both the HTTP
+// client and the stream client satisfy it.
+type apiClient interface {
+	RegisterJob(server.JobSpec) (server.JobStatus, error)
+	JobStatus(int) (server.JobStatus, error)
+	CheckIn(server.CheckIn) (server.Assignment, error)
+	CheckInBatch([]server.CheckIn) ([]server.CheckInResult, error)
+	Report(server.Report) error
+	ReportBatch([]server.Report) ([]server.ReportResult, error)
+	Stats() (server.Stats, error)
+	Metrics() (server.Metrics, error)
+}
 
 func main() {
 	var (
-		daemon   = flag.String("daemon", "", "venndaemon base URL; empty self-hosts an in-process daemon")
-		agents   = flag.Int("agents", 2000, "number of synthetic device agents")
-		duration = flag.Duration("duration", 10*time.Second, "load duration per run")
-		batch    = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
-		conns    = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
-		jobs     = flag.Int("jobs", 8, "CL jobs to register")
-		demand   = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
-		rounds   = flag.Int("rounds", 1, "rounds per job")
-		category = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
-		shards   = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
-		seed     = flag.Int64("seed", 1, "random seed for the synthetic fleet")
-		out      = flag.String("out", "", "write a JSON benchmark report to this file")
-		compare  = flag.Bool("compare", false, "self-host two daemons and record batched+sharded vs single-lock baseline")
-		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
+		daemon    = flag.String("daemon", "", "venndaemon base URL; empty self-hosts an in-process daemon")
+		streamDmn = flag.String("stream-daemon", "", "venndaemon stream address (host:port) for -transport stream against a live daemon")
+		transp    = flag.String("transport", "http", "transport to drive: http | stream")
+		agents    = flag.Int("agents", 2000, "number of synthetic device agents")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration per run")
+		batch     = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
+		conns     = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
+		streamCns = flag.Int("stream-conns", 0, "stream connections to multiplex workers over (0 = workers/2, min 1)")
+		jobs      = flag.Int("jobs", 8, "CL jobs to register")
+		demand    = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
+		rounds    = flag.Int("rounds", 1, "rounds per job")
+		category  = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
+		shards    = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
+		seed      = flag.Int64("seed", 1, "random seed for the synthetic fleet")
+		out       = flag.String("out", "", "write a JSON benchmark report to this file")
+		compare   = flag.Bool("compare", false, "self-host and record the three-way ladder: single-lock HTTP, batched+sharded HTTP, batched stream")
+		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
 	)
 	flag.Parse()
 
+	if *transp != "http" && *transp != "stream" {
+		fmt.Fprintf(os.Stderr, "vennload: unknown -transport %q (want http or stream)\n", *transp)
+		os.Exit(2)
+	}
+	if *streamDmn != "" && *transp != "stream" {
+		fmt.Fprintln(os.Stderr, "vennload: -stream-daemon requires -transport stream")
+		os.Exit(2)
+	}
 	if *conns <= 0 {
 		*conns = 4 * runtime.NumCPU()
 		if *conns > 64 {
@@ -95,43 +123,59 @@ func main() {
 		UnixTime:  time.Now().Unix(),
 	}
 
+	base := loadConfig{
+		Agents: *agents, Conns: *conns, StreamConns: *streamCns, Duration: *duration,
+		Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
+	}
 	switch {
 	case *compare:
 		if *daemon != "" {
-			fmt.Fprintln(os.Stderr, "vennload: -compare self-hosts both runs; -daemon is ignored")
+			fmt.Fprintln(os.Stderr, "vennload: -compare self-hosts all runs; -daemon is ignored")
 		}
-		// Baseline: one lock stripe and one HTTP request per check-in —
-		// the seed serving path.
-		base := runSelfHosted(loadConfig{
-			Mode: "single", Shards: 1, Batch: 1,
-			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
-		})
-		report.Runs = append(report.Runs, base)
-		// Contender: sharded manager, batched API.
-		cont := runSelfHosted(loadConfig{
-			Mode: "batched", Shards: *shards, Batch: max(*batch, 2),
-			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
-		})
-		report.Runs = append(report.Runs, cont)
-		if base.CheckInsPerSec > 0 {
-			report.SpeedupBatchedVsSingle = cont.CheckInsPerSec / base.CheckInsPerSec
-			fmt.Printf("\nspeedup (batched+sharded vs single-lock): %.2fx\n", report.SpeedupBatchedVsSingle)
+		// Rung 1: one lock stripe and one HTTP request per check-in — the
+		// seed serving path.
+		single := base
+		single.Mode, single.Transport, single.Shards, single.Batch = "single", "http", 1, 1
+		report.Runs = append(report.Runs, runSelfHosted(single))
+		// Rung 2: sharded manager, batched HTTP API.
+		batched := base
+		batched.Mode, batched.Transport, batched.Shards, batched.Batch = "batched", "http", *shards, max(*batch, 2)
+		report.Runs = append(report.Runs, runSelfHosted(batched))
+		// Rung 3: same batching over the persistent binary stream.
+		stream := base
+		stream.Mode, stream.Transport, stream.Shards, stream.Batch = "stream", "stream", *shards, max(*batch, 2)
+		report.Runs = append(report.Runs, runSelfHosted(stream))
+
+		singleRate := report.Runs[0].CheckInsPerSec
+		batchedRate := report.Runs[1].CheckInsPerSec
+		streamRate := report.Runs[2].CheckInsPerSec
+		if singleRate > 0 {
+			report.SpeedupBatchedVsSingle = batchedRate / singleRate
+			report.SpeedupStreamVsSingle = streamRate / singleRate
+			fmt.Printf("\nspeedup (batched+sharded HTTP vs single-lock): %.2fx\n", report.SpeedupBatchedVsSingle)
+			fmt.Printf("speedup (stream vs single-lock):               %.2fx\n", report.SpeedupStreamVsSingle)
 		}
-	case *daemon != "":
-		cfg := loadConfig{
-			Mode: modeName(*batch), Batch: *batch,
-			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
+		if batchedRate > 0 {
+			report.SpeedupStreamVsBatched = streamRate / batchedRate
+			fmt.Printf("speedup (stream vs batched HTTP):              %.2fx\n", report.SpeedupStreamVsBatched)
 		}
-		report.Runs = append(report.Runs, runLoad(*daemon, cfg))
+	case *daemon != "" || *streamDmn != "":
+		cfg := base
+		cfg.Mode, cfg.Transport, cfg.Batch = modeName(*batch, *transp), *transp, *batch
+		var c apiClient
+		if *transp == "stream" {
+			if *streamDmn == "" {
+				fmt.Fprintln(os.Stderr, "vennload: -transport stream against a live daemon needs -stream-daemon host:port")
+				os.Exit(2)
+			}
+			c = newStreamClient(*streamDmn, cfg)
+		} else {
+			c = newHTTPClient(*daemon, cfg)
+		}
+		report.Runs = append(report.Runs, runLoad(c, cfg))
 	default:
-		cfg := loadConfig{
-			Mode: modeName(*batch), Shards: *shards, Batch: *batch,
-			Agents: *agents, Conns: *conns, Duration: *duration,
-			Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
-		}
+		cfg := base
+		cfg.Mode, cfg.Transport, cfg.Shards, cfg.Batch = modeName(*batch, *transp), *transp, *shards, *batch
 		report.Runs = append(report.Runs, runSelfHosted(cfg))
 	}
 
@@ -148,7 +192,10 @@ func main() {
 	}
 }
 
-func modeName(batch int) string {
+func modeName(batch int, transport string) string {
+	if transport == "stream" {
+		return "stream"
+	}
 	if batch > 1 {
 		return "batched"
 	}
@@ -156,17 +203,30 @@ func modeName(batch int) string {
 }
 
 type loadConfig struct {
-	Mode     string
-	Shards   int // self-hosted runs only; 0 = server default
-	Batch    int
-	Agents   int
-	Conns    int
-	Duration time.Duration
-	Jobs     int
-	Demand   int
-	Rounds   int
-	Category string // "" cycles the standard strata
-	Seed     int64
+	Mode        string
+	Transport   string // "http" | "stream"
+	Shards      int    // self-hosted runs only; 0 = server default
+	Batch       int
+	Agents      int
+	Conns       int
+	StreamConns int // 0 = Conns/2, min 1
+	Duration    time.Duration
+	Jobs        int
+	Demand      int
+	Rounds      int
+	Category    string // "" cycles the standard strata
+	Seed        int64
+}
+
+func (cfg loadConfig) streamPool() int {
+	if cfg.StreamConns > 0 {
+		return cfg.StreamConns
+	}
+	n := cfg.Conns / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 type percentiles struct {
@@ -179,9 +239,11 @@ type percentiles struct {
 
 type runResult struct {
 	Mode             string          `json:"mode"`
+	Transport        string          `json:"transport"`
 	Shards           int             `json:"shards,omitempty"`
 	Agents           int             `json:"agents"`
 	Conns            int             `json:"conns"`
+	StreamConns      int             `json:"stream_conns,omitempty"`
 	Batch            int             `json:"batch"`
 	DurationSeconds  float64         `json:"duration_seconds"`
 	CheckIns         int64           `json:"checkins"`
@@ -204,10 +266,29 @@ type benchReport struct {
 	UnixTime               int64       `json:"unix_time"`
 	Runs                   []runResult `json:"runs"`
 	SpeedupBatchedVsSingle float64     `json:"speedup_batched_vs_single,omitempty"`
+	SpeedupStreamVsSingle  float64     `json:"speedup_stream_vs_single,omitempty"`
+	SpeedupStreamVsBatched float64     `json:"speedup_stream_vs_batched,omitempty"`
 }
 
-// runSelfHosted spins an in-process daemon, drives the load against it over
-// real loopback HTTP, and tears it down.
+func newHTTPClient(baseURL string, cfg loadConfig) apiClient {
+	tr := &http.Transport{
+		MaxIdleConns:        2 * cfg.Conns,
+		MaxIdleConnsPerHost: 2 * cfg.Conns,
+	}
+	return client.New(baseURL,
+		client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second, Transport: tr}),
+		client.WithRetries(2))
+}
+
+func newStreamClient(addr string, cfg loadConfig) apiClient {
+	return client.NewStream(addr,
+		client.WithStreamConns(cfg.streamPool()),
+		client.WithStreamTimeout(30*time.Second))
+}
+
+// runSelfHosted spins an in-process daemon on the requested transport,
+// drives the load against it over real loopback sockets, and tears it
+// down.
 func runSelfHosted(cfg loadConfig) runResult {
 	m := server.NewManager(server.Config{Shards: cfg.Shards})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -215,8 +296,19 @@ func runSelfHosted(cfg loadConfig) runResult {
 		fmt.Fprintln(os.Stderr, "vennload: listen:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: server.Handler(m)}
-	go func() { _ = srv.Serve(ln) }()
+	var c apiClient
+	var teardown func()
+	if cfg.Transport == "stream" {
+		ts := transport.NewServer(m, transport.Options{})
+		go func() { _ = ts.Serve(ln) }()
+		c = newStreamClient(ln.Addr().String(), cfg)
+		teardown = func() { _ = ts.Close() }
+	} else {
+		srv := &http.Server{Handler: server.Handler(m)}
+		go func() { _ = srv.Serve(ln) }()
+		c = newHTTPClient("http://"+ln.Addr().String(), cfg)
+		teardown = func() { _ = srv.Close() }
+	}
 	stop := make(chan struct{})
 	go func() {
 		t := time.NewTicker(time.Second)
@@ -232,9 +324,9 @@ func runSelfHosted(cfg loadConfig) runResult {
 	}()
 	defer func() {
 		close(stop)
-		_ = srv.Close()
+		teardown()
 	}()
-	res := runLoad("http://"+ln.Addr().String(), cfg)
+	res := runLoad(c, cfg)
 	if cfg.Shards > 0 {
 		res.Shards = cfg.Shards
 	} else if res.ServerMetrics != nil {
@@ -243,15 +335,8 @@ func runSelfHosted(cfg loadConfig) runResult {
 	return res
 }
 
-// runLoad drives one load run against the daemon at baseURL.
-func runLoad(baseURL string, cfg loadConfig) runResult {
-	tr := &http.Transport{
-		MaxIdleConns:        2 * cfg.Conns,
-		MaxIdleConnsPerHost: 2 * cfg.Conns,
-	}
-	c := client.New(baseURL,
-		client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second, Transport: tr}),
-		client.WithRetries(2))
+// runLoad drives one load run through the given client.
+func runLoad(c apiClient, cfg loadConfig) runResult {
 	if _, err := c.Stats(); err != nil {
 		fmt.Fprintf(os.Stderr, "vennload: daemon unreachable: %v\n", err)
 		os.Exit(1)
@@ -312,8 +397,8 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 	)
 	const maxLatSamplesPerWorker = 100_000
 
-	fmt.Printf("run %q: %d agents, %d conns, batch %d, %v against %s\n",
-		cfg.Mode, cfg.Agents, cfg.Conns, cfg.Batch, cfg.Duration, baseURL)
+	fmt.Printf("run %q: %s transport, %d agents, %d conns, batch %d, %v\n",
+		cfg.Mode, cfg.Transport, cfg.Agents, cfg.Conns, cfg.Batch, cfg.Duration)
 
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
@@ -385,7 +470,7 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 					}
 					continue
 				}
-				// Unbatched path: one HTTP request per check-in.
+				// Unbatched path: one request per check-in.
 				d := mine[next%len(mine)]
 				next++
 				t0 := time.Now()
@@ -437,6 +522,7 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 
 	res := runResult{
 		Mode:            cfg.Mode,
+		Transport:       cfg.Transport,
 		Agents:          cfg.Agents,
 		Conns:           cfg.Conns,
 		Batch:           cfg.Batch,
@@ -448,6 +534,9 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 		Errors:          errs.Load(),
 		JobsTotal:       len(jobIDs),
 		JobsDone:        jobsDone,
+	}
+	if cfg.Transport == "stream" {
+		res.StreamConns = cfg.streamPool()
 	}
 	if len(latencies) > 0 {
 		sort.Float64s(latencies)
@@ -467,10 +556,16 @@ func runLoad(baseURL string, cfg loadConfig) runResult {
 		res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
 		res.Reports, res.Errors, res.JobsDone, res.JobsTotal,
 		res.RequestLatencyMs.P50, res.RequestLatencyMs.P99)
-	if mt := res.ServerMetrics; mt != nil && mt.PlanRebuilds+mt.PlanPatches > 0 {
-		fmt.Printf("  plan: %d rebuilds, %d patches (incremental hit rate %.1f%%); %d/%d check-ins lock-free\n",
-			mt.PlanRebuilds, mt.PlanPatches, 100*mt.PlanIncrementalHitRate,
-			mt.LockFreeCheckIns, mt.CheckIns)
+	if mt := res.ServerMetrics; mt != nil {
+		if mt.PlanRebuilds+mt.PlanPatches > 0 {
+			fmt.Printf("  plan: %d rebuilds, %d patches (incremental hit rate %.1f%%); %d/%d check-ins lock-free\n",
+				mt.PlanRebuilds, mt.PlanPatches, 100*mt.PlanIncrementalHitRate,
+				mt.LockFreeCheckIns, mt.CheckIns)
+		}
+		if mt.StreamFramesIn > 0 {
+			fmt.Printf("  stream: %d conns, %d frames in, %d frames out; per-transport rates %v\n",
+				mt.StreamConns, mt.StreamFramesIn, mt.StreamFramesOut, mt.CheckInsPerSecByTransport)
+		}
 	}
 	return res
 }

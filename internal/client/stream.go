@@ -1,0 +1,391 @@
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"venn/internal/server"
+	"venn/internal/transport"
+)
+
+// StreamClient talks to a venndaemon stream listener (venndaemon
+// -stream-addr) over the persistent framed protocol of internal/transport.
+// It exposes the same surface as the HTTP Client — CheckIn/CheckInBatch,
+// Report/ReportBatch, job registration and lookup, Stats, Metrics — but
+// amortizes connection setup and HTTP framing away entirely: requests from
+// any number of goroutines are multiplexed over a small pool of persistent
+// connections, correlated by pipelined request IDs, and a connection that
+// dies is redialed transparently on the next call.
+//
+// All methods are safe for concurrent use.
+type StreamClient struct {
+	conns []*streamConn
+	next  atomic.Uint64
+}
+
+// Stream defaults.
+const (
+	DefaultStreamConns      = 2
+	DefaultStreamTimeout    = 10 * time.Second
+	defaultClientMaxPayload = 64 << 20 // responses can carry full batch + metrics payloads
+)
+
+// StreamOption customizes a StreamClient.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	conns   int
+	timeout time.Duration
+}
+
+// WithStreamConns sets the connection-pool size (default 2). More
+// connections raise pipelining depth under heavy concurrent load; one is
+// enough for a single agent.
+func WithStreamConns(n int) StreamOption {
+	return func(c *streamConfig) {
+		if n > 0 {
+			c.conns = n
+		}
+	}
+}
+
+// WithStreamTimeout bounds one request round trip, dial included (default
+// 10s).
+func WithStreamTimeout(d time.Duration) StreamOption {
+	return func(c *streamConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// NewStream creates a stream client for the daemon's stream listener at
+// addr (e.g. "localhost:8081"). Connections are dialed lazily on first use
+// and redialed automatically after failures.
+func NewStream(addr string, opts ...StreamOption) *StreamClient {
+	cfg := streamConfig{conns: DefaultStreamConns, timeout: DefaultStreamTimeout}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sc := &StreamClient{conns: make([]*streamConn, cfg.conns)}
+	for i := range sc.conns {
+		sc.conns[i] = &streamConn{addr: addr, timeout: cfg.timeout}
+	}
+	return sc
+}
+
+// Close tears down every pooled connection; in-flight calls fail.
+func (s *StreamClient) Close() error {
+	for _, c := range s.conns {
+		c.close(errors.New("client: stream client closed"))
+	}
+	return nil
+}
+
+// Ping round-trips an empty frame — a cheap reachability and liveness
+// probe.
+func (s *StreamClient) Ping() error {
+	_, err := s.do(transport.OpPing, nil)
+	return err
+}
+
+// CheckIn announces device availability and returns the assignment.
+func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
+	var asg server.Assignment
+	payload, err := ci.MarshalJSON()
+	if err != nil {
+		return asg, err
+	}
+	resp, err := s.do(transport.OpCheckIn, payload)
+	if err != nil {
+		return asg, err
+	}
+	err = asg.UnmarshalJSON(resp)
+	return asg, err
+}
+
+// CheckInBatch announces availability for a whole batch of devices in one
+// frame. Results[i] answers cis[i]; per-item rejections surface in each
+// result's Error field, not as a Go error.
+func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, error) {
+	payload, err := server.CheckInBatchRequest{CheckIns: cis}.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.do(transport.OpCheckInBatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.CheckInBatchResponse
+	if err := resp.UnmarshalJSON(buf); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(cis) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d check-ins", len(resp.Results), len(cis))
+	}
+	return resp.Results, nil
+}
+
+// Report submits a task result.
+func (s *StreamClient) Report(r server.Report) error {
+	payload, err := r.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = s.do(transport.OpReport, payload)
+	return err
+}
+
+// ReportBatch submits a batch of task results in one frame. Results[i]
+// answers rs[i].
+func (s *StreamClient) ReportBatch(rs []server.Report) ([]server.ReportResult, error) {
+	payload, err := server.ReportBatchRequest{Reports: rs}.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	buf, err := s.do(transport.OpReportBatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.ReportBatchResponse
+	if err := resp.UnmarshalJSON(buf); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(rs) {
+		return nil, fmt.Errorf("client: batch reply has %d results for %d reports", len(resp.Results), len(rs))
+	}
+	return resp.Results, nil
+}
+
+// RegisterJob submits a new CL job and returns its status (including ID).
+func (s *StreamClient) RegisterJob(spec server.JobSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := s.doJSON(transport.OpRegisterJob, spec, &st)
+	return st, err
+}
+
+// Jobs lists all jobs.
+func (s *StreamClient) Jobs() ([]server.JobStatus, error) {
+	var out []server.JobStatus
+	err := s.doJSON(transport.OpJobs, nil, &out)
+	return out, err
+}
+
+// JobStatus fetches one job's status.
+func (s *StreamClient) JobStatus(id int) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := s.doJSON(transport.OpJobStatus, transport.JobIDRequest{ID: id}, &st)
+	return st, err
+}
+
+// Stats fetches the daemon's monitoring snapshot.
+func (s *StreamClient) Stats() (server.Stats, error) {
+	var st server.Stats
+	err := s.doJSON(transport.OpStats, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the daemon's serving-throughput and latency metrics.
+func (s *StreamClient) Metrics() (server.Metrics, error) {
+	var mt server.Metrics
+	err := s.doJSON(transport.OpMetrics, nil, &mt)
+	return mt, err
+}
+
+// doJSON is do for the low-volume ops: reflective encode of in (nil for an
+// empty payload), reflective decode into out.
+func (s *StreamClient) doJSON(op byte, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	buf, err := s.do(op, payload)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(buf, out)
+}
+
+// do sends one request frame over a pooled connection and waits for its
+// response, returning the response payload or the decoded error frame.
+func (s *StreamClient) do(op byte, payload []byte) ([]byte, error) {
+	c := s.conns[s.next.Add(1)%uint64(len(s.conns))]
+	return c.do(op, payload)
+}
+
+// streamConn is one pooled connection: a lazily dialed socket, a reader
+// goroutine that dispatches response frames to waiters by request ID, and
+// a write path serialized by mu. gen guards against a stale teardown (a
+// reader from a previous dial) clobbering a fresh connection.
+type streamConn struct {
+	addr    string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	c       net.Conn
+	bw      *bufio.Writer
+	pending map[uint32]chan streamResp
+	nextID  uint32
+	gen     uint64
+}
+
+type streamResp struct {
+	op      byte
+	payload []byte
+	err     error
+}
+
+// connect dials under mu if needed and returns the current socket and
+// generation.
+func (sc *streamConn) connectLocked() error {
+	if sc.c != nil {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", sc.addr, sc.timeout)
+	if err != nil {
+		return fmt.Errorf("client: dial stream %s: %w", sc.addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	sc.c = c
+	sc.bw = bufio.NewWriterSize(c, 64<<10)
+	sc.pending = make(map[uint32]chan streamResp)
+	sc.gen++
+	go sc.readLoop(sc.gen, c)
+	return nil
+}
+
+// readLoop dispatches response frames to their waiters until the
+// connection dies, then fails every pending request so callers can retry
+// (the next call redials).
+func (sc *streamConn) readLoop(gen uint64, c net.Conn) {
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		fr, err := transport.ReadFrame(br, defaultClientMaxPayload)
+		if err != nil {
+			sc.teardown(gen, fmt.Errorf("client: stream connection lost: %w", err))
+			return
+		}
+		sc.mu.Lock()
+		var ch chan streamResp
+		if gen == sc.gen {
+			ch = sc.pending[fr.ID]
+			delete(sc.pending, fr.ID)
+		}
+		sc.mu.Unlock()
+		if ch != nil {
+			ch <- streamResp{op: fr.Op, payload: fr.Payload}
+		}
+		// A response nobody waits for (timed-out request) is dropped.
+	}
+}
+
+// teardown closes the socket of generation gen and fails its pending
+// requests; a newer generation is left untouched.
+func (sc *streamConn) teardown(gen uint64, err error) {
+	sc.mu.Lock()
+	if gen != sc.gen || sc.c == nil {
+		sc.mu.Unlock()
+		return
+	}
+	c := sc.c
+	pending := sc.pending
+	sc.c, sc.bw, sc.pending = nil, nil, nil
+	sc.mu.Unlock()
+	c.Close()
+	for _, ch := range pending {
+		ch <- streamResp{err: err}
+	}
+}
+
+// close hard-closes the connection, failing pending requests with err.
+func (sc *streamConn) close(err error) {
+	sc.mu.Lock()
+	gen := sc.gen
+	sc.mu.Unlock()
+	sc.teardown(gen, err)
+}
+
+func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
+	ch := make(chan streamResp, 1)
+
+	sc.mu.Lock()
+	if err := sc.connectLocked(); err != nil {
+		sc.mu.Unlock()
+		return nil, err
+	}
+	gen := sc.gen
+	sc.nextID++
+	id := sc.nextID
+	sc.pending[id] = ch
+	// Write under mu: frames from concurrent callers interleave whole, and
+	// the shared buffered writer coalesces them. The write deadline keeps a
+	// wedged peer from holding the lock forever.
+	_ = sc.c.SetWriteDeadline(time.Now().Add(sc.timeout))
+	err := transport.WriteFrame(sc.bw, op, id, payload)
+	if err == nil {
+		err = sc.bw.Flush()
+	}
+	sc.mu.Unlock()
+	if err != nil {
+		sc.teardown(gen, fmt.Errorf("client: stream write: %w", err))
+		// teardown already delivered the failure to ch (buffered), but be
+		// defensive about ordering: prefer the write error.
+		select {
+		case <-ch:
+		default:
+		}
+		return nil, fmt.Errorf("client: stream write: %w", err)
+	}
+
+	timer := time.NewTimer(sc.timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			return nil, resp.err
+		}
+		if resp.op == transport.OpError {
+			var ep transport.ErrorPayload
+			if json.Unmarshal(resp.payload, &ep) == nil && ep.Error != "" {
+				return nil, &StreamError{Code: server.Code(ep.Code), Msg: ep.Error}
+			}
+			return nil, errors.New("client: malformed stream error frame")
+		}
+		if resp.op != op|transport.RespFlag {
+			return nil, fmt.Errorf("client: stream response opcode %#x for request %#x", resp.op, op)
+		}
+		return resp.payload, nil
+	case <-timer.C:
+		sc.mu.Lock()
+		if gen == sc.gen && sc.pending != nil {
+			delete(sc.pending, id)
+		}
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("client: stream request timed out after %v", sc.timeout)
+	}
+}
+
+// StreamError is a typed server-side rejection carried over the stream
+// transport; Code mirrors the service layer's error codes.
+type StreamError struct {
+	Code server.Code
+	Msg  string
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("client: %s (stream code %d)", e.Msg, e.Code)
+}

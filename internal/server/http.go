@@ -2,9 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,7 +12,38 @@ import (
 	"time"
 )
 
-// Handler wraps a Manager with the HTTP/JSON API:
+// This file is the HTTP adapter over the transport-neutral Service
+// (service.go): every handler is decode → service call → encode, plus the
+// HTTP-specific concerns (method dispatch, status mapping, body bounds,
+// latency middleware). No scheduling or manager logic lives here; the same
+// Service is served by the framed stream transport in internal/transport.
+
+// HandlerConfig bounds the HTTP adapter. The zero value takes the defaults.
+type HandlerConfig struct {
+	// MaxBodyBytes caps single-item request bodies (default 1 MiB). A
+	// malformed giant payload is rejected with 413 before it can balloon
+	// memory.
+	MaxBodyBytes int64
+	// MaxBatchBodyBytes caps batch request bodies (default MaxBatch KiB,
+	// ~1KB of headroom per allowed item).
+	MaxBatchBodyBytes int64
+}
+
+const (
+	defaultMaxBodyBytes      = 1 << 20
+	defaultMaxBatchBodyBytes = MaxBatch * 1024
+)
+
+func (c *HandlerConfig) fillDefaults() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.MaxBatchBodyBytes <= 0 {
+		c.MaxBatchBodyBytes = defaultMaxBatchBodyBytes
+	}
+}
+
+// Handler wraps a Manager with the HTTP/JSON API under default bounds:
 //
 //	POST /v1/jobs            {JobSpec}              -> JobStatus
 //	GET  /v1/jobs            -> []JobStatus
@@ -26,7 +57,12 @@ import (
 //
 // Every route is wrapped in a latency-recording middleware feeding the
 // handler_latency_ms percentiles of /v1/metrics.
-func Handler(m *Manager) http.Handler {
+func Handler(m *Manager) http.Handler { return NewHandler(m, HandlerConfig{}) }
+
+// NewHandler is Handler with explicit body bounds.
+func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
+	cfg.fillDefaults()
+	svc := NewService(m, TransportHTTP)
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -35,26 +71,26 @@ func Handler(m *Manager) http.Handler {
 			m.metrics.observeLatency(route, time.Since(t0))
 		})
 	}
-	handle("/v1/jobs", routeJobs, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/jobs", RouteJobs, func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			var spec JobSpec
-			if !decode(w, r, &spec) {
+			if !decode(w, r, cfg.MaxBodyBytes, &spec) {
 				return
 			}
-			st, err := m.RegisterJob(spec)
+			st, err := svc.RegisterJob(spec)
 			if err != nil {
-				writeErr(w, err, http.StatusBadRequest)
+				writeErr(w, err)
 				return
 			}
 			writeJSON(w, st, http.StatusCreated)
 		case http.MethodGet:
-			writeJSON(w, m.Jobs(), http.StatusOK)
+			writeJSON(w, svc.Jobs(), http.StatusOK)
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
-	handle("/v1/jobs/", routeJobs, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/jobs/", RouteJobs, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -62,100 +98,102 @@ func Handler(m *Manager) http.Handler {
 		idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		id, err := strconv.Atoi(idStr)
 		if err != nil {
-			writeErr(w, errors.New("bad job id"), http.StatusBadRequest)
+			writeErr(w, svcErr(CodeInvalid, errors.New("bad job id")))
 			return
 		}
-		st, err := m.JobStatusByID(id)
+		st, err := svc.JobStatusByID(id)
 		if err != nil {
-			writeErr(w, err, http.StatusNotFound)
+			writeErr(w, err)
 			return
 		}
 		writeJSON(w, st, http.StatusOK)
 	})
-	handle("/v1/checkin", routeCheckIn, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin", RouteCheckIn, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var ci CheckIn
-		if !decode(w, r, &ci) {
+		if !decode(w, r, cfg.MaxBodyBytes, &ci) {
 			return
 		}
-		asg, err := m.DeviceCheckIn(ci)
+		asg, err := svc.CheckIn(ci)
 		if err != nil {
-			code := http.StatusBadRequest
-			if errors.Is(err, ErrDeviceBusy) {
-				code = http.StatusConflict
-			}
-			writeErr(w, err, code)
+			writeErr(w, err)
 			return
 		}
 		writeJSON(w, asg, http.StatusOK)
 	})
-	handle("/v1/checkin/batch", routeCheckInBatch, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin/batch", RouteCheckInBatch, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var req CheckInBatchRequest
-		if !decodeBatch(w, r, &req) {
+		if !decode(w, r, cfg.MaxBatchBodyBytes, &req) {
 			return
 		}
-		if len(req.CheckIns) > MaxBatch {
-			writeErr(w, fmt.Errorf("server: batch exceeds %d items", MaxBatch), http.StatusBadRequest)
+		resp, err := svc.CheckInBatch(req)
+		if err != nil {
+			writeErr(w, err)
 			return
 		}
-		writeJSON(w, CheckInBatchResponse{Results: m.CheckInBatch(req.CheckIns)}, http.StatusOK)
+		writeJSON(w, resp, http.StatusOK)
 	})
-	handle("/v1/report", routeReport, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/report", RouteReport, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var rep Report
-		if !decode(w, r, &rep) {
+		if !decode(w, r, cfg.MaxBodyBytes, &rep) {
 			return
 		}
-		if err := m.DeviceReport(rep); err != nil {
-			writeErr(w, err, http.StatusBadRequest)
+		if err := svc.Report(rep); err != nil {
+			writeErr(w, err)
 			return
 		}
 		writeJSON(w, struct{}{}, http.StatusOK)
 	})
-	handle("/v1/report/batch", routeReportBatch, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/report/batch", RouteReportBatch, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var req ReportBatchRequest
-		if !decodeBatch(w, r, &req) {
+		if !decode(w, r, cfg.MaxBatchBodyBytes, &req) {
 			return
 		}
-		if len(req.Reports) > MaxBatch {
-			writeErr(w, fmt.Errorf("server: batch exceeds %d items", MaxBatch), http.StatusBadRequest)
+		resp, err := svc.ReportBatch(req)
+		if err != nil {
+			writeErr(w, err)
 			return
 		}
-		writeJSON(w, ReportBatchResponse{Results: m.ReportBatch(req.Reports)}, http.StatusOK)
+		writeJSON(w, resp, http.StatusOK)
 	})
-	handle("/v1/stats", routeOther, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/stats", RouteOther, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, m.StatsSnapshot(), http.StatusOK)
+		writeJSON(w, svc.Stats(), http.StatusOK)
 	})
-	handle("/v1/metrics", routeOther, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/metrics", RouteOther, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, m.MetricsSnapshot(), http.StatusOK)
+		writeJSON(w, svc.Metrics(), http.StatusOK)
 	})
 	return mux
 }
 
-// Serve runs the HTTP API plus the deadline ticker until the server fails.
-func Serve(addr string, m *Manager) error {
+// Serve runs the HTTP API plus the deadline ticker until the listener fails
+// or ctx is canceled; cancellation drains in-flight requests (up to
+// shutdownGrace) before returning, so a SIGTERM never drops accepted work.
+// A clean drain returns nil. cfg's zero value takes the default body
+// bounds.
+func Serve(ctx context.Context, addr string, m *Manager, cfg HandlerConfig) error {
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -170,35 +208,45 @@ func Serve(addr string, m *Manager) error {
 			}
 		}
 	}()
-	srv := &http.Server{Addr: addr, Handler: Handler(m), ReadHeaderTimeout: 5 * time.Second}
-	return srv.ListenAndServe()
+	srv := &http.Server{Addr: addr, Handler: NewHandler(m, cfg), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
 }
 
-// maxBatchBodyBytes bounds a batch request body BEFORE decoding, so the
-// MaxBatch item cap cannot be sidestepped by a huge payload (~1KB per item
-// of headroom).
-const maxBatchBodyBytes = MaxBatch * 1024
+// shutdownGrace bounds how long a canceled Serve (or stream Shutdown) waits
+// for in-flight requests to complete.
+const shutdownGrace = 10 * time.Second
 
 // bodyPool recycles request-body read buffers across the hot endpoints.
 var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// decode parses the request body into v. Types with a hand-rolled
-// UnmarshalJSON (the hot wire types, see codec.go) are fed the raw bytes
-// directly — a json.Decoder would tokenize the value once just to find its
-// extent and then have the custom unmarshaler parse it again. Everything
-// else takes the reflective decoder with the original unknown-field
-// strictness, which the custom codecs replicate.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+// decode parses the request body into v, first bounding it to limit bytes
+// (an over-limit body answers 413 without being buffered past the limit).
+// Types with a hand-rolled UnmarshalJSON (the hot wire types, see codec.go)
+// are fed the raw bytes directly — a json.Decoder would tokenize the value
+// once just to find its extent and then have the custom unmarshaler parse
+// it again. Everything else takes the reflective decoder with the original
+// unknown-field strictness, which the custom codecs replicate.
+func decode(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	if u, ok := v.(json.Unmarshaler); ok {
 		buf := bodyPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		defer bodyPool.Put(buf)
 		if _, err := buf.ReadFrom(r.Body); err != nil {
-			writeErr(w, err, http.StatusBadRequest)
+			writeErr(w, bodyErr(err))
 			return false
 		}
 		if err := u.UnmarshalJSON(buf.Bytes()); err != nil {
-			writeErr(w, err, http.StatusBadRequest)
+			writeErr(w, svcErr(CodeInvalid, err))
 			return false
 		}
 		return true
@@ -206,15 +254,34 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+		writeErr(w, bodyErr(err))
 		return false
 	}
 	return true
 }
 
-func decodeBatch(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
-	return decode(w, r, v)
+// bodyErr classifies a body-read failure: the MaxBytesReader limit maps to
+// CodeTooLarge, everything else is a plain bad request.
+func bodyErr(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return svcErr(CodeTooLarge, err)
+	}
+	return svcErr(CodeInvalid, err)
+}
+
+// httpStatus maps service error codes to HTTP statuses.
+func httpStatus(code Code) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeBusy:
+		return http.StatusConflict
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any, code int) {
@@ -239,6 +306,6 @@ func writeJSON(w http.ResponseWriter, v any, code int) {
 	_, _ = w.Write(buf)
 }
 
-func writeErr(w http.ResponseWriter, err error, code int) {
-	writeJSON(w, map[string]string{"error": err.Error()}, code)
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, map[string]string{"error": err.Error()}, httpStatus(ErrCode(err)))
 }

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBodyLimits pins the request-body bounds: an over-limit payload is
+// answered with 413 before it can balloon memory, on both the single-item
+// and batch endpoints, and the bound is configurable.
+func TestBodyLimits(t *testing.T) {
+	m := NewManager(Config{})
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{MaxBodyBytes: 256, MaxBatchBodyBytes: 1024}))
+	defer srv.Close()
+
+	post := func(path string, body []byte) int {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Within bounds: normal processing.
+	if code := post("/v1/checkin", []byte(`{"device_id":"a","cpu":0.5,"mem":0.5}`)); code != http.StatusOK {
+		t.Errorf("small checkin status %d", code)
+	}
+
+	// A giant single-item body trips the 256-byte bound.
+	big := []byte(fmt.Sprintf(`{"device_id":%q,"cpu":0.5,"mem":0.5}`, strings.Repeat("x", 4096)))
+	if code := post("/v1/checkin", big); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized checkin status %d, want 413", code)
+	}
+
+	// Same for the batch endpoint and its separate bound.
+	var batch bytes.Buffer
+	batch.WriteString(`{"checkins":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		fmt.Fprintf(&batch, `{"device_id":"dev-%06d","cpu":0.5,"mem":0.5}`, i)
+	}
+	batch.WriteString(`]}`)
+	if code := post("/v1/checkin/batch", batch.Bytes()); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch body status %d, want 413", code)
+	}
+
+	// The defaults still admit a normal large-ish batch.
+	srv2 := httptest.NewServer(Handler(m))
+	defer srv2.Close()
+	resp, err := http.Post(srv2.URL+"/v1/checkin/batch", "application/json", bytes.NewReader(batch.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("default-bound batch status %d", resp.StatusCode)
+	}
+}

@@ -239,7 +239,46 @@ type Manager struct {
 	// Cumulative counters (guarded by mu; all mutated in core sections).
 	assignments, reports, failures, aborts int
 
+	// streamSource, when set, supplies the stream-transport counters
+	// surfaced by MetricsSnapshot; guarded by mu.
+	streamSource StreamTelemetrySource
+
 	metrics *metricsRecorder
+}
+
+// StreamTelemetry is a snapshot of streaming-transport counters, supplied
+// by an attached stream server via SetStreamTelemetrySource.
+type StreamTelemetry struct {
+	Conns     int64 // currently open stream connections
+	FramesIn  int64 // request frames read, cumulative
+	FramesOut int64 // response frames written, cumulative
+}
+
+// StreamTelemetrySource supplies live stream-transport counters. It is
+// polled with the manager's mutex held, so implementations must only read
+// their own counters — never call back into the Manager.
+type StreamTelemetrySource interface {
+	StreamTelemetry() StreamTelemetry
+}
+
+// SetStreamTelemetrySource registers the source MetricsSnapshot polls for
+// stream-transport counters. The stream server calls this when it attaches
+// to the manager.
+func (m *Manager) SetStreamTelemetrySource(src StreamTelemetrySource) {
+	m.mu.Lock()
+	m.streamSource = src
+	m.mu.Unlock()
+}
+
+// ClearStreamTelemetrySource detaches src if it is still the registered
+// source, so a shut-down stream server neither pins its memory nor keeps
+// reporting frozen counters; a newer registration is left in place.
+func (m *Manager) ClearStreamTelemetrySource(src StreamTelemetrySource) {
+	m.mu.Lock()
+	if m.streamSource == src {
+		m.streamSource = nil
+	}
+	m.mu.Unlock()
 }
 
 type managedJob struct {

@@ -41,6 +41,18 @@ type Metrics struct {
 	// DevicesEvicted counts registry entries dropped by TTL sweeps.
 	DevicesEvicted int64 `json:"devices_evicted_total"`
 
+	// CheckInsPerSecByTransport splits the served check-in rate by the
+	// transport that carried it ("http", "stream"); transports with no
+	// traffic in the window are omitted. "Served" counts items not rejected
+	// per-item, so it can slightly exceed the admitted checkins_per_sec
+	// (daily-budget refusals are served but not admitted).
+	CheckInsPerSecByTransport map[string]float64 `json:"checkins_per_sec_by_transport,omitempty"`
+	// Streaming-transport telemetry; all zero when no stream listener is
+	// attached (SetStreamTelemetry).
+	StreamConns     int64 `json:"stream_conns"`
+	StreamFramesIn  int64 `json:"stream_frames_in_total"`
+	StreamFramesOut int64 `json:"stream_frames_out_total"`
+
 	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
 }
 
@@ -148,19 +160,20 @@ func (t *latencyTrack) summary() LatencySummary {
 	}
 }
 
-// Routes tracked by the handler-latency middleware. Anything else lands in
-// routeOther.
+// Routes tracked by the handler-latency instrumentation, shared by every
+// transport adapter (the HTTP middleware and the stream server's handler
+// timing both feed them). Anything else lands in RouteOther.
 const (
-	routeCheckIn      = "checkin"
-	routeCheckInBatch = "checkin_batch"
-	routeReport       = "report"
-	routeReportBatch  = "report_batch"
-	routeJobs         = "jobs"
-	routeOther        = "other"
+	RouteCheckIn      = "checkin"
+	RouteCheckInBatch = "checkin_batch"
+	RouteReport       = "report"
+	RouteReportBatch  = "report_batch"
+	RouteJobs         = "jobs"
+	RouteOther        = "other"
 )
 
 var metricRoutes = []string{
-	routeCheckIn, routeCheckInBatch, routeReport, routeReportBatch, routeJobs, routeOther,
+	RouteCheckIn, RouteCheckInBatch, RouteReport, RouteReportBatch, RouteJobs, RouteOther,
 }
 
 // metricsRecorder aggregates the serving-path telemetry behind /v1/metrics.
@@ -173,20 +186,38 @@ type metricsRecorder struct {
 	// lat is written once at construction and then only read, so lookups
 	// need no lock.
 	lat map[string]*latencyTrack
+	// perTransport counts served check-ins by transport label; like lat it
+	// is written once at construction and then only read.
+	perTransport map[string]*rateCounter
 }
 
 func newMetricsRecorder() *metricsRecorder {
-	r := &metricsRecorder{lat: make(map[string]*latencyTrack, len(metricRoutes))}
+	r := &metricsRecorder{
+		lat:          make(map[string]*latencyTrack, len(metricRoutes)),
+		perTransport: make(map[string]*rateCounter, len(transportLabels)),
+	}
 	for _, route := range metricRoutes {
 		r.lat[route] = &latencyTrack{}
 	}
+	for _, tr := range transportLabels {
+		r.perTransport[tr] = &rateCounter{}
+	}
 	return r
+}
+
+// transportRate returns the served-check-in counter for a transport label,
+// defaulting unknown labels to the HTTP bucket.
+func (r *metricsRecorder) transportRate(transport string) *rateCounter {
+	if rc, ok := r.perTransport[transport]; ok {
+		return rc
+	}
+	return r.perTransport[TransportHTTP]
 }
 
 func (r *metricsRecorder) observeLatency(route string, d time.Duration) {
 	t, ok := r.lat[route]
 	if !ok {
-		t = r.lat[routeOther]
+		t = r.lat[RouteOther]
 	}
 	t.observe(float64(d) / float64(time.Millisecond))
 }
@@ -212,8 +243,21 @@ func (m *Manager) MetricsSnapshot() Metrics {
 			out.HandlerLatencyMs[route] = s
 		}
 	}
-
+	for _, tr := range transportLabels {
+		if rate := m.metrics.perTransport[tr].PerSec(sec); rate > 0 {
+			if out.CheckInsPerSecByTransport == nil {
+				out.CheckInsPerSecByTransport = make(map[string]float64, len(transportLabels))
+			}
+			out.CheckInsPerSecByTransport[tr] = rate
+		}
+	}
 	m.mu.Lock()
+	if m.streamSource != nil {
+		st := m.streamSource.StreamTelemetry()
+		out.StreamConns = st.Conns
+		out.StreamFramesIn = st.FramesIn
+		out.StreamFramesOut = st.FramesOut
+	}
 	out.UptimeSeconds = float64(m.now()) / 1000
 	out.Assignments = int64(m.assignments)
 	out.Reports = int64(m.reports)

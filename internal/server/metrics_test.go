@@ -105,15 +105,15 @@ func TestMetricsSnapshotAndEndpoint(t *testing.T) {
 	if mt.ActiveJobs != 1 || mt.CollectingJobs != 1 {
 		t.Errorf("job depths: %+v", mt)
 	}
-	ci, ok := mt.HandlerLatencyMs[routeCheckIn]
+	ci, ok := mt.HandlerLatencyMs[RouteCheckIn]
 	if !ok || ci.Count != 1 {
 		t.Errorf("checkin latency: %+v (ok=%v)", ci, ok)
 	}
-	cb, ok := mt.HandlerLatencyMs[routeCheckInBatch]
+	cb, ok := mt.HandlerLatencyMs[RouteCheckInBatch]
 	if !ok || cb.Count != 1 || cb.P99 < 0 {
 		t.Errorf("checkin_batch latency: %+v (ok=%v)", cb, ok)
 	}
-	if _, ok := mt.HandlerLatencyMs[routeReport]; ok {
+	if _, ok := mt.HandlerLatencyMs[RouteReport]; ok {
 		t.Error("untouched route must be omitted from the latency map")
 	}
 

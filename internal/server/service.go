@@ -1,0 +1,174 @@
+// The transport-neutral service layer. Service holds every piece of
+// request-handling logic the daemon exposes — check-in, report, their batch
+// variants, job registration and lookup, stats, metrics — operating purely
+// on the wire structs and returning typed errors. Transport adapters (the
+// HTTP handler in http.go, the framed stream server in internal/transport)
+// reduce to decode → Service call → encode: they own bytes and status
+// codes, never scheduling or manager logic. The package compiles the
+// service without net/http; the split is what lets one scheduler core be
+// served over multiple transports and, later, daemon-to-daemon federation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Transport labels, used for per-transport serving telemetry.
+const (
+	TransportHTTP   = "http"
+	TransportStream = "stream"
+)
+
+// transportLabels is the fixed set of per-transport rate counters the
+// metrics recorder pre-allocates.
+var transportLabels = []string{TransportHTTP, TransportStream}
+
+// Code classifies a service-layer failure so each transport adapter can map
+// it to its native status space (HTTP statuses, stream error frames)
+// without inspecting error strings.
+type Code int
+
+const (
+	// CodeInvalid is a malformed or unacceptable request.
+	CodeInvalid Code = iota + 1
+	// CodeNotFound is a lookup of a resource that does not exist.
+	CodeNotFound
+	// CodeBusy is a check-in for a device that already holds a task.
+	CodeBusy
+	// CodeTooLarge is a payload over the transport's configured bound.
+	CodeTooLarge
+)
+
+// Error is the service layer's typed error: a Code for the adapter plus the
+// underlying cause for the wire message and errors.Is chains.
+type Error struct {
+	Code Code
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause so errors.Is(err, ErrDeviceBusy) etc. keep
+// working through the service layer.
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrCode extracts the service code from an error chain; errors that did
+// not come from the service layer classify as CodeInvalid.
+func ErrCode(err error) Code {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return CodeInvalid
+}
+
+func svcErr(code Code, err error) error { return &Error{Code: code, Err: err} }
+
+// Service is the transport-neutral serving core. One Service is
+// instantiated per transport (the label feeds the per-transport check-in
+// rates of /v1/metrics); all instances share the same Manager, so state and
+// cumulative counters are transport-agnostic.
+type Service struct {
+	m    *Manager
+	rate *rateCounter // served check-ins attributed to this transport
+}
+
+// NewService creates the serving facade for one transport. The transport
+// label should be one of TransportHTTP or TransportStream; unknown labels
+// still work but share the HTTP rate bucket.
+func NewService(m *Manager, transport string) *Service {
+	return &Service{m: m, rate: m.metrics.transportRate(transport)}
+}
+
+// Manager exposes the underlying manager (tick loops, telemetry hooks).
+func (s *Service) Manager() *Manager { return s.m }
+
+// ObserveHandlerLatency feeds one handled request's duration into the
+// handler_latency_ms percentiles of /v1/metrics. Transport adapters call
+// it with one of the Route* labels; unknown labels land in RouteOther. The
+// buckets are shared across transports — they measure service time, which
+// is transport-independent.
+func (s *Service) ObserveHandlerLatency(route string, d time.Duration) {
+	s.m.metrics.observeLatency(route, d)
+}
+
+// RegisterJob admits a new CL job.
+func (s *Service) RegisterJob(spec JobSpec) (JobStatus, error) {
+	st, err := s.m.RegisterJob(spec)
+	if err != nil {
+		return JobStatus{}, svcErr(CodeInvalid, err)
+	}
+	return st, nil
+}
+
+// Jobs lists all jobs, active first.
+func (s *Service) Jobs() []JobStatus { return s.m.Jobs() }
+
+// JobStatusByID looks up one job.
+func (s *Service) JobStatusByID(id int) (JobStatus, error) {
+	st, err := s.m.JobStatusByID(id)
+	if err != nil {
+		return JobStatus{}, svcErr(CodeNotFound, err)
+	}
+	return st, nil
+}
+
+// CheckIn processes a single device availability announcement.
+func (s *Service) CheckIn(ci CheckIn) (Assignment, error) {
+	asg, err := s.m.DeviceCheckIn(ci)
+	if err != nil {
+		code := CodeInvalid
+		if errors.Is(err, ErrDeviceBusy) {
+			code = CodeBusy
+		}
+		return Assignment{}, svcErr(code, err)
+	}
+	s.rate.Add(s.m.nowSec(), 1)
+	return asg, nil
+}
+
+// CheckInBatch processes a batch of check-ins; Results[i] answers
+// CheckIns[i], with per-item rejections in each result's Error field.
+func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, error) {
+	if len(req.CheckIns) > MaxBatch {
+		return CheckInBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+	}
+	results := s.m.CheckInBatch(req.CheckIns)
+	served := 0
+	for i := range results {
+		if results[i].Error == "" {
+			served++
+		}
+	}
+	s.rate.Add(s.m.nowSec(), int64(served))
+	return CheckInBatchResponse{Results: results}, nil
+}
+
+// Report records a single task result.
+func (s *Service) Report(r Report) error {
+	if err := s.m.DeviceReport(r); err != nil {
+		code := CodeInvalid
+		if errors.Is(err, ErrUnknownDevice) {
+			code = CodeNotFound
+		}
+		return svcErr(code, err)
+	}
+	return nil
+}
+
+// ReportBatch records a batch of task results; Results[i] answers
+// Reports[i].
+func (s *Service) ReportBatch(req ReportBatchRequest) (ReportBatchResponse, error) {
+	if len(req.Reports) > MaxBatch {
+		return ReportBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+	}
+	return ReportBatchResponse{Results: s.m.ReportBatch(req.Reports)}, nil
+}
+
+// Stats returns the monitoring snapshot.
+func (s *Service) Stats() Stats { return s.m.StatsSnapshot() }
+
+// Metrics returns the serving-telemetry snapshot.
+func (s *Service) Metrics() Metrics { return s.m.MetricsSnapshot() }

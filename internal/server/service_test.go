@@ -1,0 +1,148 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newTestService builds a manager + service pair on a manual clock.
+func newTestService(t *testing.T) (*Service, *Manager) {
+	t.Helper()
+	m := NewManager(Config{})
+	return NewService(m, TransportHTTP), m
+}
+
+// TestServiceTypedErrors pins the error codes each failure class carries —
+// the contract every transport adapter maps from. The service itself is
+// exercised without any HTTP machinery.
+func TestServiceTypedErrors(t *testing.T) {
+	svc, _ := newTestService(t)
+
+	if _, err := svc.RegisterJob(JobSpec{Category: "nope", DemandPerRound: 1, Rounds: 1}); ErrCode(err) != CodeInvalid {
+		t.Errorf("unknown category: code %v, want CodeInvalid", ErrCode(err))
+	}
+	if !errors.Is(func() error { _, err := svc.RegisterJob(JobSpec{Category: "nope", DemandPerRound: 1, Rounds: 1}); return err }(), ErrUnknownCategory) {
+		t.Error("service error must unwrap to ErrUnknownCategory")
+	}
+
+	if _, err := svc.JobStatusByID(12345); ErrCode(err) != CodeNotFound {
+		t.Errorf("unknown job: code %v, want CodeNotFound", ErrCode(err))
+	}
+
+	if _, err := svc.CheckIn(CheckIn{}); ErrCode(err) != CodeInvalid {
+		t.Errorf("missing device_id: code %v, want CodeInvalid", ErrCode(err))
+	}
+
+	// Busy device: register a job so the first check-in gets assigned, then
+	// check in again before reporting.
+	if _, err := svc.RegisterJob(JobSpec{Category: "General", DemandPerRound: 1, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9})
+	if ErrCode(err) != CodeBusy || !errors.Is(err, ErrDeviceBusy) {
+		t.Errorf("busy device: got %v (code %v), want CodeBusy wrapping ErrDeviceBusy", err, ErrCode(err))
+	}
+
+	if err := svc.Report(Report{DeviceID: "ghost", JobID: 0, OK: true}); ErrCode(err) != CodeNotFound {
+		t.Errorf("unknown device report: code %v, want CodeNotFound", ErrCode(err))
+	}
+
+	over := make([]CheckIn, MaxBatch+1)
+	for i := range over {
+		over[i].DeviceID = "x"
+	}
+	if _, err := svc.CheckInBatch(CheckInBatchRequest{CheckIns: over}); ErrCode(err) != CodeInvalid {
+		t.Errorf("oversize batch: code %v, want CodeInvalid", ErrCode(err))
+	}
+	if _, err := svc.ReportBatch(ReportBatchRequest{Reports: make([]Report, MaxBatch+1)}); ErrCode(err) != CodeInvalid {
+		t.Errorf("oversize report batch: code %v, want CodeInvalid", ErrCode(err))
+	}
+
+	// Non-service errors classify as CodeInvalid.
+	if ErrCode(errors.New("plain")) != CodeInvalid {
+		t.Error("plain error must classify as CodeInvalid")
+	}
+}
+
+// bucketCount reads one second's raw count out of a rate counter.
+func bucketCount(rc *rateCounter, sec int64) int64 {
+	b := &rc.buckets[sec%rateRingSeconds]
+	if b.sec.Load() == sec {
+		return b.n.Load()
+	}
+	return 0
+}
+
+// TestServicePerTransportRates checks that served check-ins land in the
+// rate bucket of the transport that carried them.
+func TestServicePerTransportRates(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	m := NewManager(Config{Clock: func() time.Time { return now }})
+	httpSvc := NewService(m, TransportHTTP)
+	streamSvc := NewService(m, TransportStream)
+
+	cis := make([]CheckIn, 10)
+	for i := range cis {
+		cis[i] = CheckIn{DeviceID: string(rune('a' + i)), CPU: 0.5, Mem: 0.5}
+	}
+	if _, err := httpSvc.CheckInBatch(CheckInBatchRequest{CheckIns: cis[:4]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streamSvc.CheckInBatch(CheckInBatchRequest{CheckIns: cis[4:]}); err != nil {
+		t.Fatal(err)
+	}
+	sec := m.nowSec()
+	if got := bucketCount(m.metrics.transportRate(TransportHTTP), sec); got != 4 {
+		t.Errorf("http transport counted %d check-ins, want 4", got)
+	}
+	if got := bucketCount(m.metrics.transportRate(TransportStream), sec); got != 6 {
+		t.Errorf("stream transport counted %d check-ins, want 6", got)
+	}
+	// The snapshot splits the per-transport rates once the second closes.
+	now = now.Add(2 * time.Second)
+	mt := m.MetricsSnapshot()
+	per := mt.CheckInsPerSecByTransport
+	if per[TransportHTTP] <= 0 || per[TransportStream] <= 0 {
+		t.Errorf("per-transport rates missing from snapshot: %v", per)
+	}
+	// Unknown labels share the HTTP bucket rather than crashing.
+	if NewService(m, "carrier-pigeon").rate != m.metrics.perTransport[TransportHTTP] {
+		t.Error("unknown transport label must fall back to the http bucket")
+	}
+}
+
+type fakeStreamSource struct{ tel StreamTelemetry }
+
+func (f *fakeStreamSource) StreamTelemetry() StreamTelemetry { return f.tel }
+
+// TestStreamTelemetryHook checks the telemetry-source pass-through into
+// MetricsSnapshot, including the compare-on-clear semantics a restarted
+// stream listener relies on.
+func TestStreamTelemetryHook(t *testing.T) {
+	m := NewManager(Config{})
+	if mt := m.MetricsSnapshot(); mt.StreamConns != 0 || mt.StreamFramesIn != 0 {
+		t.Fatalf("unattached stream telemetry must be zero, got %+v", mt)
+	}
+	src := &fakeStreamSource{tel: StreamTelemetry{Conns: 3, FramesIn: 70, FramesOut: 68}}
+	m.SetStreamTelemetrySource(src)
+	mt := m.MetricsSnapshot()
+	if mt.StreamConns != 3 || mt.StreamFramesIn != 70 || mt.StreamFramesOut != 68 {
+		t.Errorf("stream telemetry not surfaced: %+v", mt)
+	}
+	// A stale clear (old listener shutting down after a new one attached)
+	// must not detach the new source.
+	src2 := &fakeStreamSource{tel: StreamTelemetry{Conns: 1}}
+	m.SetStreamTelemetrySource(src2)
+	m.ClearStreamTelemetrySource(src)
+	if mt := m.MetricsSnapshot(); mt.StreamConns != 1 {
+		t.Errorf("stale clear clobbered the live source: %+v", mt)
+	}
+	m.ClearStreamTelemetrySource(src2)
+	if mt := m.MetricsSnapshot(); mt.StreamConns != 0 {
+		t.Errorf("detached stream telemetry must read zero, got %d conns", mt.StreamConns)
+	}
+}

@@ -1,0 +1,127 @@
+// Package transport serves the scheduler's Service layer over a persistent
+// binary streaming protocol: length-prefixed frames on a raw TCP
+// connection. Compared to the HTTP adapter it removes per-request framing,
+// header parsing, and connection churn — an agent (or a peer daemon) holds
+// one connection open and pipelines requests over it, correlating replies
+// by request ID.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset size  field
+//	0      2     magic 0x56 0x4E ("VN")
+//	2      1     protocol version (1)
+//	3      1     opcode
+//	4      4     request ID (echoed verbatim in the response)
+//	8      4     payload length N
+//	12     N     payload (JSON, same wire structs + codecs as HTTP)
+//
+// A response reuses the request's opcode with RespFlag set, or OpError with
+// an ErrorPayload body. Request IDs are chosen by the client; responses may
+// arrive out of order (the server answers each frame as its handler
+// finishes), which is what makes pipelining pay.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Magic0  = 0x56 // 'V'
+	Magic1  = 0x4E // 'N'
+	Version = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 12
+)
+
+// Opcodes. Response opcode = request opcode | RespFlag on success; OpError
+// carries an ErrorPayload on failure.
+const (
+	OpCheckIn      byte = 0x01
+	OpCheckInBatch byte = 0x02
+	OpReport       byte = 0x03
+	OpReportBatch  byte = 0x04
+	OpRegisterJob  byte = 0x05
+	OpJobs         byte = 0x06
+	OpJobStatus    byte = 0x07
+	OpStats        byte = 0x08
+	OpMetrics      byte = 0x09
+	OpPing         byte = 0x0A
+
+	// RespFlag marks a frame as a response to the same opcode.
+	RespFlag byte = 0x80
+	// OpError is the error-response opcode; its payload is an ErrorPayload.
+	OpError byte = 0xFF
+)
+
+// ErrorPayload is the body of an OpError response frame. Code carries the
+// service layer's error code (server.Code) so clients can classify without
+// string matching.
+type ErrorPayload struct {
+	Code  int    `json:"code"`
+	Error string `json:"error"`
+}
+
+// JobIDRequest is the OpJobStatus request body.
+type JobIDRequest struct {
+	ID int `json:"id"`
+}
+
+// Frame is one decoded frame.
+type Frame struct {
+	Op      byte
+	ID      uint32
+	Payload []byte
+}
+
+// ErrProtocol reports a framing violation (bad magic or version); the
+// connection cannot be trusted past it and must be closed.
+type ErrProtocol struct{ msg string }
+
+func (e *ErrProtocol) Error() string { return "transport: " + e.msg }
+
+// WriteFrame writes one frame to w (typically a *bufio.Writer; the caller
+// owns flushing).
+func WriteFrame(w io.Writer, op byte, id uint32, payload []byte) error {
+	var hdr [HeaderSize]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = Magic0, Magic1, Version, op
+	binary.BigEndian.PutUint32(hdr[4:8], id)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads and validates one frame. Payloads above maxPayload are
+// rejected as a protocol violation — a correct peer never sends them, and
+// honoring the prefix would let a malformed length balloon memory. The
+// returned payload is freshly allocated (it may outlive the reader).
+func ReadFrame(br *bufio.Reader, maxPayload int) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != Magic0 || hdr[1] != Magic1 {
+		return Frame{}, &ErrProtocol{msg: "bad magic"}
+	}
+	if hdr[2] != Version {
+		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("unsupported version %d", hdr[2])}
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(maxPayload) {
+		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("payload %d exceeds limit %d", n, maxPayload)}
+	}
+	fr := Frame{Op: hdr[3], ID: binary.BigEndian.Uint32(hdr[4:8])}
+	if n > 0 {
+		fr.Payload = make([]byte, n)
+		if _, err := io.ReadFull(br, fr.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return fr, nil
+}

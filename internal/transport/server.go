@@ -1,0 +1,400 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"venn/internal/server"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close, mirroring
+// http.ErrServerClosed.
+var ErrServerClosed = errors.New("transport: server closed")
+
+// Options parameterizes the stream server. The zero value takes defaults.
+type Options struct {
+	// Window bounds the in-flight (read but unanswered) requests per
+	// connection (default 64). When a client pipelines past it, the server
+	// simply stops reading that connection until responses drain —
+	// backpressure propagates through TCP instead of growing queues.
+	Window int
+	// MaxPayload bounds one frame's payload (default server.MaxBatch KiB,
+	// matching the HTTP adapter's batch body bound). A frame announcing
+	// more is a protocol violation and closes the connection.
+	MaxPayload int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = server.MaxBatch * 1024
+	}
+}
+
+// Server serves the scheduler's Service over framed TCP streams. Each
+// connection gets a read loop (frames → bounded handler window) and a write
+// loop (responses → buffered writer, flushed when idle); responses carry
+// the request's ID and may be answered out of order.
+type Server struct {
+	svc  *server.Service
+	m    *server.Manager
+	opts Options
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup // one entry per active connection
+
+	connsActive atomic.Int64
+	framesIn    atomic.Int64
+	framesOut   atomic.Int64
+}
+
+// NewServer builds a stream server over m and registers its telemetry
+// (stream_conns, stream_frames_*) with the manager's /v1/metrics; Shutdown
+// and Close detach it again.
+func NewServer(m *server.Manager, opts Options) *Server {
+	opts.fillDefaults()
+	s := &Server{
+		svc:   server.NewService(m, server.TransportStream),
+		m:     m,
+		opts:  opts,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*srvConn]struct{}),
+	}
+	m.SetStreamTelemetrySource(s)
+	return s
+}
+
+// StreamTelemetry snapshots the live stream counters (implements
+// server.StreamTelemetrySource; reads only atomics, as that contract
+// requires).
+func (s *Server) StreamTelemetry() server.StreamTelemetry {
+	return server.StreamTelemetry{
+		Conns:     s.connsActive.Load(),
+		FramesIn:  s.framesIn.Load(),
+		FramesOut: s.framesOut.Load(),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the server is
+// shut down (then it returns ErrServerClosed).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sc := &srvConn{c: c, out: make(chan outFrame, s.opts.Window)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsActive.Add(1)
+		go s.serveConn(sc)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown closes the listeners, stops reading new frames on every
+// connection, and waits for in-flight requests to be answered and flushed.
+// If ctx expires first, remaining connections are closed hard and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	defer s.m.ClearStreamTelemetrySource(s)
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts the server down without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for sc := range s.conns {
+		sc.c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.m.ClearStreamTelemetrySource(s)
+	return nil
+}
+
+type outFrame struct {
+	op      byte
+	id      uint32
+	payload []byte
+}
+
+type srvConn struct {
+	c   net.Conn
+	out chan outFrame
+	// draining flips when Shutdown asked this connection to stop reading;
+	// the read loop then treats its (deadline-induced) read error as a
+	// clean end-of-stream and lets in-flight responses flush.
+	draining atomic.Bool
+}
+
+// beginDrain stops the connection's read loop at the next frame boundary by
+// expiring its read deadline.
+func (sc *srvConn) beginDrain() {
+	sc.draining.Store(true)
+	_ = sc.c.SetReadDeadline(time.Unix(0, 1))
+}
+
+func (s *Server) serveConn(sc *srvConn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		s.connsActive.Add(-1)
+		s.wg.Done()
+	}()
+
+	// Writer loop: serializes response frames onto the socket. The buffered
+	// writer is flushed only when no more responses are queued, so a burst
+	// of pipelined replies coalesces into few syscalls. After a write
+	// error it keeps draining the channel (dropping frames) so handler
+	// goroutines can never block on a dead connection.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(sc.c, 64<<10)
+		failed := false
+		for fr := range sc.out {
+			if failed {
+				continue
+			}
+			if err := WriteFrame(bw, fr.op, fr.id, fr.payload); err != nil {
+				failed = true
+				continue
+			}
+			s.framesOut.Add(1)
+			if len(sc.out) == 0 && bw.Flush() != nil {
+				failed = true
+			}
+		}
+		if !failed {
+			_ = bw.Flush()
+		}
+	}()
+
+	// Read loop: each frame is handled on its own goroutine, bounded by the
+	// in-flight window. When the window is full the loop blocks before
+	// reading further — pipelining depth is capped per connection, and
+	// backpressure reaches the client through TCP flow control.
+	br := bufio.NewReaderSize(sc.c, 64<<10)
+	sem := make(chan struct{}, s.opts.Window)
+	var handlers sync.WaitGroup
+	for {
+		fr, err := ReadFrame(br, s.opts.MaxPayload)
+		if err != nil {
+			// EOF, peer reset, protocol violation, or the drain deadline:
+			// all end the read loop; in-flight work still completes below.
+			break
+		}
+		s.framesIn.Add(1)
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(fr Frame) {
+			defer handlers.Done()
+			t0 := time.Now()
+			op, payload := s.handle(fr.Op, fr.Payload)
+			s.svc.ObserveHandlerLatency(routeOf(fr.Op), time.Since(t0))
+			sc.out <- outFrame{op: op, id: fr.ID, payload: payload}
+			<-sem
+		}(fr)
+	}
+	handlers.Wait()
+	close(sc.out)
+	<-writerDone
+	sc.c.Close()
+}
+
+// routeOf maps an opcode to the shared handler-latency route label.
+func routeOf(op byte) string {
+	switch op {
+	case OpCheckIn:
+		return server.RouteCheckIn
+	case OpCheckInBatch:
+		return server.RouteCheckInBatch
+	case OpReport:
+		return server.RouteReport
+	case OpReportBatch:
+		return server.RouteReportBatch
+	case OpRegisterJob, OpJobs, OpJobStatus:
+		return server.RouteJobs
+	default:
+		return server.RouteOther
+	}
+}
+
+// handle dispatches one request frame to the service layer and encodes the
+// response. Decode errors and service errors both become OpError frames;
+// only framing violations (handled in the read loop) close the connection.
+func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
+	switch op {
+	case OpCheckIn:
+		var ci server.CheckIn
+		if err := ci.UnmarshalJSON(payload); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		asg, err := s.svc.CheckIn(ci)
+		if err != nil {
+			return svcErrFrame(err)
+		}
+		return respFrame(op, asg)
+	case OpCheckInBatch:
+		var req server.CheckInBatchRequest
+		if err := req.UnmarshalJSON(payload); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		resp, err := s.svc.CheckInBatch(req)
+		if err != nil {
+			return svcErrFrame(err)
+		}
+		return respFrame(op, resp)
+	case OpReport:
+		var rep server.Report
+		if err := rep.UnmarshalJSON(payload); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		if err := s.svc.Report(rep); err != nil {
+			return svcErrFrame(err)
+		}
+		return op | RespFlag, nil
+	case OpReportBatch:
+		var req server.ReportBatchRequest
+		if err := req.UnmarshalJSON(payload); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		resp, err := s.svc.ReportBatch(req)
+		if err != nil {
+			return svcErrFrame(err)
+		}
+		return respFrame(op, resp)
+	case OpRegisterJob:
+		var spec server.JobSpec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		st, err := s.svc.RegisterJob(spec)
+		if err != nil {
+			return svcErrFrame(err)
+		}
+		return respFrame(op, st)
+	case OpJobs:
+		return respFrame(op, s.svc.Jobs())
+	case OpJobStatus:
+		var req JobIDRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return errFrame(server.CodeInvalid, err)
+		}
+		st, err := s.svc.JobStatusByID(req.ID)
+		if err != nil {
+			return svcErrFrame(err)
+		}
+		return respFrame(op, st)
+	case OpStats:
+		return respFrame(op, s.svc.Stats())
+	case OpMetrics:
+		return respFrame(op, s.svc.Metrics())
+	case OpPing:
+		return op | RespFlag, nil
+	default:
+		return errFrame(server.CodeInvalid, errors.New("transport: unknown opcode"))
+	}
+}
+
+// respFrame encodes a success response, using the wire type's hand-rolled
+// marshaler when it has one.
+func respFrame(op byte, v any) (byte, []byte) {
+	var buf []byte
+	var err error
+	if m, ok := v.(json.Marshaler); ok {
+		buf, err = m.MarshalJSON()
+	} else {
+		buf, err = json.Marshal(v)
+	}
+	if err != nil {
+		return errFrame(server.CodeInvalid, err)
+	}
+	return op | RespFlag, buf
+}
+
+func svcErrFrame(err error) (byte, []byte) { return errFrame(server.ErrCode(err), err) }
+
+func errFrame(code server.Code, err error) (byte, []byte) {
+	buf, mErr := json.Marshal(ErrorPayload{Code: int(code), Error: err.Error()})
+	if mErr != nil {
+		buf = []byte(`{"code":1,"error":"transport: unencodable error"}`)
+	}
+	return OpError, buf
+}
