@@ -22,22 +22,31 @@ import (
 )
 
 // report mirrors the subset of vennload's benchReport the guard reads. The
-// three-way shape labels each run with a transport; pre-stream reports
-// lack the field, which decodes as "" and classifies as HTTP.
+// ladder shape labels each run with a transport; pre-stream reports lack
+// the field, which decodes as "" and classifies as HTTP. Cluster runs
+// additionally carry per-node federation counters.
 type report struct {
 	Schema string `json:"schema"`
 	NumCPU int    `json:"num_cpu"`
-	Runs   []struct {
-		Mode           string  `json:"mode"`
-		Transport      string  `json:"transport"`
-		Batch          int     `json:"batch"`
-		CheckInsPerSec float64 `json:"checkins_per_sec"`
-		ServerMetrics  *struct {
-			PlanRebuilds           int64   `json:"plan_rebuilds"`
-			PlanPatches            int64   `json:"plan_patches"`
-			PlanIncrementalHitRate float64 `json:"plan_incremental_hit_rate"`
-		} `json:"server_metrics"`
-	} `json:"runs"`
+	Runs   []run  `json:"runs"`
+}
+
+type run struct {
+	Mode           string  `json:"mode"`
+	Transport      string  `json:"transport"`
+	Batch          int     `json:"batch"`
+	CheckInsPerSec float64 `json:"checkins_per_sec"`
+	Errors         int64   `json:"errors"`
+	Nodes          []struct {
+		Node        string `json:"node"`
+		ForwardsIn  int64  `json:"forwards_in"`
+		ForwardsOut int64  `json:"forwards_out"`
+	} `json:"nodes"`
+	ServerMetrics *struct {
+		PlanRebuilds           int64   `json:"plan_rebuilds"`
+		PlanPatches            int64   `json:"plan_patches"`
+		PlanIncrementalHitRate float64 `json:"plan_incremental_hit_rate"`
+	} `json:"server_metrics"`
 }
 
 func load(path string) (report, error) {
@@ -62,14 +71,57 @@ func batchedRate(r report) (float64, bool) {
 	return 0, false
 }
 
-// streamRate finds the streaming-transport rung.
+// streamRate finds the single-daemon streaming-transport rung.
 func streamRate(r report) (float64, bool) {
 	for _, run := range r.Runs {
-		if run.Transport == "stream" {
+		if run.Transport == "stream" && run.Mode != "cluster" {
 			return run.CheckInsPerSec, true
 		}
 	}
 	return 0, false
+}
+
+// clusterRate finds the federation rung.
+func clusterRate(r report) (float64, bool) {
+	for _, run := range r.Runs {
+		if run.Mode == "cluster" {
+			return run.CheckInsPerSec, true
+		}
+	}
+	return 0, false
+}
+
+// checkClusterRun validates a federation run end to end: zero routing
+// errors, every member both originated and received forwards (a silent
+// all-local run would flatter throughput while testing nothing), and —
+// when a floor is given — aggregate throughput above it.
+func checkClusterRun(r run, label string, floor float64) bool {
+	failed := false
+	if r.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s federation run had %d routing errors\n", label, r.Errors)
+		failed = true
+	}
+	if len(r.Nodes) < 2 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s federation run has %d nodes, want >= 2\n", label, len(r.Nodes))
+		return true
+	}
+	for _, n := range r.Nodes {
+		if n.ForwardsOut == 0 || n.ForwardsIn == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s node %s did not forward (out=%d in=%d)\n",
+				label, n.Node, n.ForwardsOut, n.ForwardsIn)
+			failed = true
+		}
+	}
+	if floor > 0 && r.CheckInsPerSec < floor {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s aggregate throughput %.0f/s below floor %.0f/s\n",
+			label, r.CheckInsPerSec, floor)
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("benchguard: %s federation run OK (%.0f/s aggregate, %d nodes all forwarding)\n",
+			label, r.CheckInsPerSec, len(r.Nodes))
+	}
+	return failed
 }
 
 func main() {
@@ -79,6 +131,10 @@ func main() {
 		maxRegress   = flag.Float64("max-regress", 0.20, "maximum allowed fractional throughput regression")
 		livePath     = flag.String("live", "", "live-daemon smoke report to check the plan hit rate in (optional)")
 		minHitRate   = flag.Float64("min-hit-rate", 0.90, "minimum incremental plan hit rate for the smoke run")
+		clusterPath  = flag.String("cluster-smoke", "", "live federation smoke report: every node must forward, zero routing errors (optional)")
+		clusterFloor = flag.Float64("cluster-floor", 0, "absolute aggregate-throughput floor for -cluster-smoke (0 disables)")
+		floorFrom    = flag.String("cluster-floor-from", "", "derive the -cluster-smoke floor from this single-daemon report's stream rate")
+		floorFrac    = flag.Float64("cluster-floor-frac", 0.25, "fraction of -cluster-floor-from's rate the federation aggregate must reach")
 	)
 	flag.Parse()
 
@@ -119,6 +175,14 @@ func main() {
 			}
 			check("batched-http", batchedRate)
 			check("stream", streamRate)
+			check("cluster", clusterRate)
+		}
+		// Whatever the hardware, a committed-shape cluster run must actually
+		// have federated: every node forwarding, zero routing errors.
+		for _, r := range current.Runs {
+			if r.Mode == "cluster" {
+				failed = checkClusterRun(r, "compare", 0) || failed
+			}
 		}
 	}
 
@@ -146,6 +210,41 @@ func main() {
 		}
 		if !checked {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL live report has no plan telemetry to check")
+			failed = true
+		}
+	}
+
+	if *clusterPath != "" {
+		smoke, err := load(*clusterPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		floor := *clusterFloor
+		if *floorFrom != "" {
+			single, err := load(*floorFrom)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchguard:", err)
+				os.Exit(1)
+			}
+			if rate, ok := streamRate(single); ok {
+				floor = rate * *floorFrac
+				fmt.Printf("benchguard: federation floor = %.2f x single-daemon stream %.0f/s = %.0f/s\n",
+					*floorFrac, rate, floor)
+			} else {
+				fmt.Printf("benchguard: %s has no single-daemon stream run; skipping the federation floor\n", *floorFrom)
+			}
+		}
+		checkedCluster := false
+		for _, r := range smoke.Runs {
+			if r.Mode != "cluster" {
+				continue
+			}
+			checkedCluster = true
+			failed = checkClusterRun(r, "smoke", floor) || failed
+		}
+		if !checkedCluster {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL cluster-smoke report has no cluster run")
 			failed = true
 		}
 	}

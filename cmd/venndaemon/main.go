@@ -22,8 +22,22 @@
 // high-volume agents should prefer it (see the README's Transports
 // section). Both transports drive one scheduler core.
 //
-// Shutdown: SIGINT/SIGTERM drains both listeners — in-flight requests
-// complete (bounded grace) before the process exits.
+// Federation: -peers federates this daemon with others into one serving
+// fleet (see the README's Federation section). Device ownership is sharded
+// across the members by a consistent-hash ring and misrouted check-ins or
+// reports are forwarded to their owner over the stream protocol, so agents
+// may talk to any member:
+//
+//	venndaemon -addr :8080 -stream-addr 10.0.0.1:8081 \
+//	    -peers 10.0.0.1:8081,10.0.0.2:8081,10.0.0.3:8081
+//
+// Every member must be configured with the same -peers set; a member
+// identifies its own entry by -node-id (default: the -stream-addr value).
+//
+// Shutdown: SIGINT/SIGTERM first stops originating new forwards (requests
+// apply locally instead), then drains both listeners — in-flight requests,
+// including forwarded frames, complete (bounded grace) — and finally closes
+// the peer stream clients before the process exits.
 //
 // Profiling: -pprof serves net/http/pprof on a side listener and
 // -cpuprofile records a CPU profile until shutdown, so perf work can
@@ -40,11 +54,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"venn/internal/cluster"
 	"venn/internal/core"
 	"venn/internal/server"
 	"venn/internal/transport"
@@ -60,6 +76,9 @@ func main() {
 		deviceTTL  = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
 		maxBody    = flag.Int64("max-body-bytes", 0, "HTTP single-item request body bound in bytes (0 = default 1MiB)")
 		window     = flag.Int("stream-window", 0, "max in-flight frames per stream connection (0 = default)")
+		peers      = flag.String("peers", "", "comma-separated stream addresses of every cluster member (enables federation; requires -stream-addr)")
+		nodeID     = flag.String("node-id", "", "this node's member ID in -peers (default: the -stream-addr value)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default 128)")
 		pprofSrv   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
 	)
@@ -119,20 +138,61 @@ func main() {
 		}()
 	}
 
+	var clu *cluster.Cluster
+	if *peers != "" {
+		if *streamAddr == "" {
+			fmt.Fprintln(os.Stderr, "venndaemon: -peers requires -stream-addr (peers forward over the stream protocol)")
+			stopProfile()
+			os.Exit(1)
+		}
+		self := *nodeID
+		if self == "" {
+			self = *streamAddr
+		}
+		var err error
+		clu, err = cluster.New(m, cluster.Config{
+			SelfID: self,
+			Peers:  strings.Split(*peers, ","),
+			VNodes: *vnodes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "venndaemon:", err)
+			stopProfile()
+			os.Exit(1)
+		}
+		// Shutdown ordering, step 1: the moment the signal lands, stop
+		// originating new forwards so the listener drain below never races
+		// fresh frames onto peer connections about to close.
+		go func() {
+			<-ctx.Done()
+			clu.BeginDrain()
+		}()
+	}
+
 	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d device-ttl=%v", *addr,
 		*tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
 	if *streamAddr != "" {
 		fmt.Printf(" stream=%s", *streamAddr)
 	}
+	if clu != nil {
+		fmt.Printf(" federation=%s", clu)
+	}
 	fmt.Println(")")
 
 	err := server.Serve(ctx, *addr, m, server.HandlerConfig{MaxBodyBytes: *maxBody})
+	// Step 2: drain the stream listener — in-flight frames, forwarded ones
+	// included, are answered before their connections close.
 	if streamSrv != nil {
 		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if serr := streamSrv.Shutdown(sctx); serr != nil {
 			fmt.Fprintln(os.Stderr, "venndaemon: stream shutdown:", serr)
 		}
 		scancel()
+	}
+	// Step 3: with no new forwards and the listeners drained, wait out any
+	// forwards still in flight and close the peer stream clients.
+	if clu != nil {
+		_ = clu.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "venndaemon:", err)

@@ -1,11 +1,12 @@
 // Command vennload is the serving-path load generator: it spins up N
-// thousand synthetic device agents against a live venndaemon, drives
-// registered jobs to completion, and writes throughput and latency
-// percentiles to a BENCH_serve.json artifact. It is the repo's continuous
-// measurement of the wall-clock serving path — CI runs a short smoke pass
-// on every PR, and the -compare mode records a three-way ladder: the
-// single-lock one-request-per-check-in baseline, the batched+sharded HTTP
-// path, and the persistent binary stream transport.
+// thousand synthetic device agents against a live venndaemon (or a whole
+// federation of them), drives registered jobs to completion, and writes
+// throughput and latency percentiles to a BENCH_serve.json artifact. It is
+// the repo's continuous measurement of the wall-clock serving path — CI runs
+// a short smoke pass on every PR, and the -compare mode records a four-way
+// ladder: the single-lock one-request-per-check-in baseline, the
+// batched+sharded HTTP path, the persistent binary stream transport, and a
+// two-daemon federation over that stream transport.
 //
 // Against a running daemon:
 //
@@ -13,10 +14,15 @@
 //	vennload -daemon http://localhost:8080 -agents 2000 -duration 10s
 //	vennload -transport stream -stream-daemon localhost:8081 -agents 2000 -duration 10s
 //
-// Self-hosted (spins an in-process daemon; no external setup):
+// Against a running federation (one lane of agents per member; agents land
+// on an arbitrary member, exercising the forwarding path):
+//
+//	vennload -cluster-daemons 10.0.0.1:8081,10.0.0.2:8081 -agents 2000 -duration 10s
+//
+// Self-hosted (spins in-process daemons; no external setup):
 //
 //	vennload -agents 2000 -duration 10s -out BENCH_serve.json
-//	vennload -transport stream -agents 2000 -duration 10s
+//	vennload -cluster 2 -agents 2000 -duration 10s
 //	vennload -compare -agents 2000 -duration 5s -out BENCH_serve.json
 package main
 
@@ -31,17 +37,19 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"venn/internal/client"
+	"venn/internal/cluster"
 	"venn/internal/server"
 	"venn/internal/stats"
 	"venn/internal/transport"
 )
 
-// apiClient is the client surface one load run drives; both the HTTP
+// apiClient is the client surface one load lane drives; both the HTTP
 // client and the stream client satisfy it.
 type apiClient interface {
 	RegisterJob(server.JobSpec) (server.JobStatus, error)
@@ -56,24 +64,26 @@ type apiClient interface {
 
 func main() {
 	var (
-		daemon    = flag.String("daemon", "", "venndaemon base URL; empty self-hosts an in-process daemon")
-		streamDmn = flag.String("stream-daemon", "", "venndaemon stream address (host:port) for -transport stream against a live daemon")
-		transp    = flag.String("transport", "http", "transport to drive: http | stream")
-		agents    = flag.Int("agents", 2000, "number of synthetic device agents")
-		duration  = flag.Duration("duration", 10*time.Second, "load duration per run")
-		batch     = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
-		conns     = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
-		streamCns = flag.Int("stream-conns", 0, "stream connections to multiplex workers over (0 = workers/2, min 1)")
-		jobs      = flag.Int("jobs", 8, "CL jobs to register")
-		demand    = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
-		rounds    = flag.Int("rounds", 1, "rounds per job")
-		category  = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
-		shards    = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
-		seed      = flag.Int64("seed", 1, "random seed for the synthetic fleet")
-		out       = flag.String("out", "", "write a JSON benchmark report to this file")
-		compare   = flag.Bool("compare", false, "self-host and record the three-way ladder: single-lock HTTP, batched+sharded HTTP, batched stream")
-		pprofSrv  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
+		daemon      = flag.String("daemon", "", "venndaemon base URL; empty self-hosts an in-process daemon")
+		streamDmn   = flag.String("stream-daemon", "", "venndaemon stream address (host:port) for -transport stream against a live daemon")
+		clusterDmns = flag.String("cluster-daemons", "", "comma-separated stream addresses of live federated daemons to drive (one agent lane per member)")
+		clusterN    = flag.Int("cluster", 0, "self-host a federation of N daemons (stream transport) and drive all of them")
+		transp      = flag.String("transport", "http", "transport to drive: http | stream")
+		agents      = flag.Int("agents", 2000, "number of synthetic device agents")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration per run")
+		batch       = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
+		conns       = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
+		streamCns   = flag.Int("stream-conns", 0, "stream connections to multiplex workers over (0 = workers/2, min 1)")
+		jobs        = flag.Int("jobs", 8, "CL jobs to register (per federation member in cluster mode)")
+		demand      = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
+		rounds      = flag.Int("rounds", 1, "rounds per job")
+		category    = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
+		shards      = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
+		seed        = flag.Int64("seed", 1, "random seed for the synthetic fleet")
+		out         = flag.String("out", "", "write a JSON benchmark report to this file")
+		compare     = flag.Bool("compare", false, "self-host and record the four-way ladder: single-lock HTTP, batched+sharded HTTP, batched stream, 2-daemon federation")
+		pprofSrv    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
 	)
 	flag.Parse()
 
@@ -83,6 +93,10 @@ func main() {
 	}
 	if *streamDmn != "" && *transp != "stream" {
 		fmt.Fprintln(os.Stderr, "vennload: -stream-daemon requires -transport stream")
+		os.Exit(2)
+	}
+	if *clusterDmns != "" && *clusterN > 0 {
+		fmt.Fprintln(os.Stderr, "vennload: -cluster (self-hosted) and -cluster-daemons (live) are mutually exclusive")
 		os.Exit(2)
 	}
 	if *conns <= 0 {
@@ -145,10 +159,20 @@ func main() {
 		stream := base
 		stream.Mode, stream.Transport, stream.Shards, stream.Batch = "stream", "stream", *shards, max(*batch, 2)
 		report.Runs = append(report.Runs, runSelfHosted(stream))
+		// Rung 4: a federation of stream daemons sharing the fleet by
+		// consistent-hash ownership, agents spread across all members.
+		nodes := *clusterN
+		if nodes <= 0 {
+			nodes = 2
+		}
+		clus := base
+		clus.Mode, clus.Transport, clus.Shards, clus.Batch, clus.ClusterNodes = "cluster", "stream", *shards, max(*batch, 2), nodes
+		report.Runs = append(report.Runs, runSelfHostedCluster(clus))
 
 		singleRate := report.Runs[0].CheckInsPerSec
 		batchedRate := report.Runs[1].CheckInsPerSec
 		streamRate := report.Runs[2].CheckInsPerSec
+		clusterRate := report.Runs[3].CheckInsPerSec
 		if singleRate > 0 {
 			report.SpeedupBatchedVsSingle = batchedRate / singleRate
 			report.SpeedupStreamVsSingle = streamRate / singleRate
@@ -159,6 +183,24 @@ func main() {
 			report.SpeedupStreamVsBatched = streamRate / batchedRate
 			fmt.Printf("speedup (stream vs batched HTTP):              %.2fx\n", report.SpeedupStreamVsBatched)
 		}
+		if streamRate > 0 {
+			report.SpeedupClusterVsStream = clusterRate / streamRate
+			fmt.Printf("speedup (%d-daemon cluster vs one stream daemon): %.2fx\n", nodes, report.SpeedupClusterVsStream)
+		}
+	case *clusterDmns != "":
+		cfg := base
+		cfg.Mode, cfg.Transport, cfg.Batch = "cluster", "stream", *batch
+		addrs := strings.Split(*clusterDmns, ",")
+		cfg.ClusterNodes = len(addrs)
+		lanes := make([]lane, len(addrs))
+		for i, addr := range addrs {
+			lanes[i] = lane{name: addr, c: newStreamClient(addr, cfg)}
+		}
+		report.Runs = append(report.Runs, runLoad(lanes, cfg))
+	case *clusterN > 0:
+		cfg := base
+		cfg.Mode, cfg.Transport, cfg.Shards, cfg.Batch, cfg.ClusterNodes = "cluster", "stream", *shards, *batch, *clusterN
+		report.Runs = append(report.Runs, runSelfHostedCluster(cfg))
 	case *daemon != "" || *streamDmn != "":
 		cfg := base
 		cfg.Mode, cfg.Transport, cfg.Batch = modeName(*batch, *transp), *transp, *batch
@@ -172,12 +214,14 @@ func main() {
 		} else {
 			c = newHTTPClient(*daemon, cfg)
 		}
-		report.Runs = append(report.Runs, runLoad(c, cfg))
+		report.Runs = append(report.Runs, runLoad([]lane{{name: "daemon", c: c}}, cfg))
 	default:
 		cfg := base
 		cfg.Mode, cfg.Transport, cfg.Shards, cfg.Batch = modeName(*batch, *transp), *transp, *shards, *batch
 		report.Runs = append(report.Runs, runSelfHosted(cfg))
 	}
+
+	printSummary(report)
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -203,19 +247,20 @@ func modeName(batch int, transport string) string {
 }
 
 type loadConfig struct {
-	Mode        string
-	Transport   string // "http" | "stream"
-	Shards      int    // self-hosted runs only; 0 = server default
-	Batch       int
-	Agents      int
-	Conns       int
-	StreamConns int // 0 = Conns/2, min 1
-	Duration    time.Duration
-	Jobs        int
-	Demand      int
-	Rounds      int
-	Category    string // "" cycles the standard strata
-	Seed        int64
+	Mode         string
+	Transport    string // "http" | "stream"
+	Shards       int    // self-hosted runs only; 0 = server default
+	Batch        int
+	Agents       int
+	Conns        int
+	StreamConns  int // 0 = Conns/2, min 1
+	ClusterNodes int // federation member count (cluster mode only)
+	Duration     time.Duration
+	Jobs         int
+	Demand       int
+	Rounds       int
+	Category     string // "" cycles the standard strata
+	Seed         int64
 }
 
 func (cfg loadConfig) streamPool() int {
@@ -237,6 +282,23 @@ type percentiles struct {
 	Max  float64 `json:"max"`
 }
 
+// nodeResult is one federation member's slice of a cluster run: client-side
+// throughput of the lane that drove it plus the member's own federation
+// counters.
+type nodeResult struct {
+	Node           string  `json:"node"`
+	CheckIns       int64   `json:"checkins"`
+	CheckInsPerSec float64 `json:"checkins_per_sec"`
+	Errors         int64   `json:"errors"`
+	JobsDone       int     `json:"jobs_done"`
+	ForwardsIn     int64   `json:"forwards_in"`
+	ForwardsOut    int64   `json:"forwards_out"`
+	ForwardErrors  int64   `json:"forward_errors"`
+	LocalFallbacks int64   `json:"local_fallbacks"`
+	PeersUp        int     `json:"peers_up"`
+	PeersDown      int     `json:"peers_down"`
+}
+
 type runResult struct {
 	Mode             string          `json:"mode"`
 	Transport        string          `json:"transport"`
@@ -254,7 +316,17 @@ type runResult struct {
 	JobsTotal        int             `json:"jobs_total"`
 	JobsDone         int             `json:"jobs_done"`
 	RequestLatencyMs percentiles     `json:"request_latency_ms"`
+	Nodes            []nodeResult    `json:"nodes,omitempty"`
 	ServerMetrics    *server.Metrics `json:"server_metrics,omitempty"`
+}
+
+// forwards sums the run's federation counters across its nodes.
+func (r runResult) forwards() (in, out int64) {
+	for _, n := range r.Nodes {
+		in += n.ForwardsIn
+		out += n.ForwardsOut
+	}
+	return in, out
 }
 
 type benchReport struct {
@@ -268,6 +340,42 @@ type benchReport struct {
 	SpeedupBatchedVsSingle float64     `json:"speedup_batched_vs_single,omitempty"`
 	SpeedupStreamVsSingle  float64     `json:"speedup_stream_vs_single,omitempty"`
 	SpeedupStreamVsBatched float64     `json:"speedup_stream_vs_batched,omitempty"`
+	SpeedupClusterVsStream float64     `json:"speedup_cluster_vs_stream,omitempty"`
+}
+
+// printMu serializes all human-readable run output: each run's block is
+// assembled off to the side and printed atomically, so per-node (or any
+// future concurrent) runs can never interleave lines mid-block.
+var printMu sync.Mutex
+
+func printBlock(b *strings.Builder) {
+	printMu.Lock()
+	fmt.Print(b.String())
+	printMu.Unlock()
+}
+
+// printSummary renders the end-of-run table: one row per run with its
+// throughput and federation forward counts, plus per-node rows for cluster
+// runs.
+func printSummary(report benchReport) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%-10s %-9s %5s %5s %14s %10s %10s %8s %8s\n",
+		"mode", "transport", "nodes", "batch", "checkins/s", "fwd_out", "fwd_in", "errors", "jobs")
+	for _, run := range report.Runs {
+		nodes := 1
+		if len(run.Nodes) > 0 {
+			nodes = len(run.Nodes)
+		}
+		in, out := run.forwards()
+		fmt.Fprintf(&b, "%-10s %-9s %5d %5d %14.0f %10d %10d %8d %d/%d\n",
+			run.Mode, run.Transport, nodes, run.Batch, run.CheckInsPerSec,
+			out, in, run.Errors, run.JobsDone, run.JobsTotal)
+		for _, n := range run.Nodes {
+			fmt.Fprintf(&b, "  └ %-24s %14.0f %10d %10d %8d %d\n",
+				n.Node, n.CheckInsPerSec, n.ForwardsOut, n.ForwardsIn, n.Errors, n.JobsDone)
+		}
+	}
+	printBlock(&b)
 }
 
 func newHTTPClient(baseURL string, cfg loadConfig) apiClient {
@@ -286,9 +394,34 @@ func newStreamClient(addr string, cfg loadConfig) apiClient {
 		client.WithStreamTimeout(30*time.Second))
 }
 
-// runSelfHosted spins an in-process daemon on the requested transport,
-// drives the load against it over real loopback sockets, and tears it
-// down.
+// selfHostedNode is one in-process daemon: manager, listener, transport
+// server, optional federation layer, and its tick loop.
+type selfHostedNode struct {
+	m        *server.Manager
+	clu      *cluster.Cluster
+	teardown func()
+}
+
+// startTicker runs the manager's once-a-second maintenance until stop.
+func startTicker(m *server.Manager) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// runSelfHosted spins one in-process daemon on the requested transport,
+// drives the load against it over real loopback sockets, and tears it down.
 func runSelfHosted(cfg loadConfig) runResult {
 	m := server.NewManager(server.Config{Shards: cfg.Shards})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -309,24 +442,12 @@ func runSelfHosted(cfg loadConfig) runResult {
 		c = newHTTPClient("http://"+ln.Addr().String(), cfg)
 		teardown = func() { _ = srv.Close() }
 	}
-	stop := make(chan struct{})
-	go func() {
-		t := time.NewTicker(time.Second)
-		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				m.Tick()
-			case <-stop:
-				return
-			}
-		}
-	}()
+	stopTick := startTicker(m)
 	defer func() {
-		close(stop)
+		stopTick()
 		teardown()
 	}()
-	res := runLoad(c, cfg)
+	res := runLoad([]lane{{name: "daemon", c: c}}, cfg)
 	if cfg.Shards > 0 {
 		res.Shards = cfg.Shards
 	} else if res.ServerMetrics != nil {
@@ -335,19 +456,101 @@ func runSelfHosted(cfg loadConfig) runResult {
 	return res
 }
 
-// runLoad drives one load run through the given client.
-func runLoad(c apiClient, cfg loadConfig) runResult {
-	if _, err := c.Stats(); err != nil {
-		fmt.Fprintf(os.Stderr, "vennload: daemon unreachable: %v\n", err)
-		os.Exit(1)
+// runSelfHostedCluster spins cfg.ClusterNodes federated in-process daemons
+// (stream transport, consistent-hash ownership over all members) and drives
+// one agent lane per member — each lane's fleet slice lands on an arbitrary
+// owner, so roughly (N-1)/N of all traffic exercises the forwarding path.
+func runSelfHostedCluster(cfg loadConfig) runResult {
+	n := cfg.ClusterNodes
+	if n < 2 {
+		n = 2
+		cfg.ClusterNodes = n
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: listen:", err)
+			os.Exit(1)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]selfHostedNode, n)
+	lanes := make([]lane, n)
+	for i := range nodes {
+		m := server.NewManager(server.Config{Shards: cfg.Shards})
+		ts := transport.NewServer(m, transport.Options{})
+		go func(ln net.Listener) { _ = ts.Serve(ln) }(lns[i])
+		clu, err := cluster.New(m, cluster.Config{SelfID: addrs[i], Peers: addrs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: cluster:", err)
+			os.Exit(1)
+		}
+		stopTick := startTicker(m)
+		nodes[i] = selfHostedNode{m: m, clu: clu, teardown: func() {
+			stopTick()
+			_ = clu.Close()
+			_ = ts.Close()
+		}}
+		lanes[i] = lane{name: addrs[i], c: newStreamClient(addrs[i], cfg)}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.teardown()
+		}
+	}()
+	res := runLoad(lanes, cfg)
+	if cfg.Shards > 0 {
+		res.Shards = cfg.Shards
+	}
+	return res
+}
+
+// lane is one load target: a named client (a single daemon, or one member
+// of a federation) that a share of the workers drives.
+type lane struct {
+	name string
+	c    apiClient
+}
+
+// runLoad drives one load run through the given lanes. Workers are spread
+// across lanes round-robin; each worker drives a disjoint slice of the
+// fleet through its lane's client, so a device always checks in via the
+// same member (its reports then chase its assignments to the same owner).
+func runLoad(lanes []lane, cfg loadConfig) runResult {
+	// Every lane needs at least one worker driving a non-empty fleet slice,
+	// or an undriven member's jobs never complete and its forward counters
+	// stay zero (which the CI federation gate would read as a broken
+	// cluster). Workers beyond the agent count would get empty slices and
+	// skip out, so bound conns by agents first; that makes agents >= lanes
+	// a hard requirement.
+	if cfg.Agents < len(lanes) {
+		fmt.Fprintf(os.Stderr, "vennload: -agents %d is fewer than the %d federation members; every member needs at least one agent\n",
+			cfg.Agents, len(lanes))
+		os.Exit(2)
+	}
+	if cfg.Conns > cfg.Agents {
+		cfg.Conns = cfg.Agents
+	}
+	if cfg.Conns < len(lanes) {
+		cfg.Conns = len(lanes)
+	}
+	for _, l := range lanes {
+		if _, err := l.c.Stats(); err != nil {
+			fmt.Fprintf(os.Stderr, "vennload: daemon %s unreachable: %v\n", l.name, err)
+			os.Exit(1)
+		}
 	}
 
-	// Register the CL jobs. Auto demand keeps total required responses
+	// Register the CL jobs — one set per lane, since federation members run
+	// independent schedulers. Auto demand keeps total required responses
 	// well under the fleet's one-task-per-day capacity so every job can
 	// finish within the run.
 	demand := cfg.Demand
 	if demand <= 0 {
-		demand = cfg.Agents / (4 * cfg.Jobs * cfg.Rounds)
+		demand = cfg.Agents / (4 * cfg.Jobs * cfg.Rounds * len(lanes))
 		if demand < 1 {
 			demand = 1
 		}
@@ -356,20 +559,23 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 	if cfg.Category != "" {
 		categories = []string{cfg.Category}
 	}
-	jobIDs := make([]int, 0, cfg.Jobs)
-	for i := 0; i < cfg.Jobs; i++ {
-		st, err := c.RegisterJob(server.JobSpec{
-			Name:           fmt.Sprintf("load-job-%d", i),
-			Category:       categories[i%len(categories)],
-			DemandPerRound: demand,
-			Rounds:         cfg.Rounds,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vennload: register job:", err)
-			os.Exit(1)
+	laneJobs := make([][]int, len(lanes))
+	for li, l := range lanes {
+		for i := 0; i < cfg.Jobs; i++ {
+			st, err := l.c.RegisterJob(server.JobSpec{
+				Name:           fmt.Sprintf("load-job-%d-%d", li, i),
+				Category:       categories[i%len(categories)],
+				DemandPerRound: demand,
+				Rounds:         cfg.Rounds,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vennload: register job:", err)
+				os.Exit(1)
+			}
+			laneJobs[li] = append(laneJobs[li], st.ID)
 		}
-		jobIDs = append(jobIDs, st.ID)
 	}
+	jobsTotal := cfg.Jobs * len(lanes)
 
 	// Synthesize the fleet.
 	rng := stats.NewRNG(cfg.Seed)
@@ -386,19 +592,30 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 		}
 	}
 
+	type laneStat struct {
+		checkIns atomic.Int64
+		errs     atomic.Int64
+	}
 	var (
 		checkIns    atomic.Int64
 		assignments atomic.Int64
 		reports     atomic.Int64
 		errs        atomic.Int64
+		laneStats   = make([]laneStat, len(lanes))
 
 		latMu     sync.Mutex
 		latencies []float64
 	)
 	const maxLatSamplesPerWorker = 100_000
 
-	fmt.Printf("run %q: %s transport, %d agents, %d conns, batch %d, %v\n",
+	var head strings.Builder
+	fmt.Fprintf(&head, "run %q: %s transport, %d agents, %d conns, batch %d, %v",
 		cfg.Mode, cfg.Transport, cfg.Agents, cfg.Conns, cfg.Batch, cfg.Duration)
+	if len(lanes) > 1 {
+		fmt.Fprintf(&head, ", %d federation members", len(lanes))
+	}
+	head.WriteByte('\n')
+	printBlock(&head)
 
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
@@ -409,8 +626,9 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 		if lo >= hi {
 			continue
 		}
+		li := w % len(lanes)
 		wg.Add(1)
-		go func(mine []dev, taskRNG *stats.RNG) {
+		go func(c apiClient, ls *laneStat, mine []dev, taskRNG *stats.RNG) {
 			defer wg.Done()
 			local := make([]float64, 0, 4096)
 			record := func(d time.Duration) {
@@ -436,6 +654,7 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 					record(time.Since(t0))
 					if err != nil {
 						errs.Add(1)
+						ls.errs.Add(1)
 						continue
 					}
 					pendingReports = pendingReports[:0]
@@ -446,6 +665,7 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 							// device): not a served check-in — counting
 							// it would flatter the batched throughput.
 							errs.Add(1)
+							ls.errs.Add(1)
 							continue
 						}
 						served++
@@ -461,9 +681,11 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 						})
 					}
 					checkIns.Add(int64(served))
+					ls.checkIns.Add(int64(served))
 					if len(pendingReports) > 0 {
 						if _, err := c.ReportBatch(pendingReports); err != nil {
 							errs.Add(1)
+							ls.errs.Add(1)
 						} else {
 							reports.Add(int64(len(pendingReports)))
 						}
@@ -478,9 +700,11 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 				record(time.Since(t0))
 				if err != nil {
 					errs.Add(1)
+					ls.errs.Add(1)
 					continue
 				}
 				checkIns.Add(1)
+				ls.checkIns.Add(1)
 				if !asg.Assigned {
 					continue
 				}
@@ -493,6 +717,7 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 				})
 				if err != nil {
 					errs.Add(1)
+					ls.errs.Add(1)
 				} else {
 					reports.Add(1)
 				}
@@ -500,21 +725,26 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 			latMu.Lock()
 			latencies = append(latencies, local...)
 			latMu.Unlock()
-		}(fleet[lo:hi], rng.Fork())
+		}(lanes[li].c, &laneStats[li], fleet[lo:hi], rng.Fork())
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	// Give in-flight rounds a moment to drain, then count completions.
 	jobsDone := 0
+	laneDone := make([]int, len(lanes))
 	for waited := time.Duration(0); waited < 3*time.Second; waited += 200 * time.Millisecond {
 		jobsDone = 0
-		for _, id := range jobIDs {
-			if st, err := c.JobStatus(id); err == nil && st.State == "done" {
-				jobsDone++
+		for li, l := range lanes {
+			laneDone[li] = 0
+			for _, id := range laneJobs[li] {
+				if st, err := l.c.JobStatus(id); err == nil && st.State == "done" {
+					laneDone[li]++
+				}
 			}
+			jobsDone += laneDone[li]
 		}
-		if jobsDone == len(jobIDs) {
+		if jobsDone == jobsTotal {
 			break
 		}
 		time.Sleep(200 * time.Millisecond)
@@ -532,7 +762,7 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 		Assignments:     assignments.Load(),
 		Reports:         reports.Load(),
 		Errors:          errs.Load(),
-		JobsTotal:       len(jobIDs),
+		JobsTotal:       jobsTotal,
 		JobsDone:        jobsDone,
 	}
 	if cfg.Transport == "stream" {
@@ -548,24 +778,50 @@ func runLoad(c apiClient, cfg loadConfig) runResult {
 			Max:  latencies[len(latencies)-1],
 		}
 	}
-	if mt, err := c.Metrics(); err == nil {
-		res.ServerMetrics = &mt
-		res.Shards = mt.Shards
-	}
-	fmt.Printf("  %d check-ins in %.2fs = %.0f/s; %d assigned, %d reported, %d errors, %d/%d jobs done (req p50 %.3fms p99 %.3fms)\n",
-		res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "  [%s] %d check-ins in %.2fs = %.0f/s; %d assigned, %d reported, %d errors, %d/%d jobs done (req p50 %.3fms p99 %.3fms)\n",
+		cfg.Mode, res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
 		res.Reports, res.Errors, res.JobsDone, res.JobsTotal,
 		res.RequestLatencyMs.P50, res.RequestLatencyMs.P99)
-	if mt := res.ServerMetrics; mt != nil {
+
+	if len(lanes) > 1 {
+		// Per-member rows: lane-side throughput plus the member's own
+		// federation counters from /v1/metrics.
+		for li, l := range lanes {
+			nr := nodeResult{
+				Node:           l.name,
+				CheckIns:       laneStats[li].checkIns.Load(),
+				CheckInsPerSec: float64(laneStats[li].checkIns.Load()) / elapsed.Seconds(),
+				Errors:         laneStats[li].errs.Load(),
+				JobsDone:       laneDone[li],
+			}
+			if mt, err := l.c.Metrics(); err == nil {
+				nr.ForwardsIn = mt.ClusterForwardsIn
+				nr.ForwardsOut = mt.ClusterForwardsOut
+				nr.ForwardErrors = mt.ClusterForwardErrors
+				nr.LocalFallbacks = mt.ClusterLocalFallbacks
+				nr.PeersUp = mt.ClusterPeersUp
+				nr.PeersDown = mt.ClusterPeersDown
+			}
+			res.Nodes = append(res.Nodes, nr)
+			fmt.Fprintf(&b, "    node %s: %.0f checkins/s, fwd out %d / in %d (errors %d, fallbacks %d), %d jobs done\n",
+				nr.Node, nr.CheckInsPerSec, nr.ForwardsOut, nr.ForwardsIn,
+				nr.ForwardErrors, nr.LocalFallbacks, nr.JobsDone)
+		}
+	} else if mt, err := lanes[0].c.Metrics(); err == nil {
+		res.ServerMetrics = &mt
+		res.Shards = mt.Shards
 		if mt.PlanRebuilds+mt.PlanPatches > 0 {
-			fmt.Printf("  plan: %d rebuilds, %d patches (incremental hit rate %.1f%%); %d/%d check-ins lock-free\n",
+			fmt.Fprintf(&b, "  plan: %d rebuilds, %d patches (incremental hit rate %.1f%%); %d/%d check-ins lock-free\n",
 				mt.PlanRebuilds, mt.PlanPatches, 100*mt.PlanIncrementalHitRate,
 				mt.LockFreeCheckIns, mt.CheckIns)
 		}
 		if mt.StreamFramesIn > 0 {
-			fmt.Printf("  stream: %d conns, %d frames in, %d frames out; per-transport rates %v\n",
+			fmt.Fprintf(&b, "  stream: %d conns, %d frames in, %d frames out; per-transport rates %v\n",
 				mt.StreamConns, mt.StreamFramesIn, mt.StreamFramesOut, mt.CheckInsPerSecByTransport)
 		}
 	}
+	printBlock(&b)
 	return res
 }

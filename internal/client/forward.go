@@ -1,0 +1,36 @@
+package client
+
+import (
+	"venn/internal/server"
+	"venn/internal/transport"
+)
+
+// Forwarded-request variants of the serving calls, used by the federation
+// layer (internal/cluster) when relaying a request to the daemon that owns
+// its device. They are identical to their plain counterparts except that the
+// request opcode carries transport.HopFlag, which tells the receiving daemon
+// to serve the request itself and never forward it again (the hop guard
+// against routing loops between daemons with disagreeing rings). The same
+// multiplexing connection pool carries forwarded and first-hand traffic.
+
+// CheckInForward relays a check-in to its owning daemon.
+func (s *StreamClient) CheckInForward(ci server.CheckIn) (server.Assignment, error) {
+	return s.checkInOp(transport.OpCheckIn|transport.HopFlag, ci)
+}
+
+// CheckInBatchForward relays an owner-split check-in batch to its owning
+// daemon. Results[i] answers cis[i].
+func (s *StreamClient) CheckInBatchForward(cis []server.CheckIn) ([]server.CheckInResult, error) {
+	return s.checkInBatchOp(transport.OpCheckInBatch|transport.HopFlag, cis)
+}
+
+// ReportForward relays a task report to its owning daemon.
+func (s *StreamClient) ReportForward(r server.Report) error {
+	return s.reportOp(transport.OpReport|transport.HopFlag, r)
+}
+
+// ReportBatchForward relays an owner-split report batch to its owning
+// daemon. Results[i] answers rs[i].
+func (s *StreamClient) ReportBatchForward(rs []server.Report) ([]server.ReportResult, error) {
+	return s.reportBatchOp(transport.OpReportBatch|transport.HopFlag, rs)
+}

@@ -97,12 +97,16 @@ func (s *StreamClient) Ping() error {
 
 // CheckIn announces device availability and returns the assignment.
 func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
+	return s.checkInOp(transport.OpCheckIn, ci)
+}
+
+func (s *StreamClient) checkInOp(op byte, ci server.CheckIn) (server.Assignment, error) {
 	var asg server.Assignment
 	payload, err := ci.MarshalJSON()
 	if err != nil {
 		return asg, err
 	}
-	resp, err := s.do(transport.OpCheckIn, payload)
+	resp, err := s.do(op, payload)
 	if err != nil {
 		return asg, err
 	}
@@ -114,11 +118,15 @@ func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
 // frame. Results[i] answers cis[i]; per-item rejections surface in each
 // result's Error field, not as a Go error.
 func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, error) {
+	return s.checkInBatchOp(transport.OpCheckInBatch, cis)
+}
+
+func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.CheckInResult, error) {
 	payload, err := server.CheckInBatchRequest{CheckIns: cis}.MarshalJSON()
 	if err != nil {
 		return nil, err
 	}
-	buf, err := s.do(transport.OpCheckInBatch, payload)
+	buf, err := s.do(op, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -134,22 +142,30 @@ func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResul
 
 // Report submits a task result.
 func (s *StreamClient) Report(r server.Report) error {
+	return s.reportOp(transport.OpReport, r)
+}
+
+func (s *StreamClient) reportOp(op byte, r server.Report) error {
 	payload, err := r.MarshalJSON()
 	if err != nil {
 		return err
 	}
-	_, err = s.do(transport.OpReport, payload)
+	_, err = s.do(op, payload)
 	return err
 }
 
 // ReportBatch submits a batch of task results in one frame. Results[i]
 // answers rs[i].
 func (s *StreamClient) ReportBatch(rs []server.Report) ([]server.ReportResult, error) {
+	return s.reportBatchOp(transport.OpReportBatch, rs)
+}
+
+func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.ReportResult, error) {
 	payload, err := server.ReportBatchRequest{Reports: rs}.MarshalJSON()
 	if err != nil {
 		return nil, err
 	}
-	buf, err := s.do(transport.OpReportBatch, payload)
+	buf, err := s.do(op, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +271,7 @@ func (sc *streamConn) connectLocked() error {
 	}
 	c, err := net.DialTimeout("tcp", sc.addr, sc.timeout)
 	if err != nil {
-		return fmt.Errorf("client: dial stream %s: %w", sc.addr, err)
+		return &NotSentError{Err: fmt.Errorf("client: dial stream %s: %w", sc.addr, err)}
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
@@ -348,7 +364,7 @@ func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
 		case <-ch:
 		default:
 		}
-		return nil, fmt.Errorf("client: stream write: %w", err)
+		return nil, &NotSentError{Err: fmt.Errorf("client: stream write: %w", err)}
 	}
 
 	timer := time.NewTimer(sc.timeout)
@@ -389,3 +405,16 @@ type StreamError struct {
 func (e *StreamError) Error() string {
 	return fmt.Sprintf("client: %s (stream code %d)", e.Msg, e.Code)
 }
+
+// NotSentError wraps a transport failure that happened before the request
+// frame could have been processed by the daemon: the dial failed, or the
+// frame's write/flush failed (a partially written frame is unparseable, so
+// the server never dispatches it). Callers with side-effecting requests —
+// the federation forwarder above all — may safely retry or re-apply
+// elsewhere. Failures after a complete send (timeout waiting for the
+// response, connection lost mid-flight) are NOT wrapped: their outcome is
+// unknown and re-applying could double-apply.
+type NotSentError struct{ Err error }
+
+func (e *NotSentError) Error() string { return e.Err.Error() }
+func (e *NotSentError) Unwrap() error { return e.Err }

@@ -279,6 +279,8 @@ func httpStatus(code Code) int {
 		return http.StatusConflict
 	case CodeTooLarge:
 		return http.StatusRequestEntityTooLarge
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

@@ -242,8 +242,82 @@ type Manager struct {
 	// streamSource, when set, supplies the stream-transport counters
 	// surfaced by MetricsSnapshot; guarded by mu.
 	streamSource StreamTelemetrySource
+	// clusterSource, when set, supplies the federation counters surfaced by
+	// MetricsSnapshot; guarded by mu.
+	clusterSource ClusterTelemetrySource
+	// routerBox holds the attached federation Router (nil box or nil field
+	// when standalone). An atomic pointer because every serving-path request
+	// loads it.
+	routerBox atomic.Pointer[routerHolder]
 
 	metrics *metricsRecorder
+}
+
+// routerHolder boxes the Router interface so it can sit behind an
+// atomic.Pointer.
+type routerHolder struct{ r Router }
+
+// SetRouter attaches a federation router: from then on the Service layer's
+// CheckIn/Report entry points (single and batch) route through it. Pass the
+// routing decision to the Local variants to bypass it.
+func (m *Manager) SetRouter(r Router) {
+	m.routerBox.Store(&routerHolder{r: r})
+}
+
+// ClearRouter detaches r if it is still the attached router (a newer
+// attachment is left in place), so a closed federation layer stops
+// intercepting requests.
+func (m *Manager) ClearRouter(r Router) {
+	if cur := m.routerBox.Load(); cur != nil && cur.r == r {
+		m.routerBox.CompareAndSwap(cur, nil)
+	}
+}
+
+// router returns the attached federation router, or nil.
+func (m *Manager) router() Router {
+	if b := m.routerBox.Load(); b != nil {
+		return b.r
+	}
+	return nil
+}
+
+// ClusterTelemetry is a snapshot of federation counters, supplied by an
+// attached cluster via SetClusterTelemetrySource.
+type ClusterTelemetry struct {
+	NodeID         string            // this daemon's member ID
+	RingSize       int               // members on the ownership ring (self included)
+	VNodes         int               // virtual nodes per member
+	PeerStates     map[string]string // peer ID -> "up" | "down"
+	ForwardsIn     int64             // peer-forwarded request frames received
+	ForwardsOut    int64             // request frames forwarded to peers
+	ForwardErrors  int64             // forwards that failed in transit
+	LocalFallbacks int64             // would-be forwards applied locally (peer down, drain, or provably-unsent forward)
+}
+
+// ClusterTelemetrySource supplies live federation counters. Like
+// StreamTelemetrySource it is polled with the manager's mutex held, so
+// implementations must read only their own atomics/snapshots — never call
+// back into the Manager.
+type ClusterTelemetrySource interface {
+	ClusterTelemetry() ClusterTelemetry
+}
+
+// SetClusterTelemetrySource registers the source MetricsSnapshot polls for
+// federation counters.
+func (m *Manager) SetClusterTelemetrySource(src ClusterTelemetrySource) {
+	m.mu.Lock()
+	m.clusterSource = src
+	m.mu.Unlock()
+}
+
+// ClearClusterTelemetrySource detaches src if it is still the registered
+// source; a newer registration is left in place.
+func (m *Manager) ClearClusterTelemetrySource(src ClusterTelemetrySource) {
+	m.mu.Lock()
+	if m.clusterSource == src {
+		m.clusterSource = nil
+	}
+	m.mu.Unlock()
 }
 
 // StreamTelemetry is a snapshot of streaming-transport counters, supplied

@@ -53,6 +53,26 @@ type Metrics struct {
 	StreamFramesIn  int64 `json:"stream_frames_in_total"`
 	StreamFramesOut int64 `json:"stream_frames_out_total"`
 
+	// Federation telemetry; all absent when no cluster layer is attached
+	// (SetClusterTelemetrySource). ForwardsIn counts peer-forwarded request
+	// frames this node served; ForwardsOut counts request frames this node
+	// forwarded to owning peers; LocalFallbacks counts would-be forwards
+	// applied locally instead (owner down, drain, or a forward that
+	// provably never left this node) — the degraded mode that trades
+	// ownership locality for availability. Forwards that fail ambiguously
+	// (timeout mid-flight) are never re-applied locally; they surface to
+	// the caller as unavailable and count only in ForwardErrors.
+	ClusterNodeID         string            `json:"cluster_node_id,omitempty"`
+	ClusterRingSize       int               `json:"cluster_ring_size,omitempty"`
+	ClusterVNodes         int               `json:"cluster_vnodes,omitempty"`
+	ClusterPeersUp        int               `json:"cluster_peers_up,omitempty"`
+	ClusterPeersDown      int               `json:"cluster_peers_down,omitempty"`
+	ClusterPeerStates     map[string]string `json:"cluster_peer_states,omitempty"`
+	ClusterForwardsIn     int64             `json:"cluster_forwards_in,omitempty"`
+	ClusterForwardsOut    int64             `json:"cluster_forwards_out,omitempty"`
+	ClusterForwardErrors  int64             `json:"cluster_forward_errors,omitempty"`
+	ClusterLocalFallbacks int64             `json:"cluster_local_fallbacks,omitempty"`
+
 	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
 }
 
@@ -257,6 +277,24 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		out.StreamConns = st.Conns
 		out.StreamFramesIn = st.FramesIn
 		out.StreamFramesOut = st.FramesOut
+	}
+	if m.clusterSource != nil {
+		ct := m.clusterSource.ClusterTelemetry()
+		out.ClusterNodeID = ct.NodeID
+		out.ClusterRingSize = ct.RingSize
+		out.ClusterVNodes = ct.VNodes
+		out.ClusterPeerStates = ct.PeerStates
+		for _, st := range ct.PeerStates {
+			if st == "up" {
+				out.ClusterPeersUp++
+			} else {
+				out.ClusterPeersDown++
+			}
+		}
+		out.ClusterForwardsIn = ct.ForwardsIn
+		out.ClusterForwardsOut = ct.ForwardsOut
+		out.ClusterForwardErrors = ct.ForwardErrors
+		out.ClusterLocalFallbacks = ct.LocalFallbacks
 	}
 	out.UptimeSeconds = float64(m.now()) / 1000
 	out.Assignments = int64(m.assignments)

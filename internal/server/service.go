@@ -39,6 +39,11 @@ const (
 	CodeBusy
 	// CodeTooLarge is a payload over the transport's configured bound.
 	CodeTooLarge
+	// CodeUnavailable is a request that could not be served right now and
+	// should be retried — e.g. a federation forward whose outcome is
+	// unknown (timeout mid-flight), where neither answering nor silently
+	// applying locally would be honest.
+	CodeUnavailable
 )
 
 // Error is the service layer's typed error: a Code for the adapter plus the
@@ -65,6 +70,27 @@ func ErrCode(err error) Code {
 }
 
 func svcErr(code Code, err error) error { return &Error{Code: code, Err: err} }
+
+// Router intercepts the four serving-path entry points when a federation
+// layer is attached to the Manager (SetRouter). The router owns the
+// ownership decision: it applies locally-owned requests to the Manager
+// directly and forwards the rest to the owning peer daemon, returning the
+// merged result. Implemented by internal/cluster; the interface lives here
+// so the server package never imports the federation (or client) packages.
+//
+// Errors returned by a Router may be pre-typed *Error values (remote
+// rejections arrive with their wire code); anything untyped is classified
+// exactly like a local Manager error.
+type Router interface {
+	CheckIn(ci CheckIn) (Assignment, error)
+	CheckInBatch(cis []CheckIn) []CheckInResult
+	Report(r Report) error
+	ReportBatch(rs []Report) []ReportResult
+	// ForwardedIn records receipt of one peer-forwarded request frame, so
+	// the receiving node's metrics count forwards_in without the transport
+	// layer knowing any federation internals.
+	ForwardedIn()
+}
 
 // Service is the transport-neutral serving core. One Service is
 // instantiated per transport (the label feeds the per-transport check-in
@@ -115,27 +141,92 @@ func (s *Service) JobStatusByID(id int) (JobStatus, error) {
 	return st, nil
 }
 
-// CheckIn processes a single device availability announcement.
+// checkInErr types a check-in failure. Errors already carrying a service
+// code (remote rejections relayed by a federation router) pass through.
+func checkInErr(err error) error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	code := CodeInvalid
+	if errors.Is(err, ErrDeviceBusy) {
+		code = CodeBusy
+	}
+	return svcErr(code, err)
+}
+
+// reportErr types a report failure (see checkInErr).
+func reportErr(err error) error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	code := CodeInvalid
+	if errors.Is(err, ErrUnknownDevice) {
+		code = CodeNotFound
+	}
+	return svcErr(code, err)
+}
+
+// CheckIn processes a single device availability announcement. With a
+// federation router attached the request is served by the device's owning
+// daemon (forwarded transparently when that is a peer); otherwise it is
+// applied locally.
 func (s *Service) CheckIn(ci CheckIn) (Assignment, error) {
+	if r := s.m.router(); r != nil {
+		asg, err := r.CheckIn(ci)
+		if err != nil {
+			return Assignment{}, checkInErr(err)
+		}
+		s.rate.Add(s.m.nowSec(), 1)
+		return asg, nil
+	}
+	return s.CheckInLocal(ci)
+}
+
+// CheckInLocal applies ci to this node's manager unconditionally, bypassing
+// any federation router. Transport adapters call it for requests that
+// arrived with the forwarded (hop) mark — the hop guard that keeps a stale
+// peer ring from bouncing a request back and forth.
+func (s *Service) CheckInLocal(ci CheckIn) (Assignment, error) {
 	asg, err := s.m.DeviceCheckIn(ci)
 	if err != nil {
-		code := CodeInvalid
-		if errors.Is(err, ErrDeviceBusy) {
-			code = CodeBusy
-		}
-		return Assignment{}, svcErr(code, err)
+		return Assignment{}, checkInErr(err)
 	}
 	s.rate.Add(s.m.nowSec(), 1)
 	return asg, nil
 }
 
 // CheckInBatch processes a batch of check-ins; Results[i] answers
-// CheckIns[i], with per-item rejections in each result's Error field.
+// CheckIns[i], with per-item rejections in each result's Error field. With a
+// federation router attached the batch is split by device owner, forwarded
+// per owner concurrently, and merged back in order.
 func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, error) {
 	if len(req.CheckIns) > MaxBatch {
 		return CheckInBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
+	if r := s.m.router(); r != nil {
+		results := r.CheckInBatch(req.CheckIns)
+		s.countServed(results)
+		return CheckInBatchResponse{Results: results}, nil
+	}
+	return s.CheckInBatchLocal(req)
+}
+
+// CheckInBatchLocal applies the batch to this node's manager, bypassing any
+// federation router (see CheckInLocal).
+func (s *Service) CheckInBatchLocal(req CheckInBatchRequest) (CheckInBatchResponse, error) {
+	if len(req.CheckIns) > MaxBatch {
+		return CheckInBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+	}
 	results := s.m.CheckInBatch(req.CheckIns)
+	s.countServed(results)
+	return CheckInBatchResponse{Results: results}, nil
+}
+
+// countServed attributes a batch's accepted items to this transport's
+// served-check-in rate.
+func (s *Service) countServed(results []CheckInResult) {
 	served := 0
 	for i := range results {
 		if results[i].Error == "" {
@@ -143,28 +234,56 @@ func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, e
 		}
 	}
 	s.rate.Add(s.m.nowSec(), int64(served))
-	return CheckInBatchResponse{Results: results}, nil
 }
 
-// Report records a single task result.
+// Report records a single task result, routed to the device's owner when a
+// federation router is attached.
 func (s *Service) Report(r Report) error {
-	if err := s.m.DeviceReport(r); err != nil {
-		code := CodeInvalid
-		if errors.Is(err, ErrUnknownDevice) {
-			code = CodeNotFound
+	if rt := s.m.router(); rt != nil {
+		if err := rt.Report(r); err != nil {
+			return reportErr(err)
 		}
-		return svcErr(code, err)
+		return nil
+	}
+	return s.ReportLocal(r)
+}
+
+// ReportLocal applies r to this node's manager unconditionally (see
+// CheckInLocal).
+func (s *Service) ReportLocal(r Report) error {
+	if err := s.m.DeviceReport(r); err != nil {
+		return reportErr(err)
 	}
 	return nil
 }
 
 // ReportBatch records a batch of task results; Results[i] answers
-// Reports[i].
+// Reports[i]. Routed per device owner when a federation router is attached.
 func (s *Service) ReportBatch(req ReportBatchRequest) (ReportBatchResponse, error) {
 	if len(req.Reports) > MaxBatch {
 		return ReportBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
+	if r := s.m.router(); r != nil {
+		return ReportBatchResponse{Results: r.ReportBatch(req.Reports)}, nil
+	}
+	return s.ReportBatchLocal(req)
+}
+
+// ReportBatchLocal applies the batch to this node's manager, bypassing any
+// federation router (see CheckInLocal).
+func (s *Service) ReportBatchLocal(req ReportBatchRequest) (ReportBatchResponse, error) {
+	if len(req.Reports) > MaxBatch {
+		return ReportBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+	}
 	return ReportBatchResponse{Results: s.m.ReportBatch(req.Reports)}, nil
+}
+
+// NoteForwardedIn records receipt of one peer-forwarded request frame with
+// the attached federation router's counters; a no-op without one.
+func (s *Service) NoteForwardedIn() {
+	if r := s.m.router(); r != nil {
+		r.ForwardedIn()
+	}
 }
 
 // Stats returns the monitoring snapshot.

@@ -51,6 +51,13 @@ const (
 	OpMetrics      byte = 0x09
 	OpPing         byte = 0x0A
 
+	// HopFlag marks a request frame as already forwarded once by a peer
+	// daemon (federation hop guard). A server must answer a hop-flagged
+	// frame itself — served locally or rejected — and never re-forward it,
+	// so two daemons with disagreeing (stale) rings cannot ping-pong a
+	// request between each other. Only the four serving opcodes (check-in,
+	// report, and their batch forms) may carry it. Responses echo the flag.
+	HopFlag byte = 0x40
 	// RespFlag marks a frame as a response to the same opcode.
 	RespFlag byte = 0x80
 	// OpError is the error-response opcode; its payload is an ErrorPayload.

@@ -280,7 +280,7 @@ func (s *Server) serveConn(sc *srvConn) {
 
 // routeOf maps an opcode to the shared handler-latency route label.
 func routeOf(op byte) string {
-	switch op {
+	switch op &^ HopFlag {
 	case OpCheckIn:
 		return server.RouteCheckIn
 	case OpCheckInBatch:
@@ -299,14 +299,36 @@ func routeOf(op byte) string {
 // handle dispatches one request frame to the service layer and encodes the
 // response. Decode errors and service errors both become OpError frames;
 // only framing violations (handled in the read loop) close the connection.
+//
+// A hop-flagged frame was already forwarded once by a peer daemon: it is
+// dispatched to the local service unconditionally — the hop guard — so a
+// stale ring on a peer can never make a request ping-pong between daemons.
+// Its receipt is recorded with the attached federation router (forwards_in),
+// and the flag is echoed on the response opcode. The flag is only legal on
+// the four serving opcodes; anything else is rejected as invalid.
 func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
-	switch op {
+	forwarded := op&HopFlag != 0
+	if forwarded {
+		switch op &^ HopFlag {
+		case OpCheckIn, OpCheckInBatch, OpReport, OpReportBatch:
+			s.svc.NoteForwardedIn()
+		default:
+			return errFrame(server.CodeInvalid, errors.New("transport: hop flag on non-forwardable opcode"))
+		}
+	}
+	switch op &^ HopFlag {
 	case OpCheckIn:
 		var ci server.CheckIn
 		if err := ci.UnmarshalJSON(payload); err != nil {
 			return errFrame(server.CodeInvalid, err)
 		}
-		asg, err := s.svc.CheckIn(ci)
+		var asg server.Assignment
+		var err error
+		if forwarded {
+			asg, err = s.svc.CheckInLocal(ci)
+		} else {
+			asg, err = s.svc.CheckIn(ci)
+		}
 		if err != nil {
 			return svcErrFrame(err)
 		}
@@ -316,7 +338,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err := req.UnmarshalJSON(payload); err != nil {
 			return errFrame(server.CodeInvalid, err)
 		}
-		resp, err := s.svc.CheckInBatch(req)
+		var resp server.CheckInBatchResponse
+		var err error
+		if forwarded {
+			resp, err = s.svc.CheckInBatchLocal(req)
+		} else {
+			resp, err = s.svc.CheckInBatch(req)
+		}
 		if err != nil {
 			return svcErrFrame(err)
 		}
@@ -326,7 +354,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err := rep.UnmarshalJSON(payload); err != nil {
 			return errFrame(server.CodeInvalid, err)
 		}
-		if err := s.svc.Report(rep); err != nil {
+		var err error
+		if forwarded {
+			err = s.svc.ReportLocal(rep)
+		} else {
+			err = s.svc.Report(rep)
+		}
+		if err != nil {
 			return svcErrFrame(err)
 		}
 		return op | RespFlag, nil
@@ -335,7 +369,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err := req.UnmarshalJSON(payload); err != nil {
 			return errFrame(server.CodeInvalid, err)
 		}
-		resp, err := s.svc.ReportBatch(req)
+		var resp server.ReportBatchResponse
+		var err error
+		if forwarded {
+			resp, err = s.svc.ReportBatchLocal(req)
+		} else {
+			resp, err = s.svc.ReportBatch(req)
+		}
 		if err != nil {
 			return svcErrFrame(err)
 		}
