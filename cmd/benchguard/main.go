@@ -8,6 +8,19 @@
 //	benchguard -baseline BENCH_serve.json -current BENCH_serve_fresh.json \
 //	    -max-regress 0.20 -live BENCH_serve_live.json -min-hit-rate 0.90
 //
+// Shadow-mode gates: -shadow-smoke asserts a report's shadow-policy counters
+// are present and healthy (observing traffic, zero dropped events, zero
+// recovered panics), and -shadow-ref bounds the stream-rung throughput cost
+// of running shadows at -max-shadow-overhead (default 10%). Both flags take
+// comma-separated report lists: counters are checked in every smoke report,
+// while the overhead comparison uses the best stream rate on each side —
+// single 5s runs swing ±15% on small CI runners, so best-of-N against
+// best-of-N is the noise-robust estimate of the real cost.
+//
+// Policy A/B gate: -ab-smoke takes a vennload -ab report and fails when the
+// first arm's mean JCT is worse than the second's — CI runs -ab venn,fifo,
+// so this asserts Venn's scheduling beats FIFO on the replayed trace.
+//
 // Throughput comparisons are only meaningful on the same hardware, so the
 // regression checks are skipped (with a note) when the recorded num_cpu
 // differs between the two reports — CI runners and developer laptops guard
@@ -19,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // report mirrors the subset of vennload's benchReport the guard reads. The
@@ -37,16 +51,30 @@ type run struct {
 	Batch          int     `json:"batch"`
 	CheckInsPerSec float64 `json:"checkins_per_sec"`
 	Errors         int64   `json:"errors"`
+	Policy         string  `json:"policy"`
+	JCTAvgSeconds  float64 `json:"jct_avg_seconds"`
 	Nodes          []struct {
 		Node        string `json:"node"`
 		ForwardsIn  int64  `json:"forwards_in"`
 		ForwardsOut int64  `json:"forwards_out"`
 	} `json:"nodes"`
 	ServerMetrics *struct {
-		PlanRebuilds           int64   `json:"plan_rebuilds"`
-		PlanPatches            int64   `json:"plan_patches"`
-		PlanIncrementalHitRate float64 `json:"plan_incremental_hit_rate"`
+		PlanRebuilds           int64                  `json:"plan_rebuilds"`
+		PlanPatches            int64                  `json:"plan_patches"`
+		PlanIncrementalHitRate float64                `json:"plan_incremental_hit_rate"`
+		PolicyPrimary          string                 `json:"policy_primary"`
+		PolicyShadows          map[string]shadowStats `json:"policy_shadows"`
 	} `json:"server_metrics"`
+}
+
+// shadowStats mirrors server.PolicyShadowStats: per-shadow divergence
+// counters plus the drop/panic health counters the smoke gate reads.
+type shadowStats struct {
+	AssignChecks  int64 `json:"assign_checks"`
+	Mismatches    int64 `json:"assign_mismatches"`
+	ShadowAssigns int64 `json:"shadow_assigns"`
+	DroppedEvents int64 `json:"dropped_events"`
+	Panics        int64 `json:"panics"`
 }
 
 func load(path string) (report, error) {
@@ -59,6 +87,38 @@ func load(path string) (report, error) {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil
+}
+
+// loadAll loads a comma-separated list of report paths.
+func loadAll(paths string) ([]report, error) {
+	var rs []report
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		r, err := load(p)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no report paths in %q", paths)
+	}
+	return rs, nil
+}
+
+// bestStreamRate returns the highest stream-rung rate across the reports —
+// the least-interfered-with sample of a noisy repeated measurement.
+func bestStreamRate(rs []report) (float64, bool) {
+	best, ok := 0.0, false
+	for _, r := range rs {
+		if rate, has := streamRate(r); has && rate > best {
+			best, ok = rate, true
+		}
+	}
+	return best, ok
 }
 
 // batchedRate finds the batched HTTP rung (transport absent or "http").
@@ -135,6 +195,10 @@ func main() {
 		clusterFloor = flag.Float64("cluster-floor", 0, "absolute aggregate-throughput floor for -cluster-smoke (0 disables)")
 		floorFrom    = flag.String("cluster-floor-from", "", "derive the -cluster-smoke floor from this single-daemon report's stream rate")
 		floorFrac    = flag.Float64("cluster-floor-frac", 0.25, "fraction of -cluster-floor-from's rate the federation aggregate must reach")
+		abPath       = flag.String("ab-smoke", "", "vennload -ab report: the first ab run's mean JCT must be no worse than the second's (optional)")
+		shadowPath   = flag.String("shadow-smoke", "", "comma-separated shadow-mode smoke reports: shadow counters must be present with zero dropped events and panics (optional)")
+		shadowRef    = flag.String("shadow-ref", "", "comma-separated no-shadow reference reports; -shadow-smoke's best stream rung must stay within -max-shadow-overhead of theirs")
+		maxShadowOvh = flag.Float64("max-shadow-overhead", 0.10, "maximum fractional stream-throughput loss attributable to shadow policies")
 	)
 	flag.Parse()
 
@@ -246,6 +310,93 @@ func main() {
 		if !checkedCluster {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL cluster-smoke report has no cluster run")
 			failed = true
+		}
+	}
+
+	if *abPath != "" {
+		ab, err := load(*abPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		var abRuns []run
+		for _, r := range ab.Runs {
+			if strings.HasPrefix(r.Mode, "ab:") {
+				abRuns = append(abRuns, r)
+			}
+		}
+		if len(abRuns) != 2 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL ab-smoke report has %d ab runs, want 2\n", len(abRuns))
+			failed = true
+		} else {
+			a, b := abRuns[0], abRuns[1]
+			if a.JCTAvgSeconds > b.JCTAvgSeconds {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL A/B smoke: %s mean JCT %.2fs is worse than %s's %.2fs\n",
+					a.Policy, a.JCTAvgSeconds, b.Policy, b.JCTAvgSeconds)
+				failed = true
+			} else {
+				fmt.Printf("benchguard: A/B smoke OK (%s mean JCT %.2fs <= %s %.2fs)\n",
+					a.Policy, a.JCTAvgSeconds, b.Policy, b.JCTAvgSeconds)
+			}
+		}
+	}
+
+	if *shadowPath != "" {
+		smokes, err := loadAll(*shadowPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		checkedShadow := false
+		for _, smoke := range smokes {
+			for _, r := range smoke.Runs {
+				mt := r.ServerMetrics
+				if mt == nil || len(mt.PolicyShadows) == 0 {
+					continue
+				}
+				checkedShadow = true
+				for name, s := range mt.PolicyShadows {
+					switch {
+					case s.Panics > 0 || s.DroppedEvents > 0:
+						fmt.Fprintf(os.Stderr, "benchguard: FAIL shadow %s unhealthy: %d panics, %d dropped events\n",
+							name, s.Panics, s.DroppedEvents)
+						failed = true
+					case s.AssignChecks == 0:
+						fmt.Fprintf(os.Stderr, "benchguard: FAIL shadow %s scored no check-ins (not observing the event stream)\n", name)
+						failed = true
+					default:
+						fmt.Printf("benchguard: shadow %s OK (%d checks, %d would-assign, %d mismatches vs primary %s)\n",
+							name, s.AssignChecks, s.ShadowAssigns, s.Mismatches, mt.PolicyPrimary)
+					}
+				}
+			}
+		}
+		if !checkedShadow {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL no shadow-smoke report has shadow telemetry")
+			failed = true
+		}
+		if *shadowRef != "" {
+			refs, err := loadAll(*shadowRef)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchguard:", err)
+				os.Exit(1)
+			}
+			refRate, okR := bestStreamRate(refs)
+			curRate, okC := bestStreamRate(smokes)
+			switch {
+			case refs[0].NumCPU != smokes[0].NumCPU:
+				fmt.Printf("benchguard: num_cpu differs (%d ref vs %d shadow smoke); skipping the shadow overhead check\n",
+					refs[0].NumCPU, smokes[0].NumCPU)
+			case !okR || !okC:
+				fmt.Println("benchguard: shadow overhead check needs a stream run on both sides; skipping")
+			case curRate < refRate*(1-*maxShadowOvh):
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL shadowed stream throughput %.0f/s is more than %.0f%% below the no-shadow %.0f/s (best of %d vs %d runs)\n",
+					curRate, *maxShadowOvh*100, refRate, len(smokes), len(refs))
+				failed = true
+			default:
+				fmt.Printf("benchguard: shadow overhead %.1f%% of stream throughput (%.0f/s shadowed vs %.0f/s clean, best of %d vs %d runs) — OK\n",
+					100*(1-curRate/refRate), curRate, refRate, len(smokes), len(refs))
+			}
 		}
 	}
 

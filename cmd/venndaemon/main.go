@@ -17,6 +17,13 @@
 //	POST /v1/report/batch   {"reports":[...]}
 //	GET  /v1/jobs, /v1/jobs/{id}, /v1/stats, /v1/metrics
 //
+// Policies: -policy selects the primary scheduler by registry name (venn,
+// fifo, srsf, random; see the README's Policies section) and
+// -shadow-policies attaches observers that score the same event stream
+// without ever assigning — their divergence counters surface under
+// policy_shadows in /v1/metrics. -seed fixes the scheduling RNG for
+// reproducible replays.
+//
 // Stream API: -stream-addr opens a persistent binary framed listener
 // (internal/transport) carrying the same operations over pipelined frames;
 // high-volume agents should prefer it (see the README's Transports
@@ -62,6 +69,7 @@ import (
 
 	"venn/internal/cluster"
 	"venn/internal/core"
+	"venn/internal/policy"
 	"venn/internal/server"
 	"venn/internal/transport"
 )
@@ -70,6 +78,9 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		streamAddr = flag.String("stream-addr", "", "binary stream listen address (empty disables)")
+		polName    = flag.String("policy", policy.Default, "primary scheduling policy: "+strings.Join(policy.Names(), ", "))
+		shadowPols = flag.String("shadow-policies", "", "comma-separated policies that shadow the primary (assignments observed, never applied)")
+		seed       = flag.Int64("seed", 0, "scheduling RNG seed (0 = clock-derived; fix it for reproducible replays)")
 		tiers      = flag.Int("tiers", 3, "device-tier granularity V")
 		epsilon    = flag.Float64("epsilon", 0, "fairness knob")
 		shards     = flag.Int("shards", 0, "device-state lock shards (0 = default)")
@@ -120,10 +131,36 @@ func main() {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if !policy.Valid(*polName) {
+		fmt.Fprintf(os.Stderr, "venndaemon: unknown -policy %q (have: %s)\n", *polName, strings.Join(policy.Names(), ", "))
+		stopProfile()
+		os.Exit(1)
+	}
+	var shadowList []string
+	if *shadowPols != "" {
+		for _, name := range strings.Split(*shadowPols, ",") {
+			name = strings.TrimSpace(name)
+			if !policy.Valid(name) {
+				fmt.Fprintf(os.Stderr, "venndaemon: unknown shadow policy %q (have: %s)\n", name, strings.Join(policy.Names(), ", "))
+				stopProfile()
+				os.Exit(1)
+			}
+			shadowList = append(shadowList, name)
+		}
+	}
+
 	opts := core.DefaultOptions()
 	opts.Tiers = *tiers
 	opts.Epsilon = *epsilon
-	m := server.NewManager(server.Config{Options: opts, Shards: *shards, DeviceTTL: *deviceTTL})
+	m := server.NewManager(server.Config{
+		Options:        opts,
+		Policy:         *polName,
+		ShadowPolicies: shadowList,
+		Seed:           *seed,
+		Shards:         *shards,
+		DeviceTTL:      *deviceTTL,
+	})
+	defer m.StopShadows()
 
 	var streamFailed atomic.Bool
 	var streamSrv *transport.Server
@@ -169,8 +206,11 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("venndaemon listening on %s (tiers=%d epsilon=%.1f shards=%d device-ttl=%v", *addr,
-		*tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
+	fmt.Printf("venndaemon listening on %s (policy=%s tiers=%d epsilon=%.1f shards=%d device-ttl=%v", *addr,
+		m.PolicyName(), *tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
+	if len(shadowList) > 0 {
+		fmt.Printf(" shadows=%s", strings.Join(m.ShadowPolicies(), ","))
+	}
 	if *streamAddr != "" {
 		fmt.Printf(" stream=%s", *streamAddr)
 	}

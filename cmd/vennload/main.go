@@ -44,6 +44,7 @@ import (
 
 	"venn/internal/client"
 	"venn/internal/cluster"
+	"venn/internal/policy"
 	"venn/internal/server"
 	"venn/internal/stats"
 	"venn/internal/transport"
@@ -79,6 +80,9 @@ func main() {
 		rounds      = flag.Int("rounds", 1, "rounds per job")
 		category    = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
 		shards      = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
+		polName     = flag.String("policy", "", "scheduling policy for self-hosted daemons (empty = server default: "+policy.Default+")")
+		shadowPols  = flag.String("shadow-policies", "", "comma-separated shadow policies for self-hosted daemons (observed, never applied)")
+		abFlag      = flag.String("ab", "", "policyA,policyB: sequential self-hosted A/B replay of identical seeded traffic with a JCT/throughput/fairness delta table")
 		seed        = flag.Int64("seed", 1, "random seed for the synthetic fleet")
 		out         = flag.String("out", "", "write a JSON benchmark report to this file")
 		compare     = flag.Bool("compare", false, "self-host and record the four-way ladder: single-lock HTTP, batched+sharded HTTP, batched stream, 2-daemon federation")
@@ -98,6 +102,21 @@ func main() {
 	if *clusterDmns != "" && *clusterN > 0 {
 		fmt.Fprintln(os.Stderr, "vennload: -cluster (self-hosted) and -cluster-daemons (live) are mutually exclusive")
 		os.Exit(2)
+	}
+	if *polName != "" && !policy.Valid(*polName) {
+		fmt.Fprintf(os.Stderr, "vennload: unknown -policy %q (have: %s)\n", *polName, strings.Join(policy.Names(), ", "))
+		os.Exit(2)
+	}
+	var shadowList []string
+	if *shadowPols != "" {
+		for _, name := range strings.Split(*shadowPols, ",") {
+			name = strings.TrimSpace(name)
+			if !policy.Valid(name) {
+				fmt.Fprintf(os.Stderr, "vennload: unknown shadow policy %q (have: %s)\n", name, strings.Join(policy.Names(), ", "))
+				os.Exit(2)
+			}
+			shadowList = append(shadowList, name)
+		}
 	}
 	if *conns <= 0 {
 		*conns = 4 * runtime.NumCPU()
@@ -140,8 +159,38 @@ func main() {
 	base := loadConfig{
 		Agents: *agents, Conns: *conns, StreamConns: *streamCns, Duration: *duration,
 		Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
+		Policy: *polName, Shadow: shadowList,
 	}
 	switch {
+	case *abFlag != "":
+		names := strings.Split(*abFlag, ",")
+		if len(names) != 2 {
+			fmt.Fprintln(os.Stderr, "vennload: -ab wants exactly two policies, e.g. -ab venn,fifo")
+			os.Exit(2)
+		}
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+			if !policy.Valid(names[i]) {
+				fmt.Fprintf(os.Stderr, "vennload: unknown -ab policy %q (have: %s)\n", names[i], strings.Join(policy.Names(), ", "))
+				os.Exit(2)
+			}
+		}
+		// Both arms replay the same seeded fleet against the same scripted
+		// job set: demands descend steeply across the registration order, so
+		// an arrival-ordered policy head-of-line blocks the small jobs that a
+		// demand-aware one retires first; supply trickles in (each device
+		// checks in once, paced across the duration) so that blocking costs
+		// wall-clock JCT. Only the policy differs between the arms.
+		for _, name := range names {
+			cfg := base
+			cfg.Mode, cfg.Transport, cfg.Shards, cfg.Batch = "ab:"+name, *transp, *shards, 1
+			cfg.Policy, cfg.DemandSpread, cfg.Trickle = name, true, true
+			if cfg.Category == "" {
+				cfg.Category = "General"
+			}
+			report.Runs = append(report.Runs, runSelfHosted(cfg))
+		}
+		printABDelta(report.Runs[len(report.Runs)-2], report.Runs[len(report.Runs)-1])
 	case *compare:
 		if *daemon != "" {
 			fmt.Fprintln(os.Stderr, "vennload: -compare self-hosts all runs; -daemon is ignored")
@@ -248,8 +297,10 @@ func modeName(batch int, transport string) string {
 
 type loadConfig struct {
 	Mode         string
-	Transport    string // "http" | "stream"
-	Shards       int    // self-hosted runs only; 0 = server default
+	Transport    string   // "http" | "stream"
+	Shards       int      // self-hosted runs only; 0 = server default
+	Policy       string   // self-hosted runs only; "" = server default
+	Shadow       []string // self-hosted runs only; shadow policies to attach
 	Batch        int
 	Agents       int
 	Conns        int
@@ -261,6 +312,20 @@ type loadConfig struct {
 	Rounds       int
 	Category     string // "" cycles the standard strata
 	Seed         int64
+	DemandSpread bool // -ab: job demands descend across registration order
+	Trickle      bool // -ab: each device checks in once, paced across Duration
+}
+
+// managerConfig maps a self-hosted run's knobs onto the server config. The
+// fleet seed doubles as the scheduling seed so an A/B replay's two arms see
+// identical randomness end to end.
+func managerConfig(cfg loadConfig) server.Config {
+	return server.Config{
+		Shards:         cfg.Shards,
+		Policy:         cfg.Policy,
+		ShadowPolicies: cfg.Shadow,
+		Seed:           cfg.Seed,
+	}
 }
 
 func (cfg loadConfig) streamPool() int {
@@ -300,24 +365,29 @@ type nodeResult struct {
 }
 
 type runResult struct {
-	Mode             string          `json:"mode"`
-	Transport        string          `json:"transport"`
-	Shards           int             `json:"shards,omitempty"`
-	Agents           int             `json:"agents"`
-	Conns            int             `json:"conns"`
-	StreamConns      int             `json:"stream_conns,omitempty"`
-	Batch            int             `json:"batch"`
-	DurationSeconds  float64         `json:"duration_seconds"`
-	CheckIns         int64           `json:"checkins"`
-	CheckInsPerSec   float64         `json:"checkins_per_sec"`
-	Assignments      int64           `json:"assignments"`
-	Reports          int64           `json:"reports"`
-	Errors           int64           `json:"errors"`
-	JobsTotal        int             `json:"jobs_total"`
-	JobsDone         int             `json:"jobs_done"`
-	RequestLatencyMs percentiles     `json:"request_latency_ms"`
-	Nodes            []nodeResult    `json:"nodes,omitempty"`
-	ServerMetrics    *server.Metrics `json:"server_metrics,omitempty"`
+	Mode             string           `json:"mode"`
+	Transport        string           `json:"transport"`
+	Shards           int              `json:"shards,omitempty"`
+	Policy           string           `json:"policy,omitempty"`
+	ServedByPolicy   map[string]int64 `json:"served_by_policy,omitempty"`
+	JCTAvgSeconds    float64          `json:"jct_avg_seconds,omitempty"`
+	JCTP90Seconds    float64          `json:"jct_p90_seconds,omitempty"`
+	JCTJainFairness  float64          `json:"jct_jain_fairness,omitempty"`
+	Agents           int              `json:"agents"`
+	Conns            int              `json:"conns"`
+	StreamConns      int              `json:"stream_conns,omitempty"`
+	Batch            int              `json:"batch"`
+	DurationSeconds  float64          `json:"duration_seconds"`
+	CheckIns         int64            `json:"checkins"`
+	CheckInsPerSec   float64          `json:"checkins_per_sec"`
+	Assignments      int64            `json:"assignments"`
+	Reports          int64            `json:"reports"`
+	Errors           int64            `json:"errors"`
+	JobsTotal        int              `json:"jobs_total"`
+	JobsDone         int              `json:"jobs_done"`
+	RequestLatencyMs percentiles      `json:"request_latency_ms"`
+	Nodes            []nodeResult     `json:"nodes,omitempty"`
+	ServerMetrics    *server.Metrics  `json:"server_metrics,omitempty"`
 }
 
 // forwards sums the run's federation counters across its nodes.
@@ -355,20 +425,24 @@ func printBlock(b *strings.Builder) {
 }
 
 // printSummary renders the end-of-run table: one row per run with its
-// throughput and federation forward counts, plus per-node rows for cluster
-// runs.
+// policy, throughput, and federation forward counts, plus per-node rows for
+// cluster runs.
 func printSummary(report benchReport) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "\n%-10s %-9s %5s %5s %14s %10s %10s %8s %8s\n",
-		"mode", "transport", "nodes", "batch", "checkins/s", "fwd_out", "fwd_in", "errors", "jobs")
+	fmt.Fprintf(&b, "\n%-10s %-9s %-8s %5s %5s %14s %10s %10s %8s %8s\n",
+		"mode", "transport", "policy", "nodes", "batch", "checkins/s", "fwd_out", "fwd_in", "errors", "jobs")
 	for _, run := range report.Runs {
 		nodes := 1
 		if len(run.Nodes) > 0 {
 			nodes = len(run.Nodes)
 		}
+		pol := run.Policy
+		if pol == "" {
+			pol = "-"
+		}
 		in, out := run.forwards()
-		fmt.Fprintf(&b, "%-10s %-9s %5d %5d %14.0f %10d %10d %8d %d/%d\n",
-			run.Mode, run.Transport, nodes, run.Batch, run.CheckInsPerSec,
+		fmt.Fprintf(&b, "%-10s %-9s %-8s %5d %5d %14.0f %10d %10d %8d %d/%d\n",
+			run.Mode, run.Transport, pol, nodes, run.Batch, run.CheckInsPerSec,
 			out, in, run.Errors, run.JobsDone, run.JobsTotal)
 		for _, n := range run.Nodes {
 			fmt.Fprintf(&b, "  └ %-24s %14.0f %10d %10d %8d %d\n",
@@ -376,6 +450,52 @@ func printSummary(report benchReport) {
 		}
 	}
 	printBlock(&b)
+}
+
+// printABDelta renders the -ab verdict: both arms side by side plus A's
+// JCT/throughput/fairness deltas relative to B.
+func printABDelta(a, b runResult) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nA/B replay, identical seeded traffic (%s vs %s):\n", a.Policy, b.Policy)
+	fmt.Fprintf(&sb, "%-8s %14s %9s %11s %11s %8s\n",
+		"policy", "checkins/s", "jobs", "jct_avg_s", "jct_p90_s", "jain")
+	for _, r := range []runResult{a, b} {
+		fmt.Fprintf(&sb, "%-8s %14.0f %6d/%-2d %11.2f %11.2f %8.3f\n",
+			r.Policy, r.CheckInsPerSec, r.JobsDone, r.JobsTotal,
+			r.JCTAvgSeconds, r.JCTP90Seconds, r.JCTJainFairness)
+	}
+	if a.JCTAvgSeconds > 0 && b.JCTAvgSeconds > 0 && b.CheckInsPerSec > 0 {
+		fmt.Fprintf(&sb, "delta (%s relative to %s): jct_avg %+.1f%%, throughput %+.1f%%, fairness %+.3f\n",
+			a.Policy, b.Policy,
+			100*(a.JCTAvgSeconds-b.JCTAvgSeconds)/b.JCTAvgSeconds,
+			100*(a.CheckInsPerSec-b.CheckInsPerSec)/b.CheckInsPerSec,
+			a.JCTJainFairness-b.JCTJainFairness)
+	}
+	printBlock(&sb)
+}
+
+// jainIndex is Jain's fairness index (Σx)²/(n·Σx²) over per-job JCTs: 1.0
+// when every job waits equally, approaching 1/n as one job absorbs all the
+// delay.
+func jainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func newHTTPClient(baseURL string, cfg loadConfig) apiClient {
@@ -423,7 +543,8 @@ func startTicker(m *server.Manager) (stop func()) {
 // runSelfHosted spins one in-process daemon on the requested transport,
 // drives the load against it over real loopback sockets, and tears it down.
 func runSelfHosted(cfg loadConfig) runResult {
-	m := server.NewManager(server.Config{Shards: cfg.Shards})
+	m := server.NewManager(managerConfig(cfg))
+	defer m.StopShadows()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vennload: listen:", err)
@@ -480,7 +601,7 @@ func runSelfHostedCluster(cfg loadConfig) runResult {
 	nodes := make([]selfHostedNode, n)
 	lanes := make([]lane, n)
 	for i := range nodes {
-		m := server.NewManager(server.Config{Shards: cfg.Shards})
+		m := server.NewManager(managerConfig(cfg))
 		ts := transport.NewServer(m, transport.Options{})
 		go func(ln net.Listener) { _ = ts.Serve(ln) }(lns[i])
 		clu, err := cluster.New(m, cluster.Config{SelfID: addrs[i], Peers: addrs})
@@ -493,6 +614,7 @@ func runSelfHostedCluster(cfg loadConfig) runResult {
 			stopTick()
 			_ = clu.Close()
 			_ = ts.Close()
+			m.StopShadows()
 		}}
 		lanes[i] = lane{name: addrs[i], c: newStreamClient(addrs[i], cfg)}
 	}
@@ -537,10 +659,17 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 	if cfg.Conns < len(lanes) {
 		cfg.Conns = len(lanes)
 	}
+	// Reachability probe; the stats reply also names the serving policy
+	// (authoritative for live daemons, where cfg.Policy is unset).
+	activePolicy := cfg.Policy
 	for _, l := range lanes {
-		if _, err := l.c.Stats(); err != nil {
+		st, err := l.c.Stats()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "vennload: daemon %s unreachable: %v\n", l.name, err)
 			os.Exit(1)
+		}
+		if st.Policy != "" {
+			activePolicy = st.Policy
 		}
 	}
 
@@ -551,9 +680,24 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 	demand := cfg.Demand
 	if demand <= 0 {
 		demand = cfg.Agents / (4 * cfg.Jobs * cfg.Rounds * len(lanes))
+		if cfg.DemandSpread {
+			// Spread demands sum to demand*Jobs*(Jobs+1)/2; size that total
+			// to about half the fleet so supply stays scarce enough for the
+			// scheduling order to matter, yet every job can finish.
+			demand = cfg.Agents / (cfg.Jobs * (cfg.Jobs + 1) * cfg.Rounds * len(lanes))
+		}
 		if demand < 1 {
 			demand = 1
 		}
+	}
+	// demandFor spreads per-job demand when requested: registration order
+	// descends from Jobs*demand down to demand, so FIFO-style policies pay a
+	// head-of-line price that demand-aware ones avoid.
+	demandFor := func(i int) int {
+		if cfg.DemandSpread {
+			return demand * (cfg.Jobs - i)
+		}
+		return demand
 	}
 	categories := []string{"General", "General", "Compute-Rich", "Memory-Rich", "High-Perf"}
 	if cfg.Category != "" {
@@ -565,7 +709,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 			st, err := l.c.RegisterJob(server.JobSpec{
 				Name:           fmt.Sprintf("load-job-%d-%d", li, i),
 				Category:       categories[i%len(categories)],
-				DemandPerRound: demand,
+				DemandPerRound: demandFor(i),
 				Rounds:         cfg.Rounds,
 			})
 			if err != nil {
@@ -605,6 +749,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 
 		latMu     sync.Mutex
 		latencies []float64
+		servedBy  = make(map[string]int64) // assignments by wire policy attribution
 	)
 	const maxLatSamplesPerWorker = 100_000
 
@@ -631,10 +776,55 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		go func(c apiClient, ls *laneStat, mine []dev, taskRNG *stats.RNG) {
 			defer wg.Done()
 			local := make([]float64, 0, 4096)
+			localServed := make(map[string]int64)
 			record := func(d time.Duration) {
 				if len(local) < maxLatSamplesPerWorker {
 					local = append(local, float64(d)/float64(time.Millisecond))
 				}
+			}
+			if cfg.Trickle {
+				// A/B replay supply model: every device checks in exactly
+				// once, paced so the worker's slice spreads evenly across
+				// the run. Reports always succeed — failure noise would
+				// differ between the arms of a replay.
+				interval := cfg.Duration / time.Duration(len(mine))
+				for _, d := range mine {
+					t0 := time.Now()
+					asg, err := c.CheckIn(server.CheckIn{DeviceID: d.id, CPU: d.cpu, Mem: d.mem})
+					record(time.Since(t0))
+					if err != nil {
+						errs.Add(1)
+						ls.errs.Add(1)
+					} else {
+						checkIns.Add(1)
+						ls.checkIns.Add(1)
+						if asg.Assigned {
+							assignments.Add(1)
+							localServed[asg.Policy]++
+							if err := c.Report(server.Report{
+								DeviceID:        d.id,
+								JobID:           asg.JobID,
+								OK:              true,
+								DurationSeconds: 10 + 50*taskRNG.Float64(),
+							}); err != nil {
+								errs.Add(1)
+								ls.errs.Add(1)
+							} else {
+								reports.Add(1)
+							}
+						}
+					}
+					if rest := interval - time.Since(t0); rest > 0 {
+						time.Sleep(rest)
+					}
+				}
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				for p, n := range localServed {
+					servedBy[p] += n
+				}
+				latMu.Unlock()
+				return
 			}
 			// A batch larger than this worker's fleet slice would carry
 			// duplicate devices whose reservations reject each other.
@@ -673,6 +863,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 							continue
 						}
 						assignments.Add(1)
+						localServed[res.Policy]++
 						pendingReports = append(pendingReports, server.Report{
 							DeviceID:        cis[i].DeviceID,
 							JobID:           res.JobID,
@@ -709,6 +900,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 					continue
 				}
 				assignments.Add(1)
+				localServed[asg.Policy]++
 				err = c.Report(server.Report{
 					DeviceID:        d.id,
 					JobID:           asg.JobID,
@@ -724,22 +916,36 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 			}
 			latMu.Lock()
 			latencies = append(latencies, local...)
+			for p, n := range localServed {
+				servedBy[p] += n
+			}
 			latMu.Unlock()
 		}(lanes[li].c, &laneStats[li], fleet[lo:hi], rng.Fork())
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Give in-flight rounds a moment to drain, then count completions.
+	// Give in-flight rounds a moment to drain, then count completions and
+	// collect per-job JCTs. Unfinished jobs are censored at the elapsed
+	// wall-clock so a policy cannot flatter its average by stranding work.
 	jobsDone := 0
 	laneDone := make([]int, len(lanes))
+	var jcts []float64
 	for waited := time.Duration(0); waited < 3*time.Second; waited += 200 * time.Millisecond {
 		jobsDone = 0
+		jcts = jcts[:0]
 		for li, l := range lanes {
 			laneDone[li] = 0
 			for _, id := range laneJobs[li] {
-				if st, err := l.c.JobStatus(id); err == nil && st.State == "done" {
+				st, err := l.c.JobStatus(id)
+				if err != nil {
+					continue
+				}
+				if st.State == "done" {
 					laneDone[li]++
+					jcts = append(jcts, st.JCTSeconds)
+				} else {
+					jcts = append(jcts, time.Since(start).Seconds())
 				}
 			}
 			jobsDone += laneDone[li]
@@ -750,9 +956,16 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		time.Sleep(200 * time.Millisecond)
 	}
 
+	if n, ok := servedBy[""]; ok {
+		// Assignments from daemons predating wire attribution.
+		delete(servedBy, "")
+		servedBy["(unattributed)"] = n
+	}
 	res := runResult{
 		Mode:            cfg.Mode,
 		Transport:       cfg.Transport,
+		Policy:          activePolicy,
+		ServedByPolicy:  servedBy,
 		Agents:          cfg.Agents,
 		Conns:           cfg.Conns,
 		Batch:           cfg.Batch,
@@ -778,12 +991,31 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 			Max:  latencies[len(latencies)-1],
 		}
 	}
+	if len(jcts) > 0 {
+		sort.Float64s(jcts)
+		res.JCTAvgSeconds = stats.Mean(jcts)
+		res.JCTP90Seconds = stats.PercentileSorted(jcts, 90)
+		res.JCTJainFairness = jainIndex(jcts)
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "  [%s] %d check-ins in %.2fs = %.0f/s; %d assigned, %d reported, %d errors, %d/%d jobs done (req p50 %.3fms p99 %.3fms)\n",
 		cfg.Mode, res.CheckIns, res.DurationSeconds, res.CheckInsPerSec, res.Assignments,
 		res.Reports, res.Errors, res.JobsDone, res.JobsTotal,
 		res.RequestLatencyMs.P50, res.RequestLatencyMs.P99)
+	if res.Policy != "" {
+		fmt.Fprintf(&b, "  policy %s", res.Policy)
+		if len(res.ServedByPolicy) > 0 {
+			fmt.Fprintf(&b, "; served by policy:")
+			for _, p := range sortedKeys(res.ServedByPolicy) {
+				fmt.Fprintf(&b, " %s=%d", p, res.ServedByPolicy[p])
+			}
+		}
+		if len(jcts) > 0 {
+			fmt.Fprintf(&b, "; jct avg %.2fs p90 %.2fs jain %.3f", res.JCTAvgSeconds, res.JCTP90Seconds, res.JCTJainFairness)
+		}
+		b.WriteByte('\n')
+	}
 
 	if len(lanes) > 1 {
 		// Per-member rows: lane-side throughput plus the member's own

@@ -113,7 +113,7 @@ func (v *Venn) PlanSnapshot() *PlanSnapshot { return v.snap.Load() }
 // of falling back to the locked path item by item. NOT safe for concurrent
 // use — callers hold whatever lock guards the scheduler's mutating side.
 func (v *Venn) RefreshPlan(now simtime.Time) {
-	if v.opts.DisableScheduling || v.env == nil {
+	if v.env == nil {
 		return
 	}
 	v.ensurePlan(now)

@@ -17,12 +17,10 @@ type Options struct {
 	Tiers int
 	// Epsilon is the fairness knob of §4.4 (0 disables).
 	Epsilon float64
-	// DisableScheduling replaces the IRS job order with FIFO while
-	// keeping device matching — the paper's "Venn w/o scheduling"
-	// ablation (Figure 11).
-	DisableScheduling bool
 	// DisableMatching turns off tier-based matching — the paper's
-	// "Venn w/o matching" ablation.
+	// "Venn w/o matching" ablation. (The former DisableScheduling knob —
+	// FIFO job order with matching kept — is now a policy of its own:
+	// internal/policy's NewFIFOMatch, registry name "fifo".)
 	DisableMatching bool
 	// MinProfileSamples gates tier decisions on profile maturity.
 	MinProfileSamples int
@@ -123,10 +121,7 @@ type Venn struct {
 	opts Options
 	env  *sim.Env
 
-	groups map[device.RequirementKey]*vgroup
-	// fifo holds every open request in arrival order, used by the
-	// Venn-w/o-scheduling ablation (see fifoQueue for the structure).
-	fifo     fifoQueue
+	groups   map[device.RequirementKey]*vgroup
 	filters  map[job.ID]*tierFilter
 	profiles *profiler
 	sdCache  map[job.ID]simtime.Duration
@@ -195,7 +190,6 @@ func New(opts Options) *Venn {
 	return &Venn{
 		opts:     opts,
 		groups:   make(map[device.RequirementKey]*vgroup),
-		fifo:     newFIFOQueue(),
 		filters:  make(map[job.ID]*tierFilter),
 		profiles: newProfiler(opts.MinProfileSamples),
 		sdCache:  make(map[job.ID]simtime.Duration),
@@ -208,16 +202,10 @@ func NewDefault() *Venn { return New(DefaultOptions()) }
 
 // Name implements sim.Scheduler.
 func (v *Venn) Name() string {
-	switch {
-	case v.opts.DisableScheduling && v.opts.DisableMatching:
-		return "Venn-w/o-both"
-	case v.opts.DisableScheduling:
-		return "Venn-w/o-sched"
-	case v.opts.DisableMatching:
+	if v.opts.DisableMatching {
 		return "Venn-w/o-match"
-	default:
-		return "Venn"
 	}
+	return "Venn"
 }
 
 // Bind implements sim.Scheduler.
@@ -252,7 +240,6 @@ func (v *Venn) OnRequest(j *job.Job, now simtime.Time) {
 		g.insertJob(j, d)
 		g.dirty = true
 	}
-	v.fifo.Open(j)
 	if f := v.decideTier(j, now); f != nil {
 		v.filters[j.ID] = f
 		v.TierFiltersApplied++
@@ -274,7 +261,6 @@ func (v *Venn) OnJobDone(j *job.Job, now simtime.Time) {
 	v.lastNow = now
 	v.active--
 	v.removeOpen(j)
-	v.fifo.Drop(j.ID)
 	v.profiles.drop(j.ID)
 	delete(v.sdCache, j.ID)
 	delete(v.fairM, j.ID)
@@ -293,9 +279,6 @@ func (v *Venn) ObserveResponse(j *job.Job, d *device.Device, dur simtime.Duratio
 // to the next job in the order).
 func (v *Venn) Assign(d *device.Device, now simtime.Time) *job.Job {
 	v.lastNow = now
-	if v.opts.DisableScheduling {
-		return v.assignFIFO(d)
-	}
 	v.ensurePlan(now)
 	cell := v.cellOf(d)
 	if int(cell) >= len(v.plan.Order) {
@@ -349,27 +332,18 @@ func (v *Venn) cellOf(d *device.Device) device.CellID {
 // The cache repopulates on demand.
 func (v *Venn) ResetCellCache() { v.cellCache = nil }
 
-// assignFIFO is the Venn-w/o-scheduling ablation: FIFO request order with
-// tier-based matching still in force.
-func (v *Venn) assignFIFO(d *device.Device) *job.Job {
-	checkFilters := len(v.filters) > 0
-	var out *job.Job
-	v.fifo.ForEachOpen(func(j *job.Job) bool {
-		if j.State() != job.StateScheduling || j.RemainingDemand() <= 0 {
-			return true
-		}
-		if !j.Requirement.Eligible(d) {
-			return true
-		}
-		if checkFilters {
-			if f := v.filters[j.ID]; f != nil && v.lastNow < f.lapseAt && !f.accepts(d) {
-				return true
-			}
-		}
-		out = j
-		return false
-	})
-	return out
+// TierAccepts reports whether job id's tier filter (if any) admits device d
+// at time now. It exposes the matching decision to policies outside the
+// package: the FIFO-order ablation (internal/policy) keeps tier-based
+// matching in force while replacing the IRS job order, so it forwards the
+// lifecycle events to an inner Venn and consults this during its own
+// assignment walk.
+func (v *Venn) TierAccepts(id job.ID, d *device.Device, now simtime.Time) bool {
+	if len(v.filters) == 0 {
+		return true
+	}
+	f := v.filters[id]
+	return f == nil || now >= f.lapseAt || f.accepts(d)
 }
 
 // ensurePlan lazily refreshes the IRS allocation and cell plan, then
@@ -577,5 +551,4 @@ func (v *Venn) removeOpen(j *job.Job) {
 			}
 		}
 	}
-	v.fifo.Close(j.ID)
 }

@@ -92,9 +92,7 @@ func TestVennNamesByAblation(t *testing.T) {
 		want string
 	}{
 		{Options{}, "Venn"},
-		{Options{DisableScheduling: true}, "Venn-w/o-sched"},
 		{Options{DisableMatching: true}, "Venn-w/o-match"},
-		{Options{DisableScheduling: true, DisableMatching: true}, "Venn-w/o-both"},
 	}
 	for _, c := range cases {
 		if got := New(c.opts).Name(); got != c.want {
@@ -224,25 +222,6 @@ func TestGroupQueueOrderMaintained(t *testing.T) {
 		t.Error("vacated tail slot must be nilled so the job can be collected")
 	}
 	checkSorted()
-}
-
-func TestVennFIFOAblationOrdersByArrival(t *testing.T) {
-	fleet := mixedFleet(80, 6*simtime.Hour)
-	first := job.New(0, device.General, 10, 2, 0)
-	second := job.New(1, device.General, 4, 1, simtime.Time(simtime.Minute))
-	v := New(Options{DisableScheduling: true, DisableMatching: true})
-	eng := buildEngine(t, v, fleet, []*job.Job{first, second})
-	res := eng.Run()
-	jct0, ok0 := res.JobJCT(0)
-	jct1, ok1 := res.JobJCT(1)
-	if !ok0 || !ok1 {
-		t.Fatalf("both jobs must complete: %v", res)
-	}
-	// Under FIFO the earlier, larger job holds priority across rounds,
-	// so the later small job cannot finish dramatically earlier.
-	if jct1 < jct0/4 {
-		t.Errorf("FIFO ablation let the later job jump the queue: %0.fs vs %.0fs", jct1, jct0)
-	}
 }
 
 func TestVennWorkConservation(t *testing.T) {

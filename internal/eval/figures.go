@@ -8,6 +8,7 @@ import (
 	"venn/internal/core"
 	"venn/internal/device"
 	"venn/internal/job"
+	"venn/internal/policy"
 	"venn/internal/sim"
 	"venn/internal/simtime"
 	"venn/internal/stats"
@@ -308,9 +309,7 @@ func AblationSchedulers() map[string]SchedulerFactory {
 		"Random": func() sim.Scheduler { return newRandomBaseline() },
 		"FIFO":   func() sim.Scheduler { return newFIFOBaseline() },
 		"Venn-w/o-sched": func() sim.Scheduler {
-			o := core.DefaultOptions()
-			o.DisableScheduling = true
-			return core.New(o)
+			return policy.MustNew("fifo", policy.Config{Core: core.DefaultOptions()})
 		},
 		"Venn-w/o-match": func() sim.Scheduler {
 			o := core.DefaultOptions()

@@ -1,0 +1,111 @@
+// Package policy is the scheduling-policy layer: the decision surface every
+// part of the stack — the simulator, the live server, the CLIs — programs
+// against, plus a registry of the built-in policies. A policy owns job
+// admission, assignment ordering, and completion bookkeeping; everything
+// else (device registries, transports, federation) is policy-agnostic and
+// selects its scheduler by name at startup.
+//
+// Built-in policies:
+//
+//   - "venn"   — the paper's scheduler: IRS contention-aware job ordering
+//     plus tier-based device matching (internal/core).
+//   - "fifo"   — FIFO request order with tier-based matching still in force
+//     (the paper's "Venn w/o scheduling" ablation, promoted from the former
+//     core.Options.DisableScheduling knob).
+//   - "srsf"   — shortest remaining service first (internal/sched).
+//   - "random" — optimized random matching (internal/sched); deterministic
+//     for a fixed environment seed, since its priorities come from the
+//     bound environment's private RNG stream.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"venn/internal/core"
+	"venn/internal/sched"
+	"venn/internal/sim"
+)
+
+// Policy is the scheduling decision surface. It is exactly the simulator's
+// scheduler contract — the live server drives it with the same lifecycle
+// events the simulation engine does, which is what lets one implementation
+// serve both worlds unchanged.
+type Policy = sim.Scheduler
+
+// Config carries the construction-time knobs a policy factory may consult.
+type Config struct {
+	// Core configures the Venn family (tiers, epsilon, matching). Factories
+	// that take no options ignore it. The zero value means defaults.
+	Core core.Options
+}
+
+// Factory builds one policy instance. Instances are single-owner: they are
+// driven under whatever lock serializes the caller's lifecycle events.
+type Factory func(cfg Config) Policy
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a policy factory under name (case-insensitive). Registering
+// an existing name replaces it — tests use this to inject instrumented
+// policies.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	registry[strings.ToLower(name)] = f
+	regMu.Unlock()
+}
+
+// New builds the named policy, or an error naming the valid choices.
+func New(name string, cfg Config) (Policy, error) {
+	regMu.RLock()
+	f, ok := registry[strings.ToLower(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(cfg), nil
+}
+
+// MustNew is New for statically known names; it panics on an unknown one.
+func MustNew(name string, cfg Config) Policy {
+	p, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Valid reports whether name resolves in the registry.
+func Valid(name string) bool {
+	regMu.RLock()
+	_, ok := registry[strings.ToLower(name)]
+	regMu.RUnlock()
+	return ok
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Default is the policy venndaemon serves when none is requested.
+const Default = "venn"
+
+func init() {
+	Register("venn", func(cfg Config) Policy { return core.New(cfg.Core) })
+	Register("fifo", func(cfg Config) Policy { return NewFIFOMatch(cfg.Core) })
+	Register("srsf", func(Config) Policy { return sched.NewSRSF() })
+	Register("random", func(Config) Policy { return sched.NewRandom() })
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"venn/internal/core"
 	"venn/internal/device"
 	"venn/internal/job"
+	"venn/internal/policy"
 	"venn/internal/sim"
 	"venn/internal/simtime"
 	"venn/internal/stats"
@@ -99,6 +101,11 @@ type Assignment struct {
 	JobID    int    `json:"job_id,omitempty"`
 	JobName  string `json:"job_name,omitempty"`
 	Round    int    `json:"round,omitempty"`
+	// Policy attributes the assignment to the scheduling policy that made
+	// it. It rides every transport unchanged (batch, stream, cluster
+	// forwarding), so in a federation of daemons running different
+	// policies each assignment still names its decider.
+	Policy string `json:"policy,omitempty"`
 }
 
 // CheckInResult is one element of a batch check-in reply. Error is set when
@@ -144,6 +151,7 @@ type (
 
 // Stats summarizes the manager for monitoring.
 type Stats struct {
+	Policy         string  `json:"policy"`
 	ActiveJobs     int     `json:"active_jobs"`
 	CompletedJobs  int     `json:"completed_jobs"`
 	CheckIns       int     `json:"check_ins"`
@@ -164,7 +172,23 @@ type Config struct {
 	// Categories are the requirement strata jobs may ask for. Defaults
 	// to the four standard strata.
 	Categories []device.Requirement
-	// Options are scheduler options for the Venn core.
+	// Policy selects the primary scheduling policy by registry name
+	// (internal/policy: "venn", "fifo", "srsf", "random"); empty means
+	// policy.Default. Unknown names panic in NewManager — the CLIs
+	// validate with policy.Valid before constructing.
+	Policy string
+	// ShadowPolicies lists policies that observe the primary's event
+	// stream and record would-be assignments without applying them (see
+	// shadow.go). Each shadow runs on its own goroutine behind a bounded
+	// queue, off every serving path.
+	ShadowPolicies []string
+	// Seed seeds the scheduling environment's RNG (the Random policy's
+	// priority stream) and the shadow mirrors; 0 derives a seed from the
+	// clock. Fixing it makes seeded-traffic replays (vennload -ab)
+	// reproducible.
+	Seed int64
+	// Options are scheduler options for the Venn policy family (primary
+	// and shadows alike).
 	Options core.Options
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
@@ -199,8 +223,22 @@ type Manager struct {
 	cfg        Config
 	start      time.Time
 	categories map[string]device.Requirement
+	// pol is the primary scheduling policy; every lifecycle event and
+	// assignment decision goes through it. venn aliases it when the
+	// primary is the Venn core — the lock-free snapshot fast path and the
+	// plan telemetry are Venn-specific and disabled (nil) otherwise.
+	policyName string
+	pol        policy.Policy
 	venn       *core.Venn
 	env        *sim.Env
+	// shadows host the shadow policies (shadow.go); shadowsOn caches
+	// len(shadows) > 0 so the no-shadow serving paths pay one branch. Both
+	// are immutable after NewManager. shadowSkip round-robins the
+	// surplus-path sampling (one scoring event per shadowSampleStride
+	// lock-free check-ins).
+	shadows    []*shadowRunner
+	shadowsOn  bool
+	shadowSkip atomic.Uint64
 
 	jobs      map[job.ID]*managedJob
 	nextJob   job.ID
@@ -211,9 +249,9 @@ type Manager struct {
 	numDevices  atomic.Int64
 	busyDevices atomic.Int64
 
-	// lockFreeOK gates the snapshot-probe fast path; false when the core
-	// runs the FIFO ablation (whose order is not captured by plan
-	// snapshots).
+	// lockFreeOK gates the snapshot-probe fast path; false when the
+	// primary policy is not the Venn core (only Venn publishes plan
+	// snapshots that prove a device idle).
 	lockFreeOK bool
 	// checkIns counts admitted check-ins; atomic because the fast path
 	// bumps it without the core mutex.
@@ -392,17 +430,27 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Shards <= 0 {
 		cfg.Shards = defaultShards
 	}
+	if cfg.Policy == "" {
+		cfg.Policy = policy.Default
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Clock().UnixNano()
+	}
 	m := &Manager{
 		cfg:        cfg,
 		start:      cfg.Clock(),
 		categories: make(map[string]device.Requirement, len(cfg.Categories)),
-		venn:       core.New(cfg.Options),
+		policyName: strings.ToLower(cfg.Policy),
+		pol:        policy.MustNew(cfg.Policy, policy.Config{Core: cfg.Options}),
 		jobs:       make(map[job.ID]*managedJob),
 		shards:     make([]deviceShard, cfg.Shards),
 		deadlines:  make(map[job.ID]simtime.Time),
 		attempt:    make(map[job.ID]uint64),
 		metrics:    newMetricsRecorder(),
 	}
+	// The snapshot fast path and plan telemetry need the concrete core.
+	m.venn, _ = m.pol.(*core.Venn)
 	for i := range m.shards {
 		m.shards[i].devices = make(map[string]*managedDevice)
 	}
@@ -415,13 +463,24 @@ func NewManager(cfg Config) *Manager {
 		DB:            tsdb.New(grid.NumCells(), cfg.TSDBWindow, simtime.Hour),
 		CellPriorRate: make([]float64, grid.NumCells()),
 		Jobs:          make(map[job.ID]*job.Job),
-		RNG:           stats.NewRNG(cfg.Clock().UnixNano()),
+		RNG:           stats.NewRNG(seed),
 	}
-	m.venn.Bind(m.env)
+	m.pol.Bind(m.env)
 	m.pendingSupply = make([]atomic.Int64, grid.NumCells())
-	m.lockFreeOK = !cfg.Options.DisableScheduling
+	m.lockFreeOK = m.venn != nil
+	for i, name := range cfg.ShadowPolicies {
+		// Distinct derived seeds keep each shadow's RNG stream independent
+		// of the primary's and of each other's.
+		sp := policy.MustNew(name, policy.Config{Core: cfg.Options})
+		sr := newShadowRunner(strings.ToLower(name), sp, cfg.Categories, cfg.TSDBWindow, seed+int64(i)+1)
+		m.shadows = append(m.shadows, sr)
+	}
+	m.shadowsOn = len(m.shadows) > 0
 	return m
 }
+
+// PolicyName reports the primary scheduling policy's registry name.
+func (m *Manager) PolicyName() string { return m.policyName }
 
 // now maps wall-clock to manager-relative simulated time.
 func (m *Manager) now() simtime.Time {
@@ -471,8 +530,15 @@ func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
 	m.attempt[id] = 1
 
 	j.Start(now)
-	m.venn.OnJobArrival(j, now)
-	m.venn.OnRequest(j, now)
+	m.pol.OnJobArrival(j, now)
+	m.pol.OnRequest(j, now)
+	if m.shadowsOn {
+		m.emitShadow(shadowEvent{
+			kind: shadowArrival, now: now, jobID: id,
+			name: j.Name, category: spec.Category,
+			demand: spec.DemandPerRound, rounds: spec.Rounds, taskScale: spec.TaskScale,
+		})
+	}
 	return m.statusLocked(mj), nil
 }
 
@@ -557,7 +623,18 @@ func (m *Manager) snapshotSaysIdle(md *managedDevice, now simtime.Time) bool {
 // core mutex; the device stays reserved on assignment and the caller frees
 // it otherwise.
 func (m *Manager) assignCoreLocked(md *managedDevice, deviceID string, now simtime.Time) Assignment {
-	j := m.venn.Assign(md.dev, now)
+	j := m.pol.Assign(md.dev, now)
+	if m.shadowsOn {
+		pick := job.ID(-1)
+		if j != nil {
+			pick = j.ID
+		}
+		m.emitShadow(shadowEvent{
+			kind: shadowAssign, now: now, devID: deviceID,
+			cpu: md.dev.CPU, mem: md.dev.Mem, cell: device.CellID(md.cell),
+			primaryJob: pick,
+		})
+	}
 	if j == nil {
 		return Assignment{Assigned: false}
 	}
@@ -567,11 +644,14 @@ func (m *Manager) assignCoreLocked(md *managedDevice, deviceID string, now simti
 	m.assignments++
 
 	if full := j.AddAssignment(now); full {
-		m.venn.OnRequestFulfilled(j, now)
+		m.pol.OnRequestFulfilled(j, now)
+		if m.shadowsOn {
+			m.emitShadow(shadowEvent{kind: shadowFulfilled, now: now, jobID: j.ID})
+		}
 		m.setDeadlineLocked(j.ID, now.Add(j.Deadline()))
 		m.maybeCompleteLocked(mj, now)
 	}
-	return Assignment{Assigned: true, JobID: int(j.ID), JobName: j.Name, Round: j.Round()}
+	return Assignment{Assigned: true, JobID: int(j.ID), JobName: j.Name, Round: j.Round(), Policy: m.policyName}
 }
 
 // release frees a reserved device that received no assignment. The caller
@@ -602,6 +682,16 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 	var asg Assignment
 	if m.snapshotSaysIdle(md, now) {
 		m.lockFreeCheckIns.Add(1)
+		// Shadow planning stays off the lock-free surplus path: sampled
+		// scoring events leave via one non-blocking send; the shadow
+		// scores them on its own goroutine.
+		if m.shadowsOn && m.shadowSkip.Add(1)%shadowSampleStride == 0 {
+			m.emitShadow(shadowEvent{
+				kind: shadowAssign, now: now, devID: ci.DeviceID,
+				cpu: md.dev.CPU, mem: md.dev.Mem, cell: device.CellID(md.cell),
+				primaryJob: -1, weight: shadowSampleStride,
+			})
+		}
 	} else {
 		m.mu.Lock()
 		m.drainSupplyLocked(now)
@@ -652,6 +742,7 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 	}
 	pending := make([]*managedDevice, len(cis))
 	var needCore []int
+	var shadowBuf []shadowEvent // lock-free scoring events, one send per batch
 	admitted := 0
 	for i, ci := range cis {
 		if ci.DeviceID == "" {
@@ -673,10 +764,20 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 		// fulfil a request (or a job may register) mid-loop.
 		if m.snapshotSaysIdle(md, now) {
 			m.lockFreeCheckIns.Add(1)
+			if m.shadowsOn && m.shadowSkip.Add(1)%shadowSampleStride == 0 {
+				shadowBuf = append(shadowBuf, shadowEvent{
+					kind: shadowAssign, now: now, devID: ci.DeviceID,
+					cpu: md.dev.CPU, mem: md.dev.Mem, cell: device.CellID(md.cell),
+					primaryJob: -1, weight: shadowSampleStride,
+				})
+			}
 			continue
 		}
 		needCore = append(needCore, i)
 	}
+	// Shadow planning stays off the lock-free surplus path: the whole
+	// batch's scoring events leave in one non-blocking send per shadow.
+	m.emitShadowBatch(shadowBuf)
 
 	assigned := 0
 	if len(needCore) > 0 {
@@ -716,7 +817,13 @@ func (m *Manager) reportCoreLocked(r Report, md *managedDevice, now simtime.Time
 	}
 	if r.OK {
 		m.reports++
-		m.venn.ObserveResponse(mj.j, md.dev, simtime.FromSeconds(r.DurationSeconds), now)
+		m.pol.ObserveResponse(mj.j, md.dev, simtime.FromSeconds(r.DurationSeconds), now)
+		if m.shadowsOn {
+			m.emitShadow(shadowEvent{
+				kind: shadowResponse, now: now, jobID: mj.j.ID,
+				devID: r.DeviceID, durSec: r.DurationSeconds,
+			})
+		}
 		mj.j.AddResponse(now)
 		m.maybeCompleteLocked(mj, now)
 		return
@@ -836,14 +943,18 @@ func (m *Manager) maybeCompleteLocked(mj *managedJob, now simtime.Time) {
 	delete(m.deadlines, mj.j.ID)
 	m.attempt[mj.j.ID]++
 	mj.inFlight = map[string]uint64{}
-	if done := mj.j.CompleteRound(now); done {
-		m.venn.OnJobDone(mj.j, now)
+	done := mj.j.CompleteRound(now)
+	if m.shadowsOn {
+		m.emitShadow(shadowEvent{kind: shadowRoundDone, now: now, jobID: mj.j.ID, done: done})
+	}
+	if done {
+		m.pol.OnJobDone(mj.j, now)
 		m.completed = append(m.completed, mj)
 		delete(m.jobs, mj.j.ID)
 		delete(m.attempt, mj.j.ID)
 		return
 	}
-	m.venn.OnRequest(mj.j, now)
+	m.pol.OnRequest(mj.j, now)
 }
 
 // abortLocked resubmits the current attempt.
@@ -853,7 +964,10 @@ func (m *Manager) abortLocked(mj *managedJob, now simtime.Time) {
 	m.attempt[mj.j.ID]++
 	mj.inFlight = map[string]uint64{}
 	delete(m.deadlines, mj.j.ID)
-	m.venn.OnRequest(mj.j, now)
+	m.pol.OnRequest(mj.j, now)
+	if m.shadowsOn {
+		m.emitShadow(shadowEvent{kind: shadowAbort, now: now, jobID: mj.j.ID})
+	}
 }
 
 // setDeadlineLocked records a collecting job's response deadline and keeps
@@ -961,9 +1075,11 @@ func (m *Manager) sweepExpiredDevices() {
 		m.numDevices.Add(int64(-evicted))
 		m.busyDevices.Add(int64(-busyEvicted))
 		m.evictions.Add(int64(evicted))
-		m.mu.Lock()
-		m.venn.ResetCellCache()
-		m.mu.Unlock()
+		if m.venn != nil {
+			m.mu.Lock()
+			m.venn.ResetCellCache()
+			m.mu.Unlock()
+		}
 	}
 }
 
@@ -1021,6 +1137,7 @@ func (m *Manager) StatsSnapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
+		Policy:        m.policyName,
 		ActiveJobs:    len(m.jobs),
 		CompletedJobs: len(m.completed),
 		CheckIns:      int(m.checkIns.Load()),
@@ -1033,8 +1150,10 @@ func (m *Manager) StatsSnapshot() Stats {
 	m.drainSupplyLocked(now)
 	s.UptimeSeconds = float64(now) / 1000
 	s.SupplyPerHour = m.env.DB.TotalRatePerHour(now)
-	s.PlanRebuilds = m.venn.PlanRebuilds
-	s.PlanPatches = m.venn.PlanPatches
+	if m.venn != nil {
+		s.PlanRebuilds = m.venn.PlanRebuilds
+		s.PlanPatches = m.venn.PlanPatches
+	}
 	for _, mj := range m.jobs {
 		if mj.j.State() == job.StateScheduling {
 			s.QueuedRequests++

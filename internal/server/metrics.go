@@ -30,6 +30,13 @@ type Metrics struct {
 	KnownDevices   int64 `json:"known_devices"`
 	BusyDevices    int64 `json:"busy_devices"`
 
+	// Scheduling-policy telemetry. PolicyPrimary names the policy serving
+	// assignments; PolicyShadows carries each shadow policy's divergence
+	// counters (assignment mismatches, queue-depth delta, drop/panic
+	// health), keyed by registry name. Absent when no shadows run.
+	PolicyPrimary string                       `json:"policy_primary"`
+	PolicyShadows map[string]PolicyShadowStats `json:"policy_shadows,omitempty"`
+
 	// Plan-lifecycle telemetry: full Algorithm-1 rebuilds vs incremental
 	// patches, and the fraction of refreshes the incremental path served.
 	PlanRebuilds           int64   `json:"plan_rebuilds"`
@@ -299,10 +306,12 @@ func (m *Manager) MetricsSnapshot() Metrics {
 	out.UptimeSeconds = float64(m.now()) / 1000
 	out.Assignments = int64(m.assignments)
 	out.Reports = int64(m.reports)
-	out.PlanRebuilds = int64(m.venn.PlanRebuilds)
-	out.PlanPatches = int64(m.venn.PlanPatches)
-	if total := out.PlanRebuilds + out.PlanPatches; total > 0 {
-		out.PlanIncrementalHitRate = float64(out.PlanPatches) / float64(total)
+	if m.venn != nil {
+		out.PlanRebuilds = int64(m.venn.PlanRebuilds)
+		out.PlanPatches = int64(m.venn.PlanPatches)
+		if total := out.PlanRebuilds + out.PlanPatches; total > 0 {
+			out.PlanIncrementalHitRate = float64(out.PlanPatches) / float64(total)
+		}
 	}
 	out.ActiveJobs = len(m.jobs)
 	for _, mj := range m.jobs {
@@ -314,5 +323,12 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		}
 	}
 	m.mu.Unlock()
+	out.PolicyPrimary = m.policyName
+	if m.shadowsOn {
+		out.PolicyShadows = make(map[string]PolicyShadowStats, len(m.shadows))
+		for _, sr := range m.shadows {
+			out.PolicyShadows[sr.name] = sr.statsSnapshot(int64(out.SchedulingJobs))
+		}
+	}
 	return out
 }

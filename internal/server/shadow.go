@@ -1,0 +1,403 @@
+// Shadow policies: secondary schedulers that observe the primary's event
+// stream — job registrations, check-ins, reports, completions — and record
+// the assignments they *would* have made, without any of them taking effect.
+// Each shadow owns a full mirror world (its own policy instance, job clones,
+// device registry, supply history) fed by a bounded event channel and driven
+// by a dedicated goroutine, so shadow planning never runs on a serving path:
+// the serving paths only perform a non-blocking channel send. A slow shadow
+// loses events (counted, never blocking); a panicking shadow loses one event
+// (recovered, counted); neither can perturb primary assignments or latency.
+//
+// The mirror applies the *primary's* decisions to its job clones (the shadow
+// job set must track real job states, or its queue would diverge after the
+// first round) while asking its own policy, at every check-in, which job it
+// would have picked. The per-policy divergence counters — assignment
+// mismatches, queue-depth delta — surface via /v1/metrics as policy_*
+// gauges.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/policy"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+	"venn/internal/stats"
+	"venn/internal/tsdb"
+)
+
+// shadowEventBuffer bounds each shadow's event channel. At ~10⁶ events/s on
+// the stream rung a full buffer represents a few milliseconds of backlog;
+// beyond that the shadow is too slow and events drop (counted).
+const shadowEventBuffer = 8192
+
+// shadowMaxDevices caps each shadow's mirror device registry; devices beyond
+// the cap are modeled as transients (ID -1, bypassing per-ID caches).
+const shadowMaxDevices = 1 << 20
+
+// shadowSampleStride thins the surplus-path scoring stream: check-ins the
+// primary answered lock-free (nothing to assign) are scored one-in-stride,
+// carrying the stride as a supply weight so the mirror's check-in history
+// stays calibrated. Lifecycle events — arrivals, core-path assignments,
+// fulfillments, responses, round completions, aborts — are never sampled,
+// so mirror job state stays exact. Keeps shadow CPU well under 10% of
+// serving throughput even on small hosts.
+const shadowSampleStride = 16
+
+type shadowKind uint8
+
+const (
+	shadowArrival shadowKind = iota
+	shadowAssign
+	shadowFulfilled
+	shadowResponse
+	shadowRoundDone
+	shadowAbort
+)
+
+// shadowEvent is one primary-side lifecycle event, self-contained enough to
+// replay without touching any primary state.
+type shadowEvent struct {
+	kind shadowKind
+	now  simtime.Time
+
+	jobID job.ID
+
+	// Arrival fields.
+	name      string
+	category  string
+	demand    int
+	rounds    int
+	taskScale float64
+
+	// Assign / response fields.
+	devID      string
+	cpu, mem   float64
+	cell       device.CellID
+	primaryJob job.ID // primary's pick for this check-in; -1 = none
+	weight     int32  // check-ins this sampled scoring event represents (0 = 1)
+	durSec     float64
+
+	// Round completion.
+	done bool
+}
+
+// shadowRunner hosts one shadow policy. All mirror state is confined to the
+// run goroutine; only the atomic counters are read from outside.
+type shadowRunner struct {
+	name string
+	pol  policy.Policy
+	env  *sim.Env
+	cats map[string]device.Requirement
+
+	events chan []shadowEvent
+	quit   chan struct{}
+	once   sync.Once
+
+	jobs    map[job.ID]*job.Job
+	devs    map[string]*device.Device
+	nextDev device.ID
+
+	assignChecks  atomic.Int64 // check-ins the shadow scored
+	mismatches    atomic.Int64 // shadow's pick differed from the primary's
+	shadowAssigns atomic.Int64 // check-ins the shadow would have assigned
+	queueDepth    atomic.Int64 // mirror jobs currently in StateScheduling
+	dropped       atomic.Int64 // events lost to a full channel
+	panics        atomic.Int64 // events whose handling panicked (recovered)
+}
+
+// PolicyShadowStats is one shadow policy's divergence counters, exported via
+// /v1/metrics under policy_shadows.
+type PolicyShadowStats struct {
+	// AssignChecks counts check-ins the shadow scored; Mismatches counts
+	// how many of them it would have answered differently than the primary
+	// (different job, or assigned where the primary did not, or vice
+	// versa). ShadowAssigns counts the check-ins the shadow would have
+	// assigned. Surplus-path check-ins are scored one-in-shadowSampleStride,
+	// so AssignChecks can undercount raw traffic; core-path check-ins (the
+	// ones the primary assigned from) are always scored.
+	AssignChecks  int64 `json:"assign_checks"`
+	Mismatches    int64 `json:"assign_mismatches"`
+	ShadowAssigns int64 `json:"shadow_assigns"`
+	// QueueDepth is the shadow mirror's open-request count;
+	// QueueDepthDelta is that minus the primary's (scheduling_jobs).
+	QueueDepth      int64 `json:"queue_depth"`
+	QueueDepthDelta int64 `json:"queue_depth_delta"`
+	// DroppedEvents counts events lost to backpressure (slow shadow);
+	// Panics counts recovered shadow-policy panics. Both zero in a healthy
+	// deployment — CI's shadow smoke gates on them.
+	DroppedEvents int64 `json:"dropped_events"`
+	Panics        int64 `json:"panics"`
+}
+
+// newShadowRunner builds the mirror world for one shadow policy and starts
+// its goroutine.
+func newShadowRunner(name string, pol policy.Policy, categories []device.Requirement, window simtime.Duration, seed int64) *shadowRunner {
+	grid := device.NewGrid(categories)
+	sr := &shadowRunner{
+		name: name,
+		pol:  pol,
+		env: &sim.Env{
+			Grid:          grid,
+			DB:            tsdb.New(grid.NumCells(), window, simtime.Hour),
+			CellPriorRate: make([]float64, grid.NumCells()),
+			Jobs:          make(map[job.ID]*job.Job),
+			RNG:           stats.NewRNG(seed),
+		},
+		cats:   make(map[string]device.Requirement, len(categories)),
+		events: make(chan []shadowEvent, shadowEventBuffer),
+		quit:   make(chan struct{}),
+		jobs:   make(map[job.ID]*job.Job),
+		devs:   make(map[string]*device.Device),
+	}
+	for _, c := range categories {
+		sr.cats[c.Name] = c
+	}
+	pol.Bind(sr.env)
+	go sr.run()
+	return sr
+}
+
+// offer enqueues a group of events without ever blocking the caller. Batched
+// serving paths hand a whole batch's events over in one send, so the
+// hot-path cost per check-in is a slice append, not a channel operation. The
+// slice is shared read-only by every shadow; runners never mutate it.
+func (sr *shadowRunner) offer(evs []shadowEvent) {
+	select {
+	case sr.events <- evs:
+	default:
+		sr.dropped.Add(int64(len(evs)))
+	}
+}
+
+// stop terminates the runner goroutine (idempotent).
+func (sr *shadowRunner) stop() { sr.once.Do(func() { close(sr.quit) }) }
+
+func (sr *shadowRunner) run() {
+	for {
+		select {
+		case <-sr.quit:
+			return
+		case evs := <-sr.events:
+			for i := range evs {
+				sr.apply(evs[i])
+			}
+		}
+	}
+}
+
+// apply replays one event into the mirror. Panics (a hostile or buggy shadow
+// policy, or a mirror desynchronized by dropped events) abandon the event
+// and are counted; the runner keeps consuming.
+func (sr *shadowRunner) apply(ev shadowEvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			sr.panics.Add(1)
+		}
+	}()
+	switch ev.kind {
+	case shadowArrival:
+		sr.applyArrival(ev)
+	case shadowAssign:
+		sr.applyAssign(ev)
+	case shadowFulfilled:
+		if j := sr.jobs[ev.jobID]; j != nil {
+			sr.pol.OnRequestFulfilled(j, ev.now)
+			sr.recountQueue()
+		}
+	case shadowResponse:
+		sr.applyResponse(ev)
+	case shadowRoundDone:
+		sr.applyRoundDone(ev)
+	case shadowAbort:
+		if j := sr.jobs[ev.jobID]; j != nil && !j.Done() {
+			j.AbortAttempt(ev.now)
+			sr.pol.OnRequest(j, ev.now)
+			sr.recountQueue()
+		}
+	}
+}
+
+func (sr *shadowRunner) applyArrival(ev shadowEvent) {
+	req, ok := sr.cats[ev.category]
+	if !ok {
+		return
+	}
+	j := job.New(ev.jobID, req, ev.demand, ev.rounds, ev.now)
+	if ev.taskScale > 0 {
+		j.TaskScale = ev.taskScale
+	}
+	if ev.name != "" {
+		j.Name = ev.name
+	}
+	sr.jobs[ev.jobID] = j
+	sr.env.Jobs[ev.jobID] = j
+	j.Start(ev.now)
+	sr.pol.OnJobArrival(j, ev.now)
+	sr.pol.OnRequest(j, ev.now)
+	sr.recountQueue()
+}
+
+// applyAssign scores one admitted check-in: ask the shadow policy for its
+// would-be pick, compare it against the primary's, feed the shadow's supply
+// history, and apply the primary's decision to the mirror.
+func (sr *shadowRunner) applyAssign(ev shadowEvent) {
+	d := sr.deviceFor(ev)
+	choice := sr.pol.Assign(d, ev.now)
+	sr.assignChecks.Add(1)
+	chosen := job.ID(-1)
+	if choice != nil {
+		chosen = choice.ID
+		sr.shadowAssigns.Add(1)
+	}
+	if chosen != ev.primaryJob {
+		sr.mismatches.Add(1)
+	}
+	weight := int(ev.weight)
+	if weight <= 0 {
+		weight = 1
+	}
+	sr.env.DB.RecordCheckIns(ev.cell, weight, ev.now)
+	if ev.primaryJob >= 0 {
+		if j := sr.jobs[ev.primaryJob]; j != nil && j.State() == job.StateScheduling {
+			// Fulfillment is signaled by its own event; ignore the return.
+			j.AddAssignment(ev.now)
+			sr.recountQueue()
+		}
+	}
+}
+
+func (sr *shadowRunner) applyResponse(ev shadowEvent) {
+	j := sr.jobs[ev.jobID]
+	if j == nil {
+		return
+	}
+	if d, ok := sr.devs[ev.devID]; ok {
+		sr.pol.ObserveResponse(j, d, simtime.FromSeconds(ev.durSec), ev.now)
+	}
+	j.AddResponse(ev.now) // tolerant of state drift; completion has its own event
+}
+
+// applyRoundDone completes the mirror's round exactly when the primary's
+// completed. Dropped events may have starved the mirror of assignments or
+// responses; force it to a completable state first so the mirror's lifecycle
+// tracks the primary's even under backpressure.
+func (sr *shadowRunner) applyRoundDone(ev shadowEvent) {
+	j := sr.jobs[ev.jobID]
+	if j == nil {
+		return
+	}
+	if j.Done() {
+		sr.forgetJob(ev.jobID, ev.now)
+		return
+	}
+	for j.State() == job.StateScheduling {
+		j.AddAssignment(ev.now)
+	}
+	for !j.CanComplete() {
+		j.AddResponse(ev.now)
+	}
+	j.CompleteRound(ev.now)
+	if ev.done {
+		sr.forgetJob(ev.jobID, ev.now)
+	} else {
+		sr.pol.OnRequest(j, ev.now)
+	}
+	sr.recountQueue()
+}
+
+func (sr *shadowRunner) forgetJob(id job.ID, now simtime.Time) {
+	j := sr.jobs[id]
+	if j == nil {
+		return
+	}
+	sr.pol.OnJobDone(j, now)
+	delete(sr.jobs, id)
+	delete(sr.env.Jobs, id)
+	sr.recountQueue()
+}
+
+// deviceFor resolves (or mints) the mirror device for a check-in event.
+func (sr *shadowRunner) deviceFor(ev shadowEvent) *device.Device {
+	if d, ok := sr.devs[ev.devID]; ok {
+		d.CPU, d.Mem = ev.cpu, ev.mem
+		return d
+	}
+	if len(sr.devs) >= shadowMaxDevices {
+		return device.New(-1, ev.cpu, ev.mem)
+	}
+	d := device.New(sr.nextDev, ev.cpu, ev.mem)
+	sr.nextDev++
+	sr.devs[ev.devID] = d
+	return d
+}
+
+// recountQueue refreshes the mirror's open-request gauge. Mirror job counts
+// are small (active jobs, not devices), so a full recount per lifecycle
+// event is cheap — and it only ever runs on the shadow goroutine.
+func (sr *shadowRunner) recountQueue() {
+	n := int64(0)
+	for _, j := range sr.jobs {
+		if j.State() == job.StateScheduling {
+			n++
+		}
+	}
+	sr.queueDepth.Store(n)
+}
+
+// statsSnapshot exports the divergence counters. primaryQueueDepth is the
+// primary's scheduling_jobs gauge, read by the caller under the core mutex.
+func (sr *shadowRunner) statsSnapshot(primaryQueueDepth int64) PolicyShadowStats {
+	depth := sr.queueDepth.Load()
+	return PolicyShadowStats{
+		AssignChecks:    sr.assignChecks.Load(),
+		Mismatches:      sr.mismatches.Load(),
+		ShadowAssigns:   sr.shadowAssigns.Load(),
+		QueueDepth:      depth,
+		QueueDepthDelta: depth - primaryQueueDepth,
+		DroppedEvents:   sr.dropped.Load(),
+		Panics:          sr.panics.Load(),
+	}
+}
+
+// emitShadow fans one event out to every shadow (non-blocking). Callers
+// guard with m.shadowsOn so the no-shadow configuration pays one branch.
+func (m *Manager) emitShadow(ev shadowEvent) {
+	evs := []shadowEvent{ev}
+	for _, sr := range m.shadows {
+		sr.offer(evs)
+	}
+}
+
+// emitShadowBatch fans a batch's accumulated events out to every shadow in
+// one send per shadow.
+func (m *Manager) emitShadowBatch(evs []shadowEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	for _, sr := range m.shadows {
+		sr.offer(evs)
+	}
+}
+
+// StopShadows terminates the shadow runner goroutines. Safe to call more
+// than once; events emitted afterwards are dropped (counted) once the
+// channels fill.
+func (m *Manager) StopShadows() {
+	for _, sr := range m.shadows {
+		sr.stop()
+	}
+}
+
+// ShadowPolicies lists the active shadow policy names, in configuration
+// order.
+func (m *Manager) ShadowPolicies() []string {
+	out := make([]string, len(m.shadows))
+	for i, sr := range m.shadows {
+		out[i] = sr.name
+	}
+	return out
+}

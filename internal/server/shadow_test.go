@@ -1,0 +1,297 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"venn/internal/device"
+	"venn/internal/job"
+	"venn/internal/policy"
+	"venn/internal/sim"
+	"venn/internal/simtime"
+)
+
+// waitShadowStats polls the metrics endpoint until the named shadow's
+// counters satisfy ok (shadow runners drain their event queues
+// asynchronously).
+func waitShadowStats(t *testing.T, m *Manager, name string, ok func(PolicyShadowStats) bool) PolicyShadowStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, found := m.MetricsSnapshot().PolicyShadows[name]
+		if found && ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow %q never reached expected state: %+v", name, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestShadowObservesPrimary(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager(Config{Clock: clk.now, ShadowPolicies: []string{"fifo"}, Seed: 1})
+	defer m.StopShadows()
+
+	if got := m.PolicyName(); got != "venn" {
+		t.Fatalf("primary policy = %q, want venn", got)
+	}
+	if got := m.ShadowPolicies(); !reflect.DeepEqual(got, []string{"fifo"}) {
+		t.Fatalf("shadow policies = %v", got)
+	}
+
+	st, err := m.RegisterJob(JobSpec{Name: "kbd", Category: "General", DemandPerRound: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		clk.advance(time.Minute)
+		asg, err := m.DeviceCheckIn(CheckIn{DeviceID: fmt.Sprintf("d%d", i), CPU: 0.6, Mem: 0.6})
+		if err != nil || !asg.Assigned {
+			t.Fatalf("check-in %d: %+v %v", i, asg, err)
+		}
+		if asg.Policy != "venn" {
+			t.Errorf("assignment policy attribution = %q, want venn", asg.Policy)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.DeviceReport(Report{DeviceID: fmt.Sprintf("d%d", i), JobID: st.ID, OK: true, DurationSeconds: 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The fifo shadow saw the same single-job world: it must have scored
+	// both check-ins, assigned both (only one job to pick), agreed with the
+	// primary, and drained its queue once the round completed.
+	got := waitShadowStats(t, m, "fifo", func(s PolicyShadowStats) bool {
+		return s.AssignChecks == 2 && s.QueueDepth == 0
+	})
+	if got.ShadowAssigns != 2 || got.Mismatches != 0 {
+		t.Errorf("fifo shadow diverged on a one-job world: %+v", got)
+	}
+	if got.DroppedEvents != 0 || got.Panics != 0 {
+		t.Errorf("unhealthy shadow counters: %+v", got)
+	}
+	mt := m.MetricsSnapshot()
+	if mt.PolicyPrimary != "venn" {
+		t.Errorf("metrics policy_primary = %q", mt.PolicyPrimary)
+	}
+}
+
+// hostilePolicy is a worst-case shadow: it panics or stalls on every call it
+// can. Registered under test-only names; the primary must be unaffected.
+type hostilePolicy struct{ mode string }
+
+func (p *hostilePolicy) Name() string                              { return "hostile-" + p.mode }
+func (p *hostilePolicy) Bind(*sim.Env)                             {}
+func (p *hostilePolicy) OnJobArrival(*job.Job, simtime.Time)       {}
+func (p *hostilePolicy) OnRequest(*job.Job, simtime.Time)          {}
+func (p *hostilePolicy) OnRequestFulfilled(*job.Job, simtime.Time) {}
+func (p *hostilePolicy) OnJobDone(*job.Job, simtime.Time)          {}
+func (p *hostilePolicy) Assign(*device.Device, simtime.Time) *job.Job {
+	switch p.mode {
+	case "panic":
+		panic("hostile shadow policy")
+	case "slow":
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+func (p *hostilePolicy) ObserveResponse(*job.Job, *device.Device, simtime.Duration, simtime.Time) {
+}
+
+func registerHostilePolicies() {
+	policy.Register("test-hostile-panic", func(policy.Config) policy.Policy {
+		return &hostilePolicy{mode: "panic"}
+	})
+	policy.Register("test-hostile-slow", func(policy.Config) policy.Policy {
+		return &hostilePolicy{mode: "slow"}
+	})
+}
+
+// driveDeterministic replays a fixed traffic script and returns the primary's
+// assignment sequence (job ID per check-in, -1 for refusals).
+func driveDeterministic(t *testing.T, m *Manager, clk *fakeClock) []int {
+	t.Helper()
+	j1, err := m.RegisterJob(JobSpec{Name: "a", Category: "General", DemandPerRound: 3, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterJob(JobSpec{Name: "b", Category: "High-Perf", DemandPerRound: 2, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var picks []int
+	for i := 0; i < 12; i++ {
+		clk.advance(30 * time.Second)
+		cpu := 0.2 + float64(i%8)/10
+		asg, err := m.DeviceCheckIn(CheckIn{DeviceID: fmt.Sprintf("d%d", i), CPU: cpu, Mem: cpu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg.Assigned {
+			picks = append(picks, asg.JobID)
+			if err := m.DeviceReport(Report{DeviceID: fmt.Sprintf("d%d", i), JobID: asg.JobID, OK: true, DurationSeconds: 20}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			picks = append(picks, -1)
+		}
+	}
+	if got, _ := m.JobStatusByID(j1.ID); got.CompletedRounds == 0 {
+		t.Fatalf("scripted traffic completed no rounds: %+v", got)
+	}
+	return picks
+}
+
+// TestHostileShadowIsolation proves satellite 3: a panicking or stalling
+// shadow policy must never change the primary's assignments or job progress.
+// The same seeded traffic runs against a shadow-free manager and one
+// saddled with two hostile shadows; the assignment sequences must match
+// exactly, and the hostile panics must be recovered and counted.
+func TestHostileShadowIsolation(t *testing.T) {
+	registerHostilePolicies()
+
+	clk1 := newFakeClock()
+	clean := NewManager(Config{Clock: clk1.now, Seed: 42})
+	want := driveDeterministic(t, clean, clk1)
+
+	clk2 := newFakeClock()
+	m := NewManager(Config{
+		Clock:          clk2.now,
+		Seed:           42,
+		ShadowPolicies: []string{"test-hostile-panic", "test-hostile-slow", "fifo"},
+	})
+	defer m.StopShadows()
+	got := driveDeterministic(t, m, clk2)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hostile shadows perturbed primary assignments:\n got %v\nwant %v", got, want)
+	}
+
+	// Every scored check-in panicked in the hostile shadow; all recovered.
+	st := waitShadowStats(t, m, "test-hostile-panic", func(s PolicyShadowStats) bool {
+		return s.Panics > 0
+	})
+	if st.Panics == 0 {
+		t.Errorf("hostile panics not counted: %+v", st)
+	}
+	// The healthy shadow riding alongside stayed healthy.
+	fifoSt := waitShadowStats(t, m, "fifo", func(s PolicyShadowStats) bool {
+		return s.AssignChecks > 0
+	})
+	if fifoSt.Panics != 0 {
+		t.Errorf("healthy shadow panicked: %+v", fifoSt)
+	}
+}
+
+// TestShadowConcurrentLoad hammers a shadowed manager from many goroutines
+// (single, batched, and read-side paths) with a hostile shadow attached; run
+// under -race it proves the shadow fan-out introduces no data race and no
+// serving-path blocking. Uses the real clock like the other race tests.
+func TestShadowConcurrentLoad(t *testing.T) {
+	registerHostilePolicies()
+	m := NewManager(Config{
+		Seed:           7,
+		ShadowPolicies: []string{"fifo", "test-hostile-panic", "test-hostile-slow"},
+	})
+	defer m.StopShadows()
+
+	const jobs = 4
+	for i := 0; i < jobs; i++ {
+		if _, err := m.RegisterJob(JobSpec{
+			Name: fmt.Sprintf("shadow-race-%d", i), Category: "General",
+			DemandPerRound: 40, Rounds: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 32
+	const devicesPerWork = 24
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				cis := make([]CheckIn, devicesPerWork)
+				for i := range cis {
+					cis[i] = CheckIn{
+						DeviceID: fmt.Sprintf("sw%d-d%d", w, i),
+						CPU:      float64((w+i)%10) / 10,
+						Mem:      float64((w+2*i)%10) / 10,
+					}
+				}
+				var reports []Report
+				for i, r := range m.CheckInBatch(cis) {
+					if r.Assigned {
+						reports = append(reports, Report{
+							DeviceID: cis[i].DeviceID, JobID: r.JobID,
+							OK: true, DurationSeconds: 4,
+						})
+					}
+				}
+				if len(reports) > 0 {
+					m.ReportBatch(reports)
+				}
+				return
+			}
+			for i := 0; i < devicesPerWork; i++ {
+				id := fmt.Sprintf("sw%d-d%d", w, i)
+				asg, err := m.DeviceCheckIn(CheckIn{
+					DeviceID: id,
+					CPU:      float64((w+i)%10) / 10,
+					Mem:      float64((w+3*i)%10) / 10,
+				})
+				if err != nil {
+					t.Errorf("check-in %s: %v", id, err)
+					return
+				}
+				if asg.Assigned {
+					if err := m.DeviceReport(Report{DeviceID: id, JobID: asg.JobID, OK: true, DurationSeconds: 3}); err != nil {
+						t.Errorf("report %s: %v", id, err)
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = m.MetricsSnapshot()
+				_ = m.StatsSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if st := m.StatsSnapshot(); st.Assignments == 0 {
+		t.Fatalf("no assignments under load: %+v", st)
+	}
+	// Shadows may legitimately drop events under this load (bounded queue,
+	// hostile stall) but must never panic unrecovered or corrupt counters:
+	// checks >= assigns, and the hostile shadow's panics are all counted.
+	mt := m.MetricsSnapshot()
+	for name, s := range mt.PolicyShadows {
+		if s.ShadowAssigns > s.AssignChecks {
+			t.Errorf("shadow %s: assigns %d > checks %d", name, s.ShadowAssigns, s.AssignChecks)
+		}
+	}
+	if s := mt.PolicyShadows["test-hostile-panic"]; s.AssignChecks > 0 && s.Panics == 0 {
+		t.Errorf("hostile shadow scored %d check-ins with no panics counted", s.AssignChecks)
+	}
+}

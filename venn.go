@@ -24,6 +24,7 @@ import (
 	"venn/internal/core"
 	"venn/internal/device"
 	"venn/internal/job"
+	"venn/internal/policy"
 	"venn/internal/sched"
 	"venn/internal/sim"
 	"venn/internal/simtime"
@@ -78,12 +79,21 @@ func NewVenn(opts SchedulerOptions) Scheduler {
 	if opts.Tiers == 0 && opts.MinProfileSamples == 0 {
 		d := core.DefaultOptions()
 		d.Epsilon = opts.Epsilon
-		d.DisableScheduling = opts.DisableScheduling
 		d.DisableMatching = opts.DisableMatching
 		opts = d
 	}
 	return core.New(opts)
 }
+
+// NewPolicy builds a scheduler by registry name ("venn", "fifo", "srsf",
+// "random") with default options — the same lookup venndaemon's -policy flag
+// uses. PolicyNames lists the valid names.
+func NewPolicy(name string) (Scheduler, error) {
+	return policy.New(name, policy.Config{Core: core.DefaultOptions()})
+}
+
+// PolicyNames lists the registered scheduling policies.
+func PolicyNames() []string { return policy.Names() }
 
 // NewRandom returns the optimized random-matching baseline (the common
 // design of production CL resource managers).
