@@ -21,10 +21,19 @@
 // first arm's mean JCT is worse than the second's — CI runs -ab venn,fifo,
 // so this asserts Venn's scheduling beats FIFO on the replayed trace.
 //
-// Throughput comparisons are only meaningful on the same hardware, so the
-// regression checks are skipped (with a note) when the recorded num_cpu
-// differs between the two reports — CI runners and developer laptops guard
-// against themselves, not against each other.
+// Wire-protocol gates: -min-v2-speedup asserts the current report's stream
+// rung (wire v2, binary payloads) beats its stream-v1 rung (same transport,
+// JSON payloads) by at least the given ratio, and -multicore-min-scale
+// asserts the stream-mc rung (full GOMAXPROCS, per-core listener shards)
+// scales over the single-core stream rung by at least the given factor.
+// Both compare rungs inside one report, so they apply on any hardware; the
+// multi-core gate is skipped (with a note) on single-CPU hosts, where core
+// scaling is unmeasurable.
+//
+// Cross-report throughput comparisons are only meaningful on the same
+// hardware, so the regression checks are skipped (with a note) when the
+// recorded num_cpu differs between the two reports — CI runners and
+// developer laptops guard against themselves, not against each other.
 package main
 
 import (
@@ -131,8 +140,25 @@ func batchedRate(r report) (float64, bool) {
 	return 0, false
 }
 
-// streamRate finds the single-daemon streaming-transport rung.
+// rateByMode finds the run carrying the exact mode label.
+func rateByMode(r report, mode string) (float64, bool) {
+	for _, run := range r.Runs {
+		if run.Mode == mode {
+			return run.CheckInsPerSec, true
+		}
+	}
+	return 0, false
+}
+
+// streamRate finds the single-daemon streaming-transport rung at the newest
+// wire version. The exact-mode match matters since the ladder grew stream-v1
+// and stream-mc rungs: "first stream run" would pick the capped v1 rung.
+// Reports predating the mode labels fall back to the first non-cluster
+// stream run.
 func streamRate(r report) (float64, bool) {
+	if rate, ok := rateByMode(r, "stream"); ok {
+		return rate, true
+	}
 	for _, run := range r.Runs {
 		if run.Transport == "stream" && run.Mode != "cluster" {
 			return run.CheckInsPerSec, true
@@ -199,6 +225,8 @@ func main() {
 		shadowPath   = flag.String("shadow-smoke", "", "comma-separated shadow-mode smoke reports: shadow counters must be present with zero dropped events and panics (optional)")
 		shadowRef    = flag.String("shadow-ref", "", "comma-separated no-shadow reference reports; -shadow-smoke's best stream rung must stay within -max-shadow-overhead of theirs")
 		maxShadowOvh = flag.Float64("max-shadow-overhead", 0.10, "maximum fractional stream-throughput loss attributable to shadow policies")
+		minV2Speedup = flag.Float64("min-v2-speedup", 0, "minimum stream (wire v2) over stream-v1 throughput ratio within the -current report (0 disables)")
+		multicoreMin = flag.Float64("multicore-min-scale", 0, "minimum stream-mc over single-core stream throughput ratio within the -current report (0 disables; skipped on single-CPU hosts)")
 	)
 	flag.Parse()
 
@@ -238,14 +266,55 @@ func main() {
 				}
 			}
 			check("batched-http", batchedRate)
+			check("stream-v1", func(r report) (float64, bool) { return rateByMode(r, "stream-v1") })
 			check("stream", streamRate)
 			check("cluster", clusterRate)
+			check("stream-mc", func(r report) (float64, bool) { return rateByMode(r, "stream-mc") })
 		}
 		// Whatever the hardware, a committed-shape cluster run must actually
 		// have federated: every node forwarding, zero routing errors.
 		for _, r := range current.Runs {
 			if r.Mode == "cluster" {
 				failed = checkClusterRun(r, "compare", 0) || failed
+			}
+		}
+
+		// Within-report ratio gates: same process, same hardware, so they
+		// hold regardless of what machine recorded the committed baseline.
+		if *minV2Speedup > 0 {
+			v1Rate, ok1 := rateByMode(current, "stream-v1")
+			v2Rate, ok2 := rateByMode(current, "stream")
+			switch {
+			case !ok1 || !ok2:
+				fmt.Fprintln(os.Stderr, "benchguard: FAIL -min-v2-speedup needs both stream-v1 and stream rungs in the current report")
+				failed = true
+			case v2Rate < v1Rate**minV2Speedup:
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL stream wire v2 %.0f/s is only %.2fx the v1 rung's %.0f/s (floor %.2fx)\n",
+					v2Rate, v2Rate/v1Rate, v1Rate, *minV2Speedup)
+				failed = true
+			default:
+				fmt.Printf("benchguard: stream wire v2 %.0f/s vs v1 %.0f/s (%.2fx >= %.2fx) — OK\n",
+					v2Rate, v1Rate, v2Rate/v1Rate, *minV2Speedup)
+			}
+		}
+		if *multicoreMin > 0 {
+			if current.NumCPU <= 1 {
+				fmt.Println("benchguard: single-CPU host; skipping the multi-core scaling gate")
+			} else {
+				mcRate, okM := rateByMode(current, "stream-mc")
+				scRate, okS := rateByMode(current, "stream")
+				switch {
+				case !okM || !okS:
+					fmt.Fprintf(os.Stderr, "benchguard: FAIL -multicore-min-scale on a %d-CPU host needs both stream and stream-mc rungs in the current report\n", current.NumCPU)
+					failed = true
+				case mcRate < scRate**multicoreMin:
+					fmt.Fprintf(os.Stderr, "benchguard: FAIL multi-core stream %.0f/s is only %.2fx the single-core rung's %.0f/s (floor %.2fx on %d CPUs)\n",
+						mcRate, mcRate/scRate, scRate, *multicoreMin, current.NumCPU)
+					failed = true
+				default:
+					fmt.Printf("benchguard: multi-core stream %.0f/s vs single-core %.0f/s (%.2fx >= %.2fx on %d CPUs) — OK\n",
+						mcRate, scRate, mcRate/scRate, *multicoreMin, current.NumCPU)
+				}
 			}
 		}
 	}

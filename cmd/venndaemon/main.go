@@ -27,7 +27,11 @@
 // Stream API: -stream-addr opens a persistent binary framed listener
 // (internal/transport) carrying the same operations over pipelined frames;
 // high-volume agents should prefer it (see the README's Transports
-// section). Both transports drive one scheduler core.
+// section). Both transports drive one scheduler core. The listener runs
+// -stream-shards SO_REUSEPORT accept loops (default GOMAXPROCS) so the
+// stream path scales across cores, and -max-wire-version pins the protocol
+// version ceiling (1 emulates a pre-v2 daemon: JSON payloads only; see the
+// README's Wire protocol section).
 //
 // Federation: -peers federates this daemon with others into one serving
 // fleet (see the README's Federation section). Device ownership is sharded
@@ -60,6 +64,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
@@ -76,22 +81,24 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		streamAddr = flag.String("stream-addr", "", "binary stream listen address (empty disables)")
-		polName    = flag.String("policy", policy.Default, "primary scheduling policy: "+strings.Join(policy.Names(), ", "))
-		shadowPols = flag.String("shadow-policies", "", "comma-separated policies that shadow the primary (assignments observed, never applied)")
-		seed       = flag.Int64("seed", 0, "scheduling RNG seed (0 = clock-derived; fix it for reproducible replays)")
-		tiers      = flag.Int("tiers", 3, "device-tier granularity V")
-		epsilon    = flag.Float64("epsilon", 0, "fairness knob")
-		shards     = flag.Int("shards", 0, "device-state lock shards (0 = default)")
-		deviceTTL  = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
-		maxBody    = flag.Int64("max-body-bytes", 0, "HTTP single-item request body bound in bytes (0 = default 1MiB)")
-		window     = flag.Int("stream-window", 0, "max in-flight frames per stream connection (0 = default)")
-		peers      = flag.String("peers", "", "comma-separated stream addresses of every cluster member (enables federation; requires -stream-addr)")
-		nodeID     = flag.String("node-id", "", "this node's member ID in -peers (default: the -stream-addr value)")
-		vnodes     = flag.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default 128)")
-		pprofSrv   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		streamAddr   = flag.String("stream-addr", "", "binary stream listen address (empty disables)")
+		polName      = flag.String("policy", policy.Default, "primary scheduling policy: "+strings.Join(policy.Names(), ", "))
+		shadowPols   = flag.String("shadow-policies", "", "comma-separated policies that shadow the primary (assignments observed, never applied)")
+		seed         = flag.Int64("seed", 0, "scheduling RNG seed (0 = clock-derived; fix it for reproducible replays)")
+		tiers        = flag.Int("tiers", 3, "device-tier granularity V")
+		epsilon      = flag.Float64("epsilon", 0, "fairness knob")
+		shards       = flag.Int("shards", 0, "device-state lock shards (0 = default)")
+		deviceTTL    = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
+		maxBody      = flag.Int64("max-body-bytes", 0, "HTTP single-item request body bound in bytes (0 = default 1MiB)")
+		window       = flag.Int("stream-window", 0, "max in-flight frames per stream connection (0 = default)")
+		streamShards = flag.Int("stream-shards", 0, "SO_REUSEPORT accept shards for the stream listener (0 = GOMAXPROCS, 1 = single listener)")
+		maxWireVer   = flag.Int("max-wire-version", 0, "cap the stream protocol version served and offered to peers (0 = newest, 1 = pre-v2 JSON only)")
+		peers        = flag.String("peers", "", "comma-separated stream addresses of every cluster member (enables federation; requires -stream-addr)")
+		nodeID       = flag.String("node-id", "", "this node's member ID in -peers (default: the -stream-addr value)")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default 128)")
+		pprofSrv     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
 	)
 	flag.Parse()
 
@@ -162,12 +169,22 @@ func main() {
 	})
 	defer m.StopShadows()
 
+	if *maxWireVer < 0 || *maxWireVer > int(transport.MaxVersion) {
+		fmt.Fprintf(os.Stderr, "venndaemon: -max-wire-version %d out of range (1..%d)\n", *maxWireVer, transport.MaxVersion)
+		stopProfile()
+		os.Exit(1)
+	}
+
 	var streamFailed atomic.Bool
 	var streamSrv *transport.Server
+	acceptShards := *streamShards
+	if acceptShards <= 0 {
+		acceptShards = runtime.GOMAXPROCS(0)
+	}
 	if *streamAddr != "" {
-		streamSrv = transport.NewServer(m, transport.Options{Window: *window})
+		streamSrv = transport.NewServer(m, transport.Options{Window: *window, MaxVersion: byte(*maxWireVer)})
 		go func() {
-			if err := streamSrv.ListenAndServe(*streamAddr); err != nil && !errors.Is(err, transport.ErrServerClosed) {
+			if err := streamSrv.ListenAndServeSharded(*streamAddr, acceptShards); err != nil && !errors.Is(err, transport.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "venndaemon: stream listener:", err)
 				streamFailed.Store(true)
 				cancel() // take the HTTP side down too
@@ -188,9 +205,10 @@ func main() {
 		}
 		var err error
 		clu, err = cluster.New(m, cluster.Config{
-			SelfID: self,
-			Peers:  strings.Split(*peers, ","),
-			VNodes: *vnodes,
+			SelfID:         self,
+			Peers:          strings.Split(*peers, ","),
+			VNodes:         *vnodes,
+			MaxWireVersion: *maxWireVer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "venndaemon:", err)
@@ -212,7 +230,10 @@ func main() {
 		fmt.Printf(" shadows=%s", strings.Join(m.ShadowPolicies(), ","))
 	}
 	if *streamAddr != "" {
-		fmt.Printf(" stream=%s", *streamAddr)
+		fmt.Printf(" stream=%s shards=%d", *streamAddr, acceptShards)
+	}
+	if *maxWireVer != 0 {
+		fmt.Printf(" max-wire-version=%d", *maxWireVer)
 	}
 	if clu != nil {
 		fmt.Printf(" federation=%s", clu)

@@ -3,10 +3,14 @@
 // federation of them), drives registered jobs to completion, and writes
 // throughput and latency percentiles to a BENCH_serve.json artifact. It is
 // the repo's continuous measurement of the wall-clock serving path — CI runs
-// a short smoke pass on every PR, and the -compare mode records a four-way
-// ladder: the single-lock one-request-per-check-in baseline, the
-// batched+sharded HTTP path, the persistent binary stream transport, and a
-// two-daemon federation over that stream transport.
+// a short smoke pass on every PR, and the -compare mode records the ladder:
+// the single-lock one-request-per-check-in baseline, the batched+sharded
+// HTTP path, the stream transport pinned to wire protocol v1 (JSON
+// payloads), the stream transport at v2 (binary payloads), a two-daemon
+// federation over that stream transport — all pinned to GOMAXPROCS=1 so the
+// rungs measure protocol cost, not core count — plus, on multi-core hosts, a
+// stream-mc rung at full GOMAXPROCS with per-core SO_REUSEPORT listener
+// shards that measures how the stream path scales with cores.
 //
 // Against a running daemon:
 //
@@ -75,6 +79,8 @@ func main() {
 		batch       = flag.Int("batch", 64, "check-ins per batch request (1 = unbatched single endpoint)")
 		conns       = flag.Int("conns", 0, "concurrent load workers (0 = 4x CPUs, capped at 64)")
 		streamCns   = flag.Int("stream-conns", 0, "stream connections to multiplex workers over (0 = workers/2, min 1)")
+		wireVer     = flag.Int("wire-version", 0, "cap the stream wire protocol version offered by clients (0 = newest, 1 = JSON payloads)")
+		streamShrds = flag.Int("stream-shards", 0, "SO_REUSEPORT accept shards for self-hosted stream listeners (0 = 1 listener)")
 		jobs        = flag.Int("jobs", 8, "CL jobs to register (per federation member in cluster mode)")
 		demand      = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
 		rounds      = flag.Int("rounds", 1, "rounds per job")
@@ -85,7 +91,7 @@ func main() {
 		abFlag      = flag.String("ab", "", "policyA,policyB: sequential self-hosted A/B replay of identical seeded traffic with a JCT/throughput/fairness delta table")
 		seed        = flag.Int64("seed", 1, "random seed for the synthetic fleet")
 		out         = flag.String("out", "", "write a JSON benchmark report to this file")
-		compare     = flag.Bool("compare", false, "self-host and record the four-way ladder: single-lock HTTP, batched+sharded HTTP, batched stream, 2-daemon federation")
+		compare     = flag.Bool("compare", false, "self-host and record the ladder: single-lock HTTP, batched+sharded HTTP, stream at wire v1, stream at v2, 2-daemon federation (all at GOMAXPROCS=1), plus a multi-core stream rung on multi-core hosts")
 		pprofSrv    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
 	)
@@ -156,10 +162,16 @@ func main() {
 		UnixTime:  time.Now().Unix(),
 	}
 
+	if *wireVer < 0 || *wireVer > int(transport.MaxVersion) {
+		fmt.Fprintf(os.Stderr, "vennload: -wire-version %d out of range (1..%d)\n", *wireVer, transport.MaxVersion)
+		os.Exit(2)
+	}
+
 	base := loadConfig{
 		Agents: *agents, Conns: *conns, StreamConns: *streamCns, Duration: *duration,
 		Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
 		Policy: *polName, Shadow: shadowList,
+		WireVersion: *wireVer, StreamShards: *streamShrds,
 	}
 	switch {
 	case *abFlag != "":
@@ -195,20 +207,29 @@ func main() {
 		if *daemon != "" {
 			fmt.Fprintln(os.Stderr, "vennload: -compare self-hosts all runs; -daemon is ignored")
 		}
+		// The protocol rungs all pin GOMAXPROCS=1 so they measure per-core
+		// protocol cost; only the final stream-mc rung opens the core count
+		// back up.
 		// Rung 1: one lock stripe and one HTTP request per check-in — the
 		// seed serving path.
 		single := base
-		single.Mode, single.Transport, single.Shards, single.Batch = "single", "http", 1, 1
+		single.Mode, single.Transport, single.Shards, single.Batch, single.Gomaxprocs = "single", "http", 1, 1, 1
 		report.Runs = append(report.Runs, runSelfHosted(single))
 		// Rung 2: sharded manager, batched HTTP API.
 		batched := base
-		batched.Mode, batched.Transport, batched.Shards, batched.Batch = "batched", "http", *shards, max(*batch, 2)
+		batched.Mode, batched.Transport, batched.Shards, batched.Batch, batched.Gomaxprocs = "batched", "http", *shards, max(*batch, 2), 1
 		report.Runs = append(report.Runs, runSelfHosted(batched))
-		// Rung 3: same batching over the persistent binary stream.
+		// Rung 3: same batching over the persistent stream, capped to wire
+		// protocol v1 (JSON payloads) — the pre-v2 stream path.
+		streamV1 := base
+		streamV1.Mode, streamV1.Transport, streamV1.Shards, streamV1.Batch, streamV1.Gomaxprocs = "stream-v1", "stream", *shards, max(*batch, 2), 1
+		streamV1.WireVersion = 1
+		report.Runs = append(report.Runs, runSelfHosted(streamV1))
+		// Rung 4: the same stream at wire v2 (binary payloads).
 		stream := base
-		stream.Mode, stream.Transport, stream.Shards, stream.Batch = "stream", "stream", *shards, max(*batch, 2)
+		stream.Mode, stream.Transport, stream.Shards, stream.Batch, stream.Gomaxprocs = "stream", "stream", *shards, max(*batch, 2), 1
 		report.Runs = append(report.Runs, runSelfHosted(stream))
-		// Rung 4: a federation of stream daemons sharing the fleet by
+		// Rung 5: a federation of stream daemons sharing the fleet by
 		// consistent-hash ownership, agents spread across all members.
 		nodes := *clusterN
 		if nodes <= 0 {
@@ -216,12 +237,30 @@ func main() {
 		}
 		clus := base
 		clus.Mode, clus.Transport, clus.Shards, clus.Batch, clus.ClusterNodes = "cluster", "stream", *shards, max(*batch, 2), nodes
+		clus.Gomaxprocs = 1
 		report.Runs = append(report.Runs, runSelfHostedCluster(clus))
+		// Rung 6 (multi-core hosts only): the v2 stream again at full
+		// GOMAXPROCS with one SO_REUSEPORT accept shard per core.
+		if runtime.NumCPU() > 1 {
+			mc := base
+			mc.Mode, mc.Transport, mc.Shards, mc.Batch = "stream-mc", "stream", *shards, max(*batch, 2)
+			mc.Gomaxprocs, mc.StreamShards = runtime.NumCPU(), runtime.NumCPU()
+			report.Runs = append(report.Runs, runSelfHosted(mc))
+		} else {
+			fmt.Println("\nskipping stream-mc rung: single-CPU host (core scaling is unmeasurable here)")
+		}
 
-		singleRate := report.Runs[0].CheckInsPerSec
-		batchedRate := report.Runs[1].CheckInsPerSec
-		streamRate := report.Runs[2].CheckInsPerSec
-		clusterRate := report.Runs[3].CheckInsPerSec
+		rate := func(mode string) float64 {
+			for _, r := range report.Runs {
+				if r.Mode == mode {
+					return r.CheckInsPerSec
+				}
+			}
+			return 0
+		}
+		singleRate, batchedRate := rate("single"), rate("batched")
+		streamV1Rate, streamRate := rate("stream-v1"), rate("stream")
+		clusterRate, mcRate := rate("cluster"), rate("stream-mc")
 		if singleRate > 0 {
 			report.SpeedupBatchedVsSingle = batchedRate / singleRate
 			report.SpeedupStreamVsSingle = streamRate / singleRate
@@ -232,9 +271,17 @@ func main() {
 			report.SpeedupStreamVsBatched = streamRate / batchedRate
 			fmt.Printf("speedup (stream vs batched HTTP):              %.2fx\n", report.SpeedupStreamVsBatched)
 		}
+		if streamV1Rate > 0 {
+			report.SpeedupStreamV2VsV1 = streamRate / streamV1Rate
+			fmt.Printf("speedup (stream wire v2 vs v1):                %.2fx\n", report.SpeedupStreamV2VsV1)
+		}
 		if streamRate > 0 {
 			report.SpeedupClusterVsStream = clusterRate / streamRate
 			fmt.Printf("speedup (%d-daemon cluster vs one stream daemon): %.2fx\n", nodes, report.SpeedupClusterVsStream)
+			if mcRate > 0 {
+				report.SpeedupStreamMCVsSingleCore = mcRate / streamRate
+				fmt.Printf("speedup (stream at %d cores vs 1 core):         %.2fx\n", runtime.NumCPU(), report.SpeedupStreamMCVsSingleCore)
+			}
 		}
 	case *clusterDmns != "":
 		cfg := base
@@ -305,6 +352,9 @@ type loadConfig struct {
 	Agents       int
 	Conns        int
 	StreamConns  int // 0 = Conns/2, min 1
+	WireVersion  int // stream wire version cap offered by clients; 0 = newest
+	StreamShards int // self-hosted stream listener accept shards; 0 = 1
+	Gomaxprocs   int // pin runtime.GOMAXPROCS for the run; 0 = leave as is
 	ClusterNodes int // federation member count (cluster mode only)
 	Duration     time.Duration
 	Jobs         int
@@ -376,6 +426,9 @@ type runResult struct {
 	Agents           int              `json:"agents"`
 	Conns            int              `json:"conns"`
 	StreamConns      int              `json:"stream_conns,omitempty"`
+	WireVersion      int              `json:"wire_version,omitempty"`
+	StreamShards     int              `json:"stream_shards,omitempty"`
+	GOMAXPROCS       int              `json:"gomaxprocs,omitempty"`
 	Batch            int              `json:"batch"`
 	DurationSeconds  float64          `json:"duration_seconds"`
 	CheckIns         int64            `json:"checkins"`
@@ -411,6 +464,12 @@ type benchReport struct {
 	SpeedupStreamVsSingle  float64     `json:"speedup_stream_vs_single,omitempty"`
 	SpeedupStreamVsBatched float64     `json:"speedup_stream_vs_batched,omitempty"`
 	SpeedupClusterVsStream float64     `json:"speedup_cluster_vs_stream,omitempty"`
+	// SpeedupStreamV2VsV1 compares the stream rung (wire v2, binary
+	// payloads) to stream-v1 (same transport capped to JSON payloads).
+	SpeedupStreamV2VsV1 float64 `json:"speedup_stream_v2_vs_v1,omitempty"`
+	// SpeedupStreamMCVsSingleCore compares the stream-mc rung (full
+	// GOMAXPROCS, per-core listener shards) to the single-core stream rung.
+	SpeedupStreamMCVsSingleCore float64 `json:"speedup_stream_mc_vs_single_core,omitempty"`
 }
 
 // printMu serializes all human-readable run output: each run's block is
@@ -509,9 +568,25 @@ func newHTTPClient(baseURL string, cfg loadConfig) apiClient {
 }
 
 func newStreamClient(addr string, cfg loadConfig) apiClient {
-	return client.NewStream(addr,
+	opts := []client.Option{
 		client.WithStreamConns(cfg.streamPool()),
-		client.WithStreamTimeout(30*time.Second))
+		client.WithTimeout(30 * time.Second),
+	}
+	if cfg.WireVersion > 0 {
+		opts = append(opts, client.WithMaxWireVersion(cfg.WireVersion))
+	}
+	return client.NewStream(addr, opts...)
+}
+
+// pinGomaxprocs applies cfg.Gomaxprocs for the duration of a run; the
+// returned func restores the previous value. Runs are sequential, so the
+// global knob cannot race another run.
+func pinGomaxprocs(cfg loadConfig) (restore func()) {
+	if cfg.Gomaxprocs <= 0 {
+		return func() {}
+	}
+	prev := runtime.GOMAXPROCS(cfg.Gomaxprocs)
+	return func() { runtime.GOMAXPROCS(prev) }
 }
 
 // selfHostedNode is one in-process daemon: manager, listener, transport
@@ -543,21 +618,27 @@ func startTicker(m *server.Manager) (stop func()) {
 // runSelfHosted spins one in-process daemon on the requested transport,
 // drives the load against it over real loopback sockets, and tears it down.
 func runSelfHosted(cfg loadConfig) runResult {
+	defer pinGomaxprocs(cfg)()
 	m := server.NewManager(managerConfig(cfg))
 	defer m.StopShadows()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vennload: listen:", err)
-		os.Exit(1)
-	}
 	var c apiClient
 	var teardown func()
 	if cfg.Transport == "stream" {
 		ts := transport.NewServer(m, transport.Options{})
-		go func() { _ = ts.Serve(ln) }()
-		c = newStreamClient(ln.Addr().String(), cfg)
+		lns, err := transport.ListenSharded("127.0.0.1:0", max(cfg.StreamShards, 1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: listen:", err)
+			os.Exit(1)
+		}
+		go func() { _ = ts.ServeListeners(lns) }()
+		c = newStreamClient(lns[0].Addr().String(), cfg)
 		teardown = func() { _ = ts.Close() }
 	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vennload: listen:", err)
+			os.Exit(1)
+		}
 		srv := &http.Server{Handler: server.Handler(m)}
 		go func() { _ = srv.Serve(ln) }()
 		c = newHTTPClient("http://"+ln.Addr().String(), cfg)
@@ -574,6 +655,9 @@ func runSelfHosted(cfg loadConfig) runResult {
 	} else if res.ServerMetrics != nil {
 		res.Shards = res.ServerMetrics.Shards
 	}
+	if cfg.Transport == "stream" {
+		res.StreamShards = max(cfg.StreamShards, 1)
+	}
 	return res
 }
 
@@ -582,6 +666,7 @@ func runSelfHosted(cfg loadConfig) runResult {
 // one agent lane per member — each lane's fleet slice lands on an arbitrary
 // owner, so roughly (N-1)/N of all traffic exercises the forwarding path.
 func runSelfHostedCluster(cfg loadConfig) runResult {
+	defer pinGomaxprocs(cfg)()
 	n := cfg.ClusterNodes
 	if n < 2 {
 		n = 2
@@ -980,7 +1065,12 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 	}
 	if cfg.Transport == "stream" {
 		res.StreamConns = cfg.streamPool()
+		res.WireVersion = cfg.WireVersion
+		if res.WireVersion <= 0 {
+			res.WireVersion = int(transport.MaxVersion)
+		}
 	}
+	res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	if len(latencies) > 0 {
 		sort.Float64s(latencies)
 		res.RequestLatencyMs = percentiles{

@@ -1,0 +1,208 @@
+// Unified client construction. Historically the SDK grew two parallel
+// constructors — New for HTTP and NewStream for the framed TCP transport —
+// with disjoint option types. client.New is now the single entry point:
+//
+//	c := client.New("http://host:8080")                  // HTTP (scheme ⇒ transport)
+//	c := client.New("host:8081")                         // stream (bare host:port)
+//	c := client.New("host:8081", client.WithTransport(client.TransportStream),
+//	        client.WithTimeout(2*time.Second))
+//
+// Both transports implement API. NewHTTP and NewStream remain as thin
+// deprecated shims returning the concrete types.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"venn/internal/server"
+	"venn/internal/transport"
+)
+
+// Transport names accepted by WithTransport.
+const (
+	TransportHTTP   = "http"
+	TransportStream = "stream"
+)
+
+// API is the transport-neutral client surface: everything a job owner or a
+// device agent calls, implemented by both the HTTP *Client and the
+// *StreamClient.
+type API interface {
+	RegisterJob(spec server.JobSpec) (server.JobStatus, error)
+	JobStatus(id int) (server.JobStatus, error)
+	Jobs() ([]server.JobStatus, error)
+	WaitForJob(id int, poll, timeout time.Duration) (server.JobStatus, error)
+	CheckIn(ci server.CheckIn) (server.Assignment, error)
+	CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, error)
+	Report(r server.Report) error
+	ReportBatch(rs []server.Report) ([]server.ReportResult, error)
+	Stats() (server.Stats, error)
+	Metrics() (server.Metrics, error)
+	Ping() error
+	Close() error
+}
+
+// config collects every knob of both transports; each constructor reads the
+// subset that applies to it.
+type config struct {
+	transport      string
+	timeout        time.Duration
+	timeoutSet     bool
+	retries        int
+	retryDelay     time.Duration
+	httpClient     *http.Client
+	streamConns    int
+	maxWireVersion int
+}
+
+func defaultClientConfig() config {
+	return config{
+		timeout:        DefaultTimeout,
+		retryDelay:     DefaultRetryDelay,
+		streamConns:    DefaultStreamConns,
+		maxWireVersion: int(transport.MaxVersion),
+	}
+}
+
+// Option customizes a client of either transport; options that do not
+// apply to the chosen transport are ignored.
+type Option func(*config)
+
+// StreamOption customizes a StreamClient.
+//
+// Deprecated: StreamOption is now an alias of Option; use Option.
+type StreamOption = Option
+
+// WithTransport forces the transport instead of inferring it from the
+// address (a URL scheme means HTTP, a bare host:port means stream).
+func WithTransport(t string) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithTimeout bounds one request round trip (dial included on the stream
+// transport); default 10s.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.timeout = d
+			c.timeoutSet = true
+		}
+	}
+}
+
+// WithRetries enables up to n bounded retries with exponential backoff and
+// jitter for idempotent GET requests (status polls, stats, metrics) on the
+// HTTP transport. Mutating POSTs are never retried: a timed-out check-in
+// may still have been applied server-side.
+func WithRetries(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRetryDelay sets the HTTP retry backoff base delay (default 100ms);
+// attempt k waits delay*2^k plus up to 50% jitter.
+func WithRetryDelay(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.retryDelay = d
+		}
+	}
+}
+
+// WithHTTPClient replaces the underlying *http.Client entirely — use it to
+// tune the transport (connection pool size, keep-alives) for load
+// generation. WithTimeout still applies on top if given.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *config) { c.httpClient = h }
+}
+
+// WithStreamConns sets the stream connection-pool size (default 2). More
+// connections raise pipelining depth under heavy concurrent load; one is
+// enough for a single agent.
+func WithStreamConns(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.streamConns = n
+		}
+	}
+}
+
+// WithStreamTimeout bounds one request round trip, dial included.
+//
+// Deprecated: identical to WithTimeout; use WithTimeout.
+func WithStreamTimeout(d time.Duration) Option { return WithTimeout(d) }
+
+// WithMaxWireVersion caps the stream protocol version this client will
+// negotiate (default 2). Set 1 to force JSON payloads — useful for talking
+// to old daemons without paying the failed-negotiation round trip, and for
+// pinning mixed-version behavior in tests.
+func WithMaxWireVersion(v int) Option {
+	return func(c *config) {
+		if v >= 1 {
+			c.maxWireVersion = v
+		}
+	}
+}
+
+// New creates a client for the daemon at addr. The transport is inferred
+// from the address — a URL scheme ("http://host:8080") selects HTTP, a bare
+// host:port selects the framed stream protocol — unless WithTransport
+// overrides it. The concrete type is *Client or *StreamClient; callers that
+// need transport-specific extras can type-assert.
+func New(addr string, opts ...Option) API {
+	cfg := defaultClientConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	t := cfg.transport
+	if t == "" {
+		if strings.Contains(addr, "://") {
+			t = TransportHTTP
+		} else {
+			t = TransportStream
+		}
+	}
+	if t == TransportHTTP {
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		return newHTTPClient(addr, cfg)
+	}
+	return newStreamClient(addr, cfg)
+}
+
+// APIError is a typed server-side rejection carried over the HTTP
+// transport. Code is the service layer's stable numeric wire code (see
+// server.Code), taken from the response body's `code` field — classify
+// failures by it, never by matching on the message.
+type APIError struct {
+	Code   server.Code
+	Status int // HTTP status
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s (status %d)", e.Msg, e.Status)
+}
+
+// ErrCode extracts the service layer's stable error code from a client
+// error of either transport (*APIError or *StreamError), unwrapping as
+// needed; errors without a code — transport failures, timeouts — return 0.
+func ErrCode(err error) server.Code {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	var se *StreamError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return 0
+}

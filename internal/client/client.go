@@ -31,55 +31,31 @@ type Client struct {
 	retryDelay time.Duration // backoff base, doubled per attempt, jittered
 }
 
-// Option customizes a Client.
-type Option func(*Client)
-
-// WithTimeout sets the per-request HTTP timeout (default 10s). Ignored if
-// WithHTTPClient is also given.
-func WithTimeout(d time.Duration) Option {
-	return func(c *Client) { c.http.Timeout = d }
-}
-
-// WithRetries enables up to n bounded retries with exponential backoff and
-// jitter for idempotent GET requests (status polls, stats, metrics).
-// Mutating POSTs are never retried: a timed-out check-in may still have
-// been applied server-side.
-func WithRetries(n int) Option {
-	return func(c *Client) {
-		if n > 0 {
-			c.retries = n
-		}
-	}
-}
-
-// WithRetryDelay sets the backoff base delay (default 100ms); attempt k
-// waits delay*2^k plus up to 50% jitter.
-func WithRetryDelay(d time.Duration) Option {
-	return func(c *Client) {
-		if d > 0 {
-			c.retryDelay = d
-		}
-	}
-}
-
-// WithHTTPClient replaces the underlying *http.Client entirely — use it to
-// tune the transport (connection pool size, keep-alives) for load
-// generation. Apply it before WithTimeout if both are given.
-func WithHTTPClient(h *http.Client) Option {
-	return func(c *Client) { c.http = h }
-}
-
-// New creates a client for the daemon at baseURL (e.g. "http://host:8080").
-func New(baseURL string, opts ...Option) *Client {
-	c := &Client{
-		base:       baseURL,
-		http:       &http.Client{Timeout: DefaultTimeout},
-		retryDelay: DefaultRetryDelay,
-	}
+// NewHTTP creates an HTTP client for the daemon at baseURL (e.g.
+// "http://host:8080"). Most callers should use New, which picks the
+// transport from the address; NewHTTP exists for code that needs the
+// concrete *Client.
+func NewHTTP(baseURL string, opts ...Option) *Client {
+	cfg := defaultClientConfig()
 	for _, opt := range opts {
-		opt(c)
+		opt(&cfg)
 	}
-	return c
+	return newHTTPClient(baseURL, cfg)
+}
+
+func newHTTPClient(baseURL string, cfg config) *Client {
+	h := cfg.httpClient
+	if h == nil {
+		h = &http.Client{Timeout: cfg.timeout}
+	} else if cfg.timeoutSet {
+		h.Timeout = cfg.timeout
+	}
+	return &Client{
+		base:       baseURL,
+		http:       h,
+		retries:    cfg.retries,
+		retryDelay: cfg.retryDelay,
+	}
 }
 
 // RegisterJob submits a new CL job and returns its status (including ID).
@@ -154,6 +130,17 @@ func (c *Client) Metrics() (server.Metrics, error) {
 	var mt server.Metrics
 	err := c.get("/v1/metrics", &mt)
 	return mt, err
+}
+
+// Ping probes daemon reachability with the cheapest idempotent request.
+func (c *Client) Ping() error {
+	return c.get("/v1/stats", &struct{}{})
+}
+
+// Close releases idle connections held by the underlying HTTP transport.
+func (c *Client) Close() error {
+	c.http.CloseIdleConnections()
+	return nil
 }
 
 // WaitForJob polls until the job completes or the timeout elapses.
@@ -244,10 +231,11 @@ func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode >= 300 {
 		var apiErr struct {
 			Error string `json:"error"`
+			Code  int    `json:"code"`
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s (status %d)", apiErr.Error, resp.StatusCode)
+			return &APIError{Code: server.Code(apiErr.Code), Status: resp.StatusCode, Msg: apiErr.Error}
 		}
 		return fmt.Errorf("client: status %d", resp.StatusCode)
 	}

@@ -13,7 +13,7 @@ func newTestPair(t *testing.T) (*Client, *httptest.Server) {
 	m := server.NewManager(server.Config{})
 	srv := httptest.NewServer(server.Handler(m))
 	t.Cleanup(srv.Close)
-	return New(srv.URL), srv
+	return NewHTTP(srv.URL), srv
 }
 
 func TestClientJobLifecycle(t *testing.T) {

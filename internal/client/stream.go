@@ -36,46 +36,27 @@ const (
 	defaultClientMaxPayload = 64 << 20 // responses can carry full batch + metrics payloads
 )
 
-// StreamOption customizes a StreamClient.
-type StreamOption func(*streamConfig)
-
-type streamConfig struct {
-	conns   int
-	timeout time.Duration
-}
-
-// WithStreamConns sets the connection-pool size (default 2). More
-// connections raise pipelining depth under heavy concurrent load; one is
-// enough for a single agent.
-func WithStreamConns(n int) StreamOption {
-	return func(c *streamConfig) {
-		if n > 0 {
-			c.conns = n
-		}
-	}
-}
-
-// WithStreamTimeout bounds one request round trip, dial included (default
-// 10s).
-func WithStreamTimeout(d time.Duration) StreamOption {
-	return func(c *streamConfig) {
-		if d > 0 {
-			c.timeout = d
-		}
-	}
-}
-
 // NewStream creates a stream client for the daemon's stream listener at
 // addr (e.g. "localhost:8081"). Connections are dialed lazily on first use
-// and redialed automatically after failures.
-func NewStream(addr string, opts ...StreamOption) *StreamClient {
-	cfg := streamConfig{conns: DefaultStreamConns, timeout: DefaultStreamTimeout}
+// and redialed automatically after failures; each dial negotiates the wire
+// protocol version (v2 binary payloads against current daemons, v1 JSON
+// against old ones).
+//
+// Deprecated: use New — a bare host:port address (or
+// WithTransport(TransportStream)) selects this same transport. NewStream
+// remains for callers that need the concrete *StreamClient.
+func NewStream(addr string, opts ...Option) *StreamClient {
+	cfg := defaultClientConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	sc := &StreamClient{conns: make([]*streamConn, cfg.conns)}
+	return newStreamClient(addr, cfg)
+}
+
+func newStreamClient(addr string, cfg config) *StreamClient {
+	sc := &StreamClient{conns: make([]*streamConn, cfg.streamConns)}
 	for i := range sc.conns {
-		sc.conns[i] = &streamConn{addr: addr, timeout: cfg.timeout}
+		sc.conns[i] = &streamConn{addr: addr, timeout: cfg.timeout, maxVer: byte(min(cfg.maxWireVersion, int(transport.MaxVersion)))}
 	}
 	return sc
 }
@@ -91,8 +72,14 @@ func (s *StreamClient) Close() error {
 // Ping round-trips an empty frame — a cheap reachability and liveness
 // probe.
 func (s *StreamClient) Ping() error {
-	_, err := s.do(transport.OpPing, nil)
+	_, _, err := s.do(transport.OpPing, jsonPayload(nil))
 	return err
+}
+
+// jsonPayload builds the encoder for the low-volume opcodes, which ride in
+// v1 (JSON) frames regardless of the negotiated version.
+func jsonPayload(buf []byte) reqEncoder {
+	return func(byte) ([]byte, byte, error) { return buf, transport.Version1, nil }
 }
 
 // CheckIn announces device availability and returns the assignment.
@@ -102,15 +89,22 @@ func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
 
 func (s *StreamClient) checkInOp(op byte, ci server.CheckIn) (server.Assignment, error) {
 	var asg server.Assignment
-	payload, err := ci.MarshalJSON()
+	resp, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+		if ver >= transport.Version2 {
+			b, err := ci.MarshalBinary()
+			return b, transport.Version2, err
+		}
+		b, err := ci.MarshalJSON()
+		return b, transport.Version1, err
+	})
 	if err != nil {
 		return asg, err
 	}
-	resp, err := s.do(op, payload)
-	if err != nil {
-		return asg, err
+	if ver >= transport.Version2 {
+		err = asg.UnmarshalBinary(resp)
+	} else {
+		err = asg.UnmarshalJSON(resp)
 	}
-	err = asg.UnmarshalJSON(resp)
 	return asg, err
 }
 
@@ -122,16 +116,25 @@ func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResul
 }
 
 func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.CheckInResult, error) {
-	payload, err := server.CheckInBatchRequest{CheckIns: cis}.MarshalJSON()
-	if err != nil {
-		return nil, err
-	}
-	buf, err := s.do(op, payload)
+	req := server.CheckInBatchRequest{CheckIns: cis}
+	buf, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+		if ver >= transport.Version2 {
+			b, err := req.MarshalBinary()
+			return b, transport.Version2, err
+		}
+		b, err := req.MarshalJSON()
+		return b, transport.Version1, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	var resp server.CheckInBatchResponse
-	if err := resp.UnmarshalJSON(buf); err != nil {
+	if ver >= transport.Version2 {
+		err = resp.UnmarshalBinary(buf)
+	} else {
+		err = resp.UnmarshalJSON(buf)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(cis) {
@@ -146,11 +149,14 @@ func (s *StreamClient) Report(r server.Report) error {
 }
 
 func (s *StreamClient) reportOp(op byte, r server.Report) error {
-	payload, err := r.MarshalJSON()
-	if err != nil {
-		return err
-	}
-	_, err = s.do(op, payload)
+	_, _, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+		if ver >= transport.Version2 {
+			b, err := r.MarshalBinary()
+			return b, transport.Version2, err
+		}
+		b, err := r.MarshalJSON()
+		return b, transport.Version1, err
+	})
 	return err
 }
 
@@ -161,16 +167,25 @@ func (s *StreamClient) ReportBatch(rs []server.Report) ([]server.ReportResult, e
 }
 
 func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.ReportResult, error) {
-	payload, err := server.ReportBatchRequest{Reports: rs}.MarshalJSON()
-	if err != nil {
-		return nil, err
-	}
-	buf, err := s.do(op, payload)
+	req := server.ReportBatchRequest{Reports: rs}
+	buf, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+		if ver >= transport.Version2 {
+			b, err := req.MarshalBinary()
+			return b, transport.Version2, err
+		}
+		b, err := req.MarshalJSON()
+		return b, transport.Version1, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	var resp server.ReportBatchResponse
-	if err := resp.UnmarshalJSON(buf); err != nil {
+	if ver >= transport.Version2 {
+		err = resp.UnmarshalBinary(buf)
+	} else {
+		err = resp.UnmarshalJSON(buf)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(rs) {
@@ -214,8 +229,27 @@ func (s *StreamClient) Metrics() (server.Metrics, error) {
 	return mt, err
 }
 
+// WaitForJob polls until the job completes or the timeout elapses.
+func (s *StreamClient) WaitForJob(id int, poll, timeout time.Duration) (server.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.JobStatus(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("client: job %d not done after %v", id, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
 // doJSON is do for the low-volume ops: reflective encode of in (nil for an
-// empty payload), reflective decode into out.
+// empty payload), reflective decode into out. These opcodes have no binary
+// layout and always ride in v1 frames.
 func (s *StreamClient) doJSON(op byte, in, out any) error {
 	var payload []byte
 	if in != nil {
@@ -224,7 +258,7 @@ func (s *StreamClient) doJSON(op byte, in, out any) error {
 			return err
 		}
 	}
-	buf, err := s.do(op, payload)
+	buf, _, err := s.do(op, jsonPayload(payload))
 	if err != nil {
 		return err
 	}
@@ -234,11 +268,17 @@ func (s *StreamClient) doJSON(op byte, in, out any) error {
 	return json.Unmarshal(buf, out)
 }
 
+// reqEncoder builds a request payload given the connection's negotiated
+// protocol version, returning the payload and the frame version that
+// matches its encoding.
+type reqEncoder func(negotiated byte) ([]byte, byte, error)
+
 // do sends one request frame over a pooled connection and waits for its
-// response, returning the response payload or the decoded error frame.
-func (s *StreamClient) do(op byte, payload []byte) ([]byte, error) {
+// response, returning the response payload and the version of the response
+// frame (which dictates how to decode it), or the decoded error frame.
+func (s *StreamClient) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 	c := s.conns[s.next.Add(1)%uint64(len(s.conns))]
-	return c.do(op, payload)
+	return c.do(op, enc)
 }
 
 // streamConn is one pooled connection: a lazily dialed socket, a reader
@@ -248,23 +288,26 @@ func (s *StreamClient) do(op byte, payload []byte) ([]byte, error) {
 type streamConn struct {
 	addr    string
 	timeout time.Duration
+	maxVer  byte // highest protocol version to negotiate
 
 	mu      sync.Mutex
 	c       net.Conn
 	bw      *bufio.Writer
+	ver     byte // negotiated protocol version of the live connection
 	pending map[uint32]chan streamResp
 	nextID  uint32
 	gen     uint64
 }
 
 type streamResp struct {
+	ver     byte
 	op      byte
 	payload []byte
 	err     error
 }
 
-// connect dials under mu if needed and returns the current socket and
-// generation.
+// connect dials under mu if needed, negotiates the protocol version, and
+// starts the reader for the new connection.
 func (sc *streamConn) connectLocked() error {
 	if sc.c != nil {
 		return nil
@@ -276,21 +319,75 @@ func (sc *streamConn) connectLocked() error {
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
+	ver, br, err := negotiate(c, sc.timeout, sc.maxVer)
+	if err != nil {
+		c.Close()
+		// The hello never became a caller-visible request, so this is a
+		// pre-send failure: safe to retry elsewhere.
+		return &NotSentError{Err: fmt.Errorf("client: stream hello %s: %w", sc.addr, err)}
+	}
 	sc.c = c
 	sc.bw = bufio.NewWriterSize(c, 64<<10)
+	sc.ver = ver
 	sc.pending = make(map[uint32]chan streamResp)
 	sc.gen++
-	go sc.readLoop(sc.gen, c)
+	go sc.readLoop(sc.gen, c, br)
 	return nil
+}
+
+// negotiate performs the synchronous OpHello exchange on a fresh
+// connection, before any pipelined traffic: it announces maxVer and returns
+// the version the server selected. A pre-v2 daemon answers OpError
+// ("unknown opcode"), which downgrades the connection to v1 — the JSON wire
+// format those daemons speak. When maxVer is 1 the exchange is skipped
+// entirely (old daemons would treat the hello as an error, and new ones
+// default to v1 per frame anyway). The returned reader carries any bytes
+// buffered past the hello response and must be handed to the read loop.
+func negotiate(c net.Conn, timeout time.Duration, maxVer byte) (byte, *bufio.Reader, error) {
+	br := bufio.NewReaderSize(c, 64<<10)
+	if maxVer < transport.Version2 {
+		return transport.Version1, br, nil
+	}
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	defer func() { _ = c.SetDeadline(time.Time{}) }()
+	payload, err := json.Marshal(transport.HelloRequest{MaxVersion: int(maxVer)})
+	if err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, transport.HeaderSize, transport.HeaderSize+len(payload))
+	transport.PutHeader(buf, transport.Version1, transport.OpHello, 0, len(payload))
+	if _, err := c.Write(append(buf, payload...)); err != nil {
+		return 0, nil, err
+	}
+	fr, err := transport.ReadFrame(br, defaultClientMaxPayload, transport.MaxVersion)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch fr.Op {
+	case transport.OpHello | transport.RespFlag:
+		var hr transport.HelloResponse
+		if err := json.Unmarshal(fr.Payload, &hr); err != nil {
+			return 0, nil, fmt.Errorf("malformed hello response: %w", err)
+		}
+		v := byte(hr.Version)
+		if v < transport.Version1 || v > maxVer {
+			return 0, nil, fmt.Errorf("server selected unusable version %d", hr.Version)
+		}
+		return v, br, nil
+	case transport.OpError:
+		// Pre-v2 daemon: OpHello is an unknown opcode there. Fall back.
+		return transport.Version1, br, nil
+	default:
+		return 0, nil, fmt.Errorf("unexpected hello response opcode %#x", fr.Op)
+	}
 }
 
 // readLoop dispatches response frames to their waiters until the
 // connection dies, then fails every pending request so callers can retry
 // (the next call redials).
-func (sc *streamConn) readLoop(gen uint64, c net.Conn) {
-	br := bufio.NewReaderSize(c, 64<<10)
+func (sc *streamConn) readLoop(gen uint64, c net.Conn, br *bufio.Reader) {
 	for {
-		fr, err := transport.ReadFrame(br, defaultClientMaxPayload)
+		fr, err := transport.ReadFrame(br, defaultClientMaxPayload, transport.MaxVersion)
 		if err != nil {
 			sc.teardown(gen, fmt.Errorf("client: stream connection lost: %w", err))
 			return
@@ -303,7 +400,7 @@ func (sc *streamConn) readLoop(gen uint64, c net.Conn) {
 		}
 		sc.mu.Unlock()
 		if ch != nil {
-			ch <- streamResp{op: fr.Op, payload: fr.Payload}
+			ch <- streamResp{ver: fr.Ver, op: fr.Op, payload: fr.Payload}
 		}
 		// A response nobody waits for (timed-out request) is dropped.
 	}
@@ -335,13 +432,21 @@ func (sc *streamConn) close(err error) {
 	sc.teardown(gen, err)
 }
 
-func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
+func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 	ch := make(chan streamResp, 1)
 
 	sc.mu.Lock()
 	if err := sc.connectLocked(); err != nil {
 		sc.mu.Unlock()
-		return nil, err
+		return nil, 0, err
+	}
+	// The payload encoding depends on the version this connection
+	// negotiated, so it is built under mu, after connect. The codecs are
+	// allocation-light appends; the write syscall below dominates.
+	payload, frameVer, err := enc(sc.ver)
+	if err != nil {
+		sc.mu.Unlock()
+		return nil, 0, err
 	}
 	gen := sc.gen
 	sc.nextID++
@@ -351,7 +456,7 @@ func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
 	// the shared buffered writer coalesces them. The write deadline keeps a
 	// wedged peer from holding the lock forever.
 	_ = sc.c.SetWriteDeadline(time.Now().Add(sc.timeout))
-	err := transport.WriteFrame(sc.bw, op, id, payload)
+	err = transport.WriteFrame(sc.bw, frameVer, op, id, payload)
 	if err == nil {
 		err = sc.bw.Flush()
 	}
@@ -364,7 +469,7 @@ func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
 		case <-ch:
 		default:
 		}
-		return nil, &NotSentError{Err: fmt.Errorf("client: stream write: %w", err)}
+		return nil, 0, &NotSentError{Err: fmt.Errorf("client: stream write: %w", err)}
 	}
 
 	timer := time.NewTimer(sc.timeout)
@@ -372,27 +477,37 @@ func (sc *streamConn) do(op byte, payload []byte) ([]byte, error) {
 	select {
 	case resp := <-ch:
 		if resp.err != nil {
-			return nil, resp.err
+			return nil, 0, resp.err
 		}
 		if resp.op == transport.OpError {
-			var ep transport.ErrorPayload
-			if json.Unmarshal(resp.payload, &ep) == nil && ep.Error != "" {
-				return nil, &StreamError{Code: server.Code(ep.Code), Msg: ep.Error}
-			}
-			return nil, errors.New("client: malformed stream error frame")
+			return nil, 0, decodeStreamError(resp.ver, resp.payload)
 		}
 		if resp.op != op|transport.RespFlag {
-			return nil, fmt.Errorf("client: stream response opcode %#x for request %#x", resp.op, op)
+			return nil, 0, fmt.Errorf("client: stream response opcode %#x for request %#x", resp.op, op)
 		}
-		return resp.payload, nil
+		return resp.payload, resp.ver, nil
 	case <-timer.C:
 		sc.mu.Lock()
 		if gen == sc.gen && sc.pending != nil {
 			delete(sc.pending, id)
 		}
 		sc.mu.Unlock()
-		return nil, fmt.Errorf("client: stream request timed out after %v", sc.timeout)
+		return nil, 0, fmt.Errorf("client: stream request timed out after %v", sc.timeout)
 	}
+}
+
+// decodeStreamError parses an OpError payload per the frame version into
+// the typed StreamError.
+func decodeStreamError(ver byte, payload []byte) error {
+	var ep transport.ErrorPayload
+	if ver >= transport.Version2 {
+		if ep.UnmarshalBinary(payload) == nil && ep.Error != "" {
+			return &StreamError{Code: server.Code(ep.Code), Msg: ep.Error}
+		}
+	} else if json.Unmarshal(payload, &ep) == nil && ep.Error != "" {
+		return &StreamError{Code: server.Code(ep.Code), Msg: ep.Error}
+	}
+	return errors.New("client: malformed stream error frame")
 }
 
 // StreamError is a typed server-side rejection carried over the stream

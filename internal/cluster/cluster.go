@@ -59,8 +59,15 @@ type Config struct {
 	// StreamConns is the connection-pool size per peer (default
 	// client.DefaultStreamConns).
 	StreamConns int
+	// MaxWireVersion caps the stream protocol version negotiated with
+	// peers (default: the client's maximum, currently 2). Peers negotiate
+	// independently per connection, so a federation can mix v1-only and v2
+	// daemons — forwarding to an old peer simply downgrades that hop to
+	// JSON payloads.
+	MaxWireVersion int
 	// Dial overrides peer-client construction (tests). nil dials a real
-	// client.StreamClient with Timeout and StreamConns applied.
+	// client.StreamClient with Timeout, StreamConns, and MaxWireVersion
+	// applied.
 	Dial func(addr string) PeerClient
 }
 
@@ -166,9 +173,14 @@ func New(m *server.Manager, cfg Config) (*Cluster, error) {
 	dial := cfg.Dial
 	if dial == nil {
 		dial = func(addr string) PeerClient {
-			return client.NewStream(addr,
+			opts := []client.Option{
 				client.WithStreamConns(cfg.StreamConns),
-				client.WithStreamTimeout(cfg.Timeout))
+				client.WithTimeout(cfg.Timeout),
+			}
+			if cfg.MaxWireVersion > 0 {
+				opts = append(opts, client.WithMaxWireVersion(cfg.MaxWireVersion))
+			}
+			return client.NewStream(addr, opts...)
 		}
 	}
 	for _, id := range ring.Members() {

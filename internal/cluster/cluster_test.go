@@ -272,13 +272,13 @@ func TestHopFlagRejectedOnNonServingOp(t *testing.T) {
 	}
 	defer conn.Close()
 	bw := bufio.NewWriter(conn)
-	if err := transport.WriteFrame(bw, transport.OpStats|transport.HopFlag, 7, nil); err != nil {
+	if err := transport.WriteFrame(bw, transport.Version1, transport.OpStats|transport.HopFlag, 7, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	fr, err := transport.ReadFrame(bufio.NewReader(conn), 1<<20)
+	fr, err := transport.ReadFrame(bufio.NewReader(conn), 1<<20, transport.MaxVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

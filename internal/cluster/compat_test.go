@@ -1,0 +1,166 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"venn/internal/client"
+	"venn/internal/cluster"
+	"venn/internal/server"
+	"venn/internal/transport"
+)
+
+// startCompatFed starts a two-member federation whose ring is built from the
+// logical member IDs "A" and "B" (mapped to real loopback listeners through
+// Config.Dial), so two separately started federations share an identical
+// ownership ring and route the same devices to the same logical members.
+// With bIsV1 set, member B emulates a pre-v2 daemon end to end: its stream
+// server rejects v2 frames (transport MaxVersion 1) and its outbound peer
+// clients never offer v2 (cluster MaxWireVersion 1).
+func startCompatFed(t *testing.T, bIsV1 bool) []*node {
+	t.Helper()
+	ids := []string{"A", "B"}
+	addrOf := map[string]string{}
+	lns := make([]net.Listener, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrOf[id] = ln.Addr().String()
+	}
+	nodes := make([]*node, len(ids))
+	for i, id := range ids {
+		oldDaemon := bIsV1 && id == "B"
+		m := server.NewManager(server.Config{})
+		topts := transport.Options{}
+		if oldDaemon {
+			topts.MaxVersion = transport.Version1
+		}
+		ts := transport.NewServer(m, topts)
+		go func(ln net.Listener) { _ = ts.Serve(ln) }(lns[i])
+		maxWire := 0
+		if oldDaemon {
+			maxWire = 1
+		}
+		cfg := cluster.Config{
+			SelfID:         id,
+			Peers:          ids,
+			HealthInterval: 50 * time.Millisecond,
+			Dial: func(peerID string) cluster.PeerClient {
+				opts := []client.Option{client.WithTimeout(5 * time.Second)}
+				if maxWire > 0 {
+					opts = append(opts, client.WithMaxWireVersion(maxWire))
+				}
+				return client.NewStream(addrOf[peerID], opts...)
+			},
+		}
+		clu, err := cluster.New(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &node{m: m, ts: ts, clu: clu, addr: addrOf[id]}
+		t.Cleanup(func() {
+			_ = clu.Close()
+			_ = ts.Close()
+		})
+	}
+	return nodes
+}
+
+// TestCrossVersionFederationCompat is the mixed-version compatibility pin:
+// a federation where member B is a v1-only daemon (JSON payloads, no hello)
+// must serve the exact same workload as a pure-v2 federation with
+// byte-identical responses — negotiation downgrades the A→B forwarding hop
+// transparently and the codecs are payload-equivalent. The telemetry
+// assertions prove the two federations really took different wire paths.
+func TestCrossVersionFederationCompat(t *testing.T) {
+	mixed := startCompatFed(t, true)
+	pure := startCompatFed(t, false)
+
+	runWorkload := func(nodes []*node) (ciJSON, repJSON []byte) {
+		// Same demand on both members: assignments happen on whichever
+		// member owns the checked-in device.
+		for _, nd := range nodes {
+			svc := server.NewService(nd.m, server.TransportStream)
+			if _, err := svc.RegisterJob(server.JobSpec{Name: "compat", Category: "General", DemandPerRound: 16, Rounds: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := client.NewStream(nodes[0].addr)
+		defer c.Close()
+		fleet := make([]server.CheckIn, 64)
+		for i := range fleet {
+			fleet[i] = server.CheckIn{DeviceID: fmt.Sprintf("compat-%04d", i), CPU: 0.9, Mem: 0.9}
+		}
+		results, err := c.CheckInBatch(fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range results {
+			if res.Error != "" {
+				t.Fatalf("item %d (%s): %s", i, fleet[i].DeviceID, res.Error)
+			}
+		}
+		ciResp := server.CheckInBatchResponse{Results: results}
+		ciJSON, err = ciResp.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reports []server.Report
+		for i, res := range results {
+			if res.Assigned {
+				reports = append(reports, server.Report{
+					DeviceID: fleet[i].DeviceID, JobID: res.JobID, OK: true, DurationSeconds: 30,
+				})
+			}
+		}
+		if len(reports) == 0 {
+			t.Fatal("workload produced no assignments")
+		}
+		rres, err := c.ReportBatch(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repResp := server.ReportBatchResponse{Results: rres}
+		repJSON, err = repResp.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ciJSON, repJSON
+	}
+
+	mixedCI, mixedRep := runWorkload(mixed)
+	pureCI, pureRep := runWorkload(pure)
+
+	if !bytes.Equal(mixedCI, pureCI) {
+		t.Errorf("check-in results diverge across wire versions:\nmixed %s\npure  %s", mixedCI, pureCI)
+	}
+	if !bytes.Equal(mixedRep, pureRep) {
+		t.Errorf("report results diverge across wire versions:\nmixed %s\npure  %s", mixedRep, pureRep)
+	}
+
+	// Both federations must actually have forwarded A→B...
+	for name, nodes := range map[string][]*node{"mixed": mixed, "pure": pure} {
+		_, outA, fwdErrs, _ := nodes[0].clu.Counters()
+		inB, _, _, _ := nodes[1].clu.Counters()
+		if outA == 0 || inB == 0 {
+			t.Errorf("%s federation never forwarded (A out=%d, B in=%d)", name, outA, inB)
+		}
+		if fwdErrs != 0 {
+			t.Errorf("%s federation logged %d forward errors", name, fwdErrs)
+		}
+	}
+	// ...but over different wire versions: the v1 member saw zero v2 frames,
+	// the v2 member saw the forwarded serving frames as binary.
+	if tel := mixed[1].ts.StreamTelemetry(); tel.FramesInV2 != 0 {
+		t.Errorf("v1 member received %d v2 frames", tel.FramesInV2)
+	}
+	if tel := pure[1].ts.StreamTelemetry(); tel.FramesInV2 == 0 {
+		t.Error("pure-v2 federation forwarded no v2 frames")
+	}
+}

@@ -308,6 +308,13 @@ func writeJSON(w http.ResponseWriter, v any, code int) {
 	_, _ = w.Write(buf)
 }
 
+// writeErr renders a service failure. The numeric `code` field carries the
+// stable server.Code value so SDK clients classify failures without
+// matching on the message or the HTTP status.
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, map[string]string{"error": err.Error()}, httpStatus(ErrCode(err)))
+	body := struct {
+		Error string `json:"error"`
+		Code  int    `json:"code"`
+	}{Error: err.Error(), Code: int(ErrCode(err))}
+	writeJSON(w, body, httpStatus(ErrCode(err)))
 }

@@ -361,9 +361,10 @@ func (m *Manager) ClearClusterTelemetrySource(src ClusterTelemetrySource) {
 // StreamTelemetry is a snapshot of streaming-transport counters, supplied
 // by an attached stream server via SetStreamTelemetrySource.
 type StreamTelemetry struct {
-	Conns     int64 // currently open stream connections
-	FramesIn  int64 // request frames read, cumulative
-	FramesOut int64 // response frames written, cumulative
+	Conns      int64 // currently open stream connections
+	FramesIn   int64 // request frames read, cumulative
+	FramesInV2 int64 // request frames read with protocol version 2, cumulative
+	FramesOut  int64 // response frames written, cumulative
 }
 
 // StreamTelemetrySource supplies live stream-transport counters. It is

@@ -56,9 +56,10 @@ type Metrics struct {
 	CheckInsPerSecByTransport map[string]float64 `json:"checkins_per_sec_by_transport,omitempty"`
 	// Streaming-transport telemetry; all zero when no stream listener is
 	// attached (SetStreamTelemetry).
-	StreamConns     int64 `json:"stream_conns"`
-	StreamFramesIn  int64 `json:"stream_frames_in_total"`
-	StreamFramesOut int64 `json:"stream_frames_out_total"`
+	StreamConns      int64 `json:"stream_conns"`
+	StreamFramesIn   int64 `json:"stream_frames_in_total"`
+	StreamFramesInV2 int64 `json:"stream_frames_in_v2_total"`
+	StreamFramesOut  int64 `json:"stream_frames_out_total"`
 
 	// Federation telemetry; all absent when no cluster layer is attached
 	// (SetClusterTelemetrySource). ForwardsIn counts peer-forwarded request
@@ -283,6 +284,7 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		st := m.streamSource.StreamTelemetry()
 		out.StreamConns = st.Conns
 		out.StreamFramesIn = st.FramesIn
+		out.StreamFramesInV2 = st.FramesInV2
 		out.StreamFramesOut = st.FramesOut
 	}
 	if m.clusterSource != nil {

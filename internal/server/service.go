@@ -28,22 +28,28 @@ var transportLabels = []string{TransportHTTP, TransportStream}
 // Code classifies a service-layer failure so each transport adapter can map
 // it to its native status space (HTTP statuses, stream error frames)
 // without inspecting error strings.
+//
+// The numeric values are part of the wire protocol: they ride verbatim in
+// stream OpError frames (v1 JSON `code` field and v2 binary error payloads)
+// and in HTTP error bodies, and a v2 client classifies failures by them
+// alone. They are frozen — never renumber or reuse a value; add new codes
+// at the end. codes_test.go pins them.
 type Code int
 
 const (
 	// CodeInvalid is a malformed or unacceptable request.
-	CodeInvalid Code = iota + 1
+	CodeInvalid Code = 1
 	// CodeNotFound is a lookup of a resource that does not exist.
-	CodeNotFound
+	CodeNotFound Code = 2
 	// CodeBusy is a check-in for a device that already holds a task.
-	CodeBusy
+	CodeBusy Code = 3
 	// CodeTooLarge is a payload over the transport's configured bound.
-	CodeTooLarge
+	CodeTooLarge Code = 4
 	// CodeUnavailable is a request that could not be served right now and
 	// should be retried — e.g. a federation forward whose outcome is
 	// unknown (timeout mid-flight), where neither answering nor silently
 	// applying locally would be honest.
-	CodeUnavailable
+	CodeUnavailable Code = 5
 )
 
 // Error is the service layer's typed error: a Code for the adapter plus the

@@ -22,7 +22,10 @@ func TestServiceTypedErrors(t *testing.T) {
 	if _, err := svc.RegisterJob(JobSpec{Category: "nope", DemandPerRound: 1, Rounds: 1}); ErrCode(err) != CodeInvalid {
 		t.Errorf("unknown category: code %v, want CodeInvalid", ErrCode(err))
 	}
-	if !errors.Is(func() error { _, err := svc.RegisterJob(JobSpec{Category: "nope", DemandPerRound: 1, Rounds: 1}); return err }(), ErrUnknownCategory) {
+	if !errors.Is(func() error {
+		_, err := svc.RegisterJob(JobSpec{Category: "nope", DemandPerRound: 1, Rounds: 1})
+		return err
+	}(), ErrUnknownCategory) {
 		t.Error("service error must unwrap to ErrUnknownCategory")
 	}
 

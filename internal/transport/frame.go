@@ -9,11 +9,26 @@
 //
 //	offset size  field
 //	0      2     magic 0x56 0x4E ("VN")
-//	2      1     protocol version (1)
+//	2      1     protocol version (1 or 2)
 //	3      1     opcode
 //	4      4     request ID (echoed verbatim in the response)
 //	8      4     payload length N
-//	12     N     payload (JSON, same wire structs + codecs as HTTP)
+//	12     N     payload
+//
+// The version byte declares the *payload encoding* of this frame: version 1
+// payloads are JSON (same wire structs + codecs as HTTP); version 2 carries
+// the fixed-layout binary codec for the four serving opcodes (check-in,
+// report, and their batch forms) and for OpError, while every other opcode
+// keeps JSON payloads even in v2 frames. A response frame echoes the
+// request frame's version, so frames of both versions may interleave on one
+// connection — that is what lets a mixed-version federation keep
+// forwarding.
+//
+// Version negotiation: after dialing, a client sends OpHello (always as a
+// v1/JSON frame) announcing its highest supported version; the server
+// replies with the version both sides will consider enabled. A pre-v2
+// server instead answers OpError ("unknown opcode"), which a client must
+// treat as "peer speaks v1 only". See README "Wire protocol" for the spec.
 //
 // A response reuses the request's opcode with RespFlag set, or OpError with
 // an ErrorPayload body. Request IDs are chosen by the client; responses may
@@ -30,9 +45,16 @@ import (
 
 // Protocol constants.
 const (
-	Magic0  = 0x56 // 'V'
-	Magic1  = 0x4E // 'N'
-	Version = 1
+	Magic0 = 0x56 // 'V'
+	Magic1 = 0x4E // 'N'
+	// Version1 frames carry JSON payloads; Version2 frames carry the
+	// fixed-layout binary codec on the serving opcodes. MaxVersion is the
+	// highest version this build speaks.
+	Version1   byte = 1
+	Version2   byte = 2
+	MaxVersion byte = Version2
+	// Version is the original protocol version. Deprecated: use Version1.
+	Version = Version1
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 )
@@ -50,6 +72,11 @@ const (
 	OpStats        byte = 0x08
 	OpMetrics      byte = 0x09
 	OpPing         byte = 0x0A
+	// OpHello is the version-negotiation opcode. The request payload is a
+	// HelloRequest, the response a HelloResponse; both ride in v1 (JSON)
+	// frames so that any peer can parse them. Servers predating v2 answer
+	// OpError instead, which clients treat as a v1-only peer.
+	OpHello byte = 0x0B
 
 	// HopFlag marks a request frame as already forwarded once by a peer
 	// daemon (federation hop guard). A server must answer a hop-flagged
@@ -60,16 +87,58 @@ const (
 	HopFlag byte = 0x40
 	// RespFlag marks a frame as a response to the same opcode.
 	RespFlag byte = 0x80
-	// OpError is the error-response opcode; its payload is an ErrorPayload.
+	// OpError is the error-response opcode; its payload is an ErrorPayload
+	// (JSON in v1 frames, binary in v2 frames).
 	OpError byte = 0xFF
 )
 
+// HelloRequest is the OpHello request body (always JSON): the highest
+// protocol version the client can speak.
+type HelloRequest struct {
+	MaxVersion int `json:"max_version"`
+}
+
+// HelloResponse is the OpHello response body (always JSON): the version the
+// server selected, min(client max, server max). All subsequent frames from
+// the client must use a version ≤ this.
+type HelloResponse struct {
+	Version int `json:"version"`
+}
+
 // ErrorPayload is the body of an OpError response frame. Code carries the
 // service layer's error code (server.Code) so clients can classify without
-// string matching.
+// string matching. In a v1 frame it is JSON; in a v2 frame it is
+// `uvarint code | uvarint len | len bytes of message`.
 type ErrorPayload struct {
 	Code  int    `json:"code"`
 	Error string `json:"error"`
+}
+
+// MarshalBinary encodes the v2 wire form of the error payload.
+func (e *ErrorPayload) MarshalBinary() ([]byte, error) {
+	b := binary.AppendUvarint(nil, uint64(uint(e.Code)))
+	b = binary.AppendUvarint(b, uint64(len(e.Error)))
+	return append(b, e.Error...), nil
+}
+
+// UnmarshalBinary decodes the v2 wire form of the error payload.
+func (e *ErrorPayload) UnmarshalBinary(data []byte) error {
+	code, n := binary.Uvarint(data)
+	if n <= 0 {
+		return &ErrProtocol{msg: "error payload: bad code"}
+	}
+	data = data[n:]
+	slen, n := binary.Uvarint(data)
+	if n <= 0 || slen > uint64(len(data[n:])) {
+		return &ErrProtocol{msg: "error payload: bad message length"}
+	}
+	data = data[n:]
+	if uint64(len(data)) != slen {
+		return &ErrProtocol{msg: "error payload: trailing bytes"}
+	}
+	e.Code = int(code)
+	e.Error = string(data)
+	return nil
 }
 
 // JobIDRequest is the OpJobStatus request body.
@@ -79,6 +148,7 @@ type JobIDRequest struct {
 
 // Frame is one decoded frame.
 type Frame struct {
+	Ver     byte
 	Op      byte
 	ID      uint32
 	Payload []byte
@@ -90,13 +160,19 @@ type ErrProtocol struct{ msg string }
 
 func (e *ErrProtocol) Error() string { return "transport: " + e.msg }
 
+// PutHeader encodes a frame header into hdr, which must be at least
+// HeaderSize bytes.
+func PutHeader(hdr []byte, ver, op byte, id uint32, payloadLen int) {
+	hdr[0], hdr[1], hdr[2], hdr[3] = Magic0, Magic1, ver, op
+	binary.BigEndian.PutUint32(hdr[4:8], id)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(payloadLen))
+}
+
 // WriteFrame writes one frame to w (typically a *bufio.Writer; the caller
 // owns flushing).
-func WriteFrame(w io.Writer, op byte, id uint32, payload []byte) error {
+func WriteFrame(w io.Writer, ver, op byte, id uint32, payload []byte) error {
 	var hdr [HeaderSize]byte
-	hdr[0], hdr[1], hdr[2], hdr[3] = Magic0, Magic1, Version, op
-	binary.BigEndian.PutUint32(hdr[4:8], id)
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	PutHeader(hdr[:], ver, op, id, len(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -104,11 +180,13 @@ func WriteFrame(w io.Writer, op byte, id uint32, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads and validates one frame. Payloads above maxPayload are
+// ReadFrame reads and validates one frame. Frames with a version above
+// maxVer are rejected — a v1-only server passes Version1 here, which is
+// exactly how a pre-v2 daemon behaves. Payloads above maxPayload are
 // rejected as a protocol violation — a correct peer never sends them, and
 // honoring the prefix would let a malformed length balloon memory. The
 // returned payload is freshly allocated (it may outlive the reader).
-func ReadFrame(br *bufio.Reader, maxPayload int) (Frame, error) {
+func ReadFrame(br *bufio.Reader, maxPayload int, maxVer byte) (Frame, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return Frame{}, err
@@ -116,14 +194,14 @@ func ReadFrame(br *bufio.Reader, maxPayload int) (Frame, error) {
 	if hdr[0] != Magic0 || hdr[1] != Magic1 {
 		return Frame{}, &ErrProtocol{msg: "bad magic"}
 	}
-	if hdr[2] != Version {
+	if hdr[2] < Version1 || hdr[2] > maxVer {
 		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("unsupported version %d", hdr[2])}
 	}
 	n := binary.BigEndian.Uint32(hdr[8:12])
 	if int64(n) > int64(maxPayload) {
 		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("payload %d exceeds limit %d", n, maxPayload)}
 	}
-	fr := Frame{Op: hdr[3], ID: binary.BigEndian.Uint32(hdr[4:8])}
+	fr := Frame{Ver: hdr[2], Op: hdr[3], ID: binary.BigEndian.Uint32(hdr[4:8])}
 	if n > 0 {
 		fr.Payload = make([]byte, n)
 		if _, err := io.ReadFull(br, fr.Payload); err != nil {

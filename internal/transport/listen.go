@@ -1,0 +1,87 @@
+// Per-core listener sharding. One accept loop plus one read goroutine per
+// connection already parallelizes across connections, but on many-core
+// hosts the single kernel accept queue and its wakeup herd become the
+// bottleneck long before the service layer does. ListenSharded opens N
+// listeners on the same address via SO_REUSEPORT (Linux; elsewhere it
+// degrades to one listener), letting the kernel hash incoming connections
+// across N independent accept queues — one per core — so the stream path
+// scales with GOMAXPROCS.
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// ListenSharded opens n TCP listeners bound to the same addr. On platforms
+// with SO_REUSEPORT the listeners share the port and the kernel spreads
+// connections across them; elsewhere (or for n<=1) it returns a single
+// listener. addr may be ":0" — the port picked by the first listener is
+// reused for the rest. If the reuse-port socket option is unavailable at
+// runtime, it falls back to one plain listener rather than failing.
+func ListenSharded(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 || !reusePortSupported {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			if i == 0 {
+				// Kernel without SO_REUSEPORT (or a denied setsockopt):
+				// sharding is an optimization, not a requirement.
+				ln, err = net.Listen("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return []net.Listener{ln}, nil
+			}
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+		if i == 0 {
+			addr = ln.Addr().String() // resolve ":0" once, rebind the rest
+		}
+	}
+	return lns, nil
+}
+
+// ServeListeners serves on every listener concurrently and blocks until all
+// accept loops exit. After Shutdown/Close it returns ErrServerClosed; an
+// accept failure on any shard returns that error immediately (the healthy
+// shards keep serving until the server is shut down, mirroring how a
+// single-listener daemon treats Serve errors as fatal).
+func (s *Server) ServeListeners(lns []net.Listener) error {
+	if len(lns) == 1 {
+		return s.Serve(lns[0])
+	}
+	errc := make(chan error, len(lns))
+	for _, ln := range lns {
+		go func(ln net.Listener) { errc <- s.Serve(ln) }(ln)
+	}
+	for range lns {
+		if err := <-errc; !errors.Is(err, ErrServerClosed) {
+			return err
+		}
+	}
+	return ErrServerClosed
+}
+
+// ListenAndServeSharded listens on addr with `shards` per-core accept
+// loops (see ListenSharded) and serves until shutdown.
+func (s *Server) ListenAndServeSharded(addr string, shards int) error {
+	lns, err := ListenSharded(addr, shards)
+	if err != nil {
+		return err
+	}
+	return s.ServeListeners(lns)
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package transport
+
+import "syscall"
+
+// reusePortSupported reports whether this platform can bind multiple
+// listeners to one port via SO_REUSEPORT (Linux ≥ 3.9).
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen stdlib syscall
+// package. 0xf on every Linux ABI this project targets (amd64, arm64, 386,
+// arm, riscv64); MIPS and SPARC use different values — there ListenSharded
+// falls back to a single listener via the failed-first-bind path.
+const soReusePort = 0xf
+
+// reusePortControl sets SO_REUSEPORT on the socket before bind, letting N
+// listeners share one port with kernel-side connection spreading.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package transport
+
+import "syscall"
+
+// reusePortSupported: without a portable SO_REUSEPORT we keep a single
+// accept loop; ListenSharded degrades gracefully.
+const reusePortSupported = false
+
+func reusePortControl(network, address string, c syscall.RawConn) error { return nil }

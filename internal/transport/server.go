@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding"
 	"encoding/json"
 	"errors"
 	"net"
@@ -28,6 +29,12 @@ type Options struct {
 	// matching the HTTP adapter's batch body bound). A frame announcing
 	// more is a protocol violation and closes the connection.
 	MaxPayload int
+	// MaxVersion caps the protocol version this server speaks (default
+	// MaxVersion, currently 2). Setting 1 makes the server behave exactly
+	// like a pre-v2 daemon — v2 frames are framing violations and OpHello
+	// is an unknown opcode — which is how the mixed-version federation
+	// tests pin the fallback path.
+	MaxVersion byte
 }
 
 func (o *Options) fillDefaults() {
@@ -36,6 +43,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxPayload <= 0 {
 		o.MaxPayload = server.MaxBatch * 1024
+	}
+	if o.MaxVersion == 0 {
+		o.MaxVersion = MaxVersion
 	}
 }
 
@@ -56,6 +66,7 @@ type Server struct {
 
 	connsActive atomic.Int64
 	framesIn    atomic.Int64
+	framesInV2  atomic.Int64
 	framesOut   atomic.Int64
 }
 
@@ -80,9 +91,10 @@ func NewServer(m *server.Manager, opts Options) *Server {
 // requires).
 func (s *Server) StreamTelemetry() server.StreamTelemetry {
 	return server.StreamTelemetry{
-		Conns:     s.connsActive.Load(),
-		FramesIn:  s.framesIn.Load(),
-		FramesOut: s.framesOut.Load(),
+		Conns:      s.connsActive.Load(),
+		FramesIn:   s.framesIn.Load(),
+		FramesInV2: s.framesInV2.Load(),
+		FramesOut:  s.framesOut.Load(),
 	}
 }
 
@@ -188,6 +200,7 @@ func (s *Server) Close() error {
 }
 
 type outFrame struct {
+	ver     byte
 	op      byte
 	id      uint32
 	payload []byte
@@ -218,31 +231,56 @@ func (s *Server) serveConn(sc *srvConn) {
 		s.wg.Done()
 	}()
 
-	// Writer loop: serializes response frames onto the socket. The buffered
-	// writer is flushed only when no more responses are queued, so a burst
-	// of pipelined replies coalesces into few syscalls. After a write
-	// error it keeps draining the channel (dropping frames) so handler
-	// goroutines can never block on a dead connection.
+	// Writer loop: serializes response frames onto the socket. Queued
+	// responses are drained into one writev-style vectored write
+	// (net.Buffers.WriteTo — a single writev(2) on TCP), so a burst of
+	// pipelined replies coalesces into one syscall without copying payloads
+	// into an intermediate buffer. After a write error it keeps draining
+	// the channel (dropping frames) so handler goroutines can never block
+	// on a dead connection.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		bw := bufio.NewWriterSize(sc.c, 64<<10)
+		const maxCoalesce = 64
+		hdrs := make([]byte, maxCoalesce*HeaderSize)
+		pending := make([]outFrame, 0, maxCoalesce)
 		failed := false
-		for fr := range sc.out {
+		for {
+			fr, ok := <-sc.out
+			if !ok {
+				return
+			}
+			pending = append(pending[:0], fr)
+		gather:
+			for len(pending) < maxCoalesce {
+				select {
+				case fr2, ok2 := <-sc.out:
+					if !ok2 {
+						break gather // write the batch; outer recv exits next
+					}
+					pending = append(pending, fr2)
+				default:
+					break gather
+				}
+			}
 			if failed {
 				continue
 			}
-			if err := WriteFrame(bw, fr.op, fr.id, fr.payload); err != nil {
+			bufs := make(net.Buffers, 0, 2*len(pending))
+			for i := range pending {
+				f := &pending[i]
+				h := hdrs[i*HeaderSize : (i+1)*HeaderSize]
+				PutHeader(h, f.ver, f.op, f.id, len(f.payload))
+				bufs = append(bufs, h)
+				if len(f.payload) > 0 {
+					bufs = append(bufs, f.payload)
+				}
+			}
+			if _, err := bufs.WriteTo(sc.c); err != nil {
 				failed = true
 				continue
 			}
-			s.framesOut.Add(1)
-			if len(sc.out) == 0 && bw.Flush() != nil {
-				failed = true
-			}
-		}
-		if !failed {
-			_ = bw.Flush()
+			s.framesOut.Add(int64(len(pending)))
 		}
 	}()
 
@@ -254,21 +292,24 @@ func (s *Server) serveConn(sc *srvConn) {
 	sem := make(chan struct{}, s.opts.Window)
 	var handlers sync.WaitGroup
 	for {
-		fr, err := ReadFrame(br, s.opts.MaxPayload)
+		fr, err := ReadFrame(br, s.opts.MaxPayload, s.opts.MaxVersion)
 		if err != nil {
 			// EOF, peer reset, protocol violation, or the drain deadline:
 			// all end the read loop; in-flight work still completes below.
 			break
 		}
 		s.framesIn.Add(1)
+		if fr.Ver >= Version2 {
+			s.framesInV2.Add(1)
+		}
 		sem <- struct{}{}
 		handlers.Add(1)
 		go func(fr Frame) {
 			defer handlers.Done()
 			t0 := time.Now()
-			op, payload := s.handle(fr.Op, fr.Payload)
+			op, payload := s.handle(fr.Ver, fr.Op, fr.Payload)
 			s.svc.ObserveHandlerLatency(routeOf(fr.Op), time.Since(t0))
-			sc.out <- outFrame{op: op, id: fr.ID, payload: payload}
+			sc.out <- outFrame{ver: fr.Ver, op: op, id: fr.ID, payload: payload}
 			<-sem
 		}(fr)
 	}
@@ -306,21 +347,21 @@ func routeOf(op byte) string {
 // Its receipt is recorded with the attached federation router (forwards_in),
 // and the flag is echoed on the response opcode. The flag is only legal on
 // the four serving opcodes; anything else is rejected as invalid.
-func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
+func (s *Server) handle(ver, op byte, payload []byte) (byte, []byte) {
 	forwarded := op&HopFlag != 0
 	if forwarded {
 		switch op &^ HopFlag {
 		case OpCheckIn, OpCheckInBatch, OpReport, OpReportBatch:
 			s.svc.NoteForwardedIn()
 		default:
-			return errFrame(server.CodeInvalid, errors.New("transport: hop flag on non-forwardable opcode"))
+			return errFrame(ver, server.CodeInvalid, errors.New("transport: hop flag on non-forwardable opcode"))
 		}
 	}
 	switch op &^ HopFlag {
 	case OpCheckIn:
 		var ci server.CheckIn
-		if err := ci.UnmarshalJSON(payload); err != nil {
-			return errFrame(server.CodeInvalid, err)
+		if err := decodeReq(ver, payload, &ci); err != nil {
+			return svcErrFrame(ver, err)
 		}
 		var asg server.Assignment
 		var err error
@@ -330,13 +371,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			asg, err = s.svc.CheckIn(ci)
 		}
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
-		return respFrame(op, asg)
+		return respFrame(ver, op, &asg)
 	case OpCheckInBatch:
 		var req server.CheckInBatchRequest
-		if err := req.UnmarshalJSON(payload); err != nil {
-			return errFrame(server.CodeInvalid, err)
+		if err := decodeReq(ver, payload, &req); err != nil {
+			return svcErrFrame(ver, err)
 		}
 		var resp server.CheckInBatchResponse
 		var err error
@@ -346,13 +387,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			resp, err = s.svc.CheckInBatch(req)
 		}
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
-		return respFrame(op, resp)
+		return respFrame(ver, op, &resp)
 	case OpReport:
 		var rep server.Report
-		if err := rep.UnmarshalJSON(payload); err != nil {
-			return errFrame(server.CodeInvalid, err)
+		if err := decodeReq(ver, payload, &rep); err != nil {
+			return svcErrFrame(ver, err)
 		}
 		var err error
 		if forwarded {
@@ -361,13 +402,13 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			err = s.svc.Report(rep)
 		}
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
 		return op | RespFlag, nil
 	case OpReportBatch:
 		var req server.ReportBatchRequest
-		if err := req.UnmarshalJSON(payload); err != nil {
-			return errFrame(server.CodeInvalid, err)
+		if err := decodeReq(ver, payload, &req); err != nil {
+			return svcErrFrame(ver, err)
 		}
 		var resp server.ReportBatchResponse
 		var err error
@@ -377,62 +418,105 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			resp, err = s.svc.ReportBatch(req)
 		}
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
-		return respFrame(op, resp)
+		return respFrame(ver, op, &resp)
 	case OpRegisterJob:
 		var spec server.JobSpec
 		if err := json.Unmarshal(payload, &spec); err != nil {
-			return errFrame(server.CodeInvalid, err)
+			return errFrame(ver, server.CodeInvalid, err)
 		}
 		st, err := s.svc.RegisterJob(spec)
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
-		return respFrame(op, st)
+		return respFrame(ver, op, st)
 	case OpJobs:
-		return respFrame(op, s.svc.Jobs())
+		return respFrame(ver, op, s.svc.Jobs())
 	case OpJobStatus:
 		var req JobIDRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
-			return errFrame(server.CodeInvalid, err)
+			return errFrame(ver, server.CodeInvalid, err)
 		}
 		st, err := s.svc.JobStatusByID(req.ID)
 		if err != nil {
-			return svcErrFrame(err)
+			return svcErrFrame(ver, err)
 		}
-		return respFrame(op, st)
+		return respFrame(ver, op, st)
 	case OpStats:
-		return respFrame(op, s.svc.Stats())
+		return respFrame(ver, op, s.svc.Stats())
 	case OpMetrics:
-		return respFrame(op, s.svc.Metrics())
+		return respFrame(ver, op, s.svc.Metrics())
 	case OpPing:
 		return op | RespFlag, nil
+	case OpHello:
+		// Version negotiation. A server capped at v1 must be byte-for-byte
+		// indistinguishable from a pre-v2 daemon, so it falls through to
+		// the unknown-opcode error below — which is exactly the reply
+		// clients interpret as "peer speaks v1 only".
+		if s.opts.MaxVersion >= Version2 {
+			var req HelloRequest
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return errFrame(ver, server.CodeInvalid, err)
+			}
+			v := min(req.MaxVersion, int(s.opts.MaxVersion))
+			if v < int(Version1) {
+				v = int(Version1)
+			}
+			return respFrame(Version1, op, HelloResponse{Version: v})
+		}
+		fallthrough
 	default:
-		return errFrame(server.CodeInvalid, errors.New("transport: unknown opcode"))
+		return errFrame(ver, server.CodeInvalid, errors.New("transport: unknown opcode"))
 	}
 }
 
-// respFrame encodes a success response, using the wire type's hand-rolled
-// marshaler when it has one.
-func respFrame(op byte, v any) (byte, []byte) {
+// wireCodec is implemented by the serving wire types, which carry both a
+// hand-rolled JSON codec (v1) and the fixed-layout binary codec (v2).
+type wireCodec interface {
+	json.Unmarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// decodeReq decodes a serving-opcode request payload per the frame version.
+func decodeReq(ver byte, payload []byte, v wireCodec) error {
+	if ver >= Version2 {
+		return v.UnmarshalBinary(payload)
+	}
+	return v.UnmarshalJSON(payload)
+}
+
+// respFrame encodes a success response: the binary codec when the frame is
+// v2 and the type has one, else the hand-rolled JSON marshaler, else
+// encoding/json. Non-serving opcodes keep JSON payloads in every version —
+// they have no binary codec, and they are off the hot path.
+func respFrame(ver, op byte, v any) (byte, []byte) {
 	var buf []byte
 	var err error
-	if m, ok := v.(json.Marshaler); ok {
+	if m, ok := v.(encoding.BinaryMarshaler); ok && ver >= Version2 {
+		buf, err = m.MarshalBinary()
+	} else if m, ok := v.(json.Marshaler); ok {
 		buf, err = m.MarshalJSON()
 	} else {
 		buf, err = json.Marshal(v)
 	}
 	if err != nil {
-		return errFrame(server.CodeInvalid, err)
+		return errFrame(ver, server.CodeInvalid, err)
 	}
 	return op | RespFlag, buf
 }
 
-func svcErrFrame(err error) (byte, []byte) { return errFrame(server.ErrCode(err), err) }
+func svcErrFrame(ver byte, err error) (byte, []byte) {
+	return errFrame(ver, server.ErrCode(err), err)
+}
 
-func errFrame(code server.Code, err error) (byte, []byte) {
-	buf, mErr := json.Marshal(ErrorPayload{Code: int(code), Error: err.Error()})
+func errFrame(ver byte, code server.Code, err error) (byte, []byte) {
+	ep := ErrorPayload{Code: int(code), Error: err.Error()}
+	if ver >= Version2 {
+		buf, _ := ep.MarshalBinary()
+		return OpError, buf
+	}
+	buf, mErr := json.Marshal(ep)
 	if mErr != nil {
 		buf = []byte(`{"code":1,"error":"transport: unencodable error"}`)
 	}

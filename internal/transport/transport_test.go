@@ -301,7 +301,7 @@ func TestStreamProtocolViolation(t *testing.T) {
 	}
 	defer raw2.Close()
 	bw := bufio.NewWriter(raw2)
-	if err := transport.WriteFrame(bw, transport.OpCheckIn, 1, make([]byte, 4096)); err != nil {
+	if err := transport.WriteFrame(bw, transport.Version1, transport.OpCheckIn, 1, make([]byte, 4096)); err != nil {
 		t.Fatal(err)
 	}
 	_ = bw.Flush()
@@ -318,11 +318,11 @@ func TestStreamProtocolViolation(t *testing.T) {
 	}
 	defer raw3.Close()
 	bw3 := bufio.NewWriter(raw3)
-	if err := transport.WriteFrame(bw3, 0x70, 7, nil); err != nil {
+	if err := transport.WriteFrame(bw3, transport.Version1, 0x70, 7, nil); err != nil {
 		t.Fatal(err)
 	}
 	_ = bw3.Flush()
-	fr, err := transport.ReadFrame(bufio.NewReader(raw3), 1024)
+	fr, err := transport.ReadFrame(bufio.NewReader(raw3), 1024, transport.MaxVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

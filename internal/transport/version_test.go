@@ -1,0 +1,282 @@
+package transport_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"venn/internal/client"
+	"venn/internal/server"
+	"venn/internal/transport"
+)
+
+// startShardedServer is startServer over N SO_REUSEPORT listeners.
+func startShardedServer(t *testing.T, opts transport.Options, shards int) (*server.Manager, *transport.Server, string) {
+	t.Helper()
+	m := server.NewManager(server.Config{})
+	ts := transport.NewServer(m, opts)
+	lns, err := transport.ListenSharded("127.0.0.1:0", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ts.ServeListeners(lns) }()
+	t.Cleanup(func() { _ = ts.Close() })
+	return m, ts, lns[0].Addr().String()
+}
+
+// rawHello dials addr and performs a hand-rolled hello exchange, returning
+// the response frame.
+func rawHello(t *testing.T, addr string, maxVersion int) transport.Frame {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	payload, _ := json.Marshal(transport.HelloRequest{MaxVersion: maxVersion})
+	bw := bufio.NewWriter(raw)
+	if err := transport.WriteFrame(bw, transport.Version1, transport.OpHello, 9, payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = bw.Flush()
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	fr, err := transport.ReadFrame(bufio.NewReader(raw), 1<<20, transport.MaxVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// TestHelloNegotiation pins the negotiation matrix at the frame level: a v2
+// server grants min(client, server), and a v1-capped server answers the
+// hello with OpError exactly like a pre-v2 daemon.
+func TestHelloNegotiation(t *testing.T) {
+	_, _, addr := startServer(t, transport.Options{})
+	for _, tc := range []struct{ ask, want int }{{2, 2}, {1, 1}, {7, 2}, {0, 1}} {
+		fr := rawHello(t, addr, tc.ask)
+		if fr.Op != transport.OpHello|transport.RespFlag || fr.ID != 9 {
+			t.Fatalf("ask %d: got op %#x id %d", tc.ask, fr.Op, fr.ID)
+		}
+		var hr transport.HelloResponse
+		if err := json.Unmarshal(fr.Payload, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Version != tc.want {
+			t.Errorf("ask %d: granted %d, want %d", tc.ask, hr.Version, tc.want)
+		}
+	}
+
+	_, _, v1addr := startServer(t, transport.Options{MaxVersion: transport.Version1})
+	if fr := rawHello(t, v1addr, 2); fr.Op != transport.OpError {
+		t.Errorf("v1-only server answered hello with %#x, want OpError", fr.Op)
+	}
+}
+
+// TestClientFallsBackToV1 drives a full client workload against a v1-capped
+// server: negotiation must downgrade transparently and every call must
+// still work over JSON payloads.
+func TestClientFallsBackToV1(t *testing.T) {
+	m, ts, addr := startServer(t, transport.Options{MaxVersion: transport.Version1})
+	c := client.NewStream(addr)
+	defer c.Close()
+
+	if _, err := c.RegisterJob(server.JobSpec{Name: "j0", Category: "General", DemandPerRound: 2, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cis := []server.CheckIn{{DeviceID: "a", CPU: 0.9, Mem: 0.9}, {DeviceID: "b", CPU: 0.9, Mem: 0.9}}
+	results, err := c.CheckInBatch(cis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Error != "" {
+			t.Fatalf("result %d: %s", i, res.Error)
+		}
+	}
+	// Typed errors still decode over the v1 error frame.
+	if _, err := c.JobStatus(999); err == nil {
+		t.Fatal("missing job did not error")
+	} else if client.ErrCode(err) != server.CodeNotFound {
+		t.Errorf("v1 error code = %d, want CodeNotFound", client.ErrCode(err))
+	}
+	// No v2 frames may have reached a v1-capped server.
+	if tel := ts.StreamTelemetry(); tel.FramesInV2 != 0 {
+		t.Errorf("v1-capped server counted %d v2 frames", tel.FramesInV2)
+	}
+	_ = m
+}
+
+// TestV2BinaryOnTheWire asserts a default client ↔ default server pair
+// actually negotiates v2 and moves the serving opcodes as binary frames
+// (counted by the server), while typed errors come back binary too.
+func TestV2BinaryOnTheWire(t *testing.T) {
+	_, ts, addr := startServer(t, transport.Options{})
+	c := client.NewStream(addr)
+	defer c.Close()
+
+	if _, err := c.CheckIn(server.CheckIn{DeviceID: "dev", CPU: 0.5, Mem: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckInBatch([]server.CheckIn{{DeviceID: "dev", CPU: 1, Mem: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if tel := ts.StreamTelemetry(); tel.FramesInV2 < 2 {
+		t.Errorf("server counted %d v2 frames, want >= 2", tel.FramesInV2)
+	}
+	// A service rejection over a v2 frame: binary error payload with the
+	// stable code, decoded into the same typed StreamError.
+	if _, err := c.CheckInBatch(make([]server.CheckIn, server.MaxBatch+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	} else if client.ErrCode(err) != server.CodeTooLarge {
+		t.Errorf("v2 error code = %d, want CodeTooLarge", client.ErrCode(err))
+	}
+	// An explicitly v1-capped client against the same server keeps JSON.
+	c1 := client.NewStream(addr, client.WithMaxWireVersion(1))
+	defer c1.Close()
+	before := ts.StreamTelemetry().FramesInV2
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.CheckIn(server.CheckIn{DeviceID: "dev2", CPU: 0.5, Mem: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if after := ts.StreamTelemetry().FramesInV2; after != before {
+		t.Errorf("v1-capped client produced %d v2 frames", after-before)
+	}
+}
+
+// TestMixedVersionFramesOneConn pins the per-frame versioning rule directly:
+// one raw connection interleaving v1-JSON and v2-binary check-ins gets each
+// answered in the version it asked with.
+func TestMixedVersionFramesOneConn(t *testing.T) {
+	_, _, addr := startServer(t, transport.Options{})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	bw := bufio.NewWriter(raw)
+
+	ci := server.CheckIn{DeviceID: "mixed", CPU: 0.5, Mem: 0.5}
+	jsonBody, _ := ci.MarshalJSON()
+	binBody, _ := ci.MarshalBinary()
+	if err := transport.WriteFrame(bw, transport.Version1, transport.OpCheckIn, 1, jsonBody); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteFrame(bw, transport.Version2, transport.OpCheckIn, 2, binBody); err != nil {
+		t.Fatal(err)
+	}
+	_ = bw.Flush()
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	br := bufio.NewReader(raw)
+	got := map[uint32]transport.Frame{}
+	for i := 0; i < 2; i++ {
+		fr, err := transport.ReadFrame(br, 1<<20, transport.MaxVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[fr.ID] = fr
+	}
+	if fr := got[1]; fr.Ver != transport.Version1 || fr.Op != transport.OpCheckIn|transport.RespFlag {
+		t.Errorf("v1 request answered ver %d op %#x", fr.Ver, fr.Op)
+	} else {
+		var asg server.Assignment
+		if err := asg.UnmarshalJSON(fr.Payload); err != nil {
+			t.Errorf("v1 response not JSON: %v", err)
+		}
+	}
+	if fr := got[2]; fr.Ver != transport.Version2 || fr.Op != transport.OpCheckIn|transport.RespFlag {
+		t.Errorf("v2 request answered ver %d op %#x", fr.Ver, fr.Op)
+	} else {
+		var asg server.Assignment
+		if err := asg.UnmarshalBinary(fr.Payload); err != nil {
+			t.Errorf("v2 response not binary: %v", err)
+		}
+	}
+}
+
+// TestV1ServerRejectsV2Frames: a v1-capped server treats a v2 frame as a
+// protocol violation and closes the connection, exactly like a pre-v2
+// daemon would.
+func TestV1ServerRejectsV2Frames(t *testing.T) {
+	_, _, addr := startServer(t, transport.Options{MaxVersion: transport.Version1})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	ci := server.CheckIn{DeviceID: "x", CPU: 1, Mem: 1}
+	binBody, _ := ci.MarshalBinary()
+	bw := bufio.NewWriter(raw)
+	if err := transport.WriteFrame(bw, transport.Version2, transport.OpCheckIn, 1, binBody); err != nil {
+		t.Fatal(err)
+	}
+	_ = bw.Flush()
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := transport.ReadFrame(bufio.NewReader(raw), 1<<20, transport.MaxVersion); err == nil {
+		t.Error("v1-capped server answered a v2 frame instead of closing")
+	}
+}
+
+// TestShardedListeners serves concurrent batch traffic over per-core
+// SO_REUSEPORT listeners and then exercises the multi-listener shutdown
+// path. On platforms (or kernels) without SO_REUSEPORT, ListenSharded
+// degrades to one listener and this still passes.
+func TestShardedListeners(t *testing.T) {
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	m, ts, addr := startShardedServer(t, transport.Options{}, shards)
+	if _, err := server.NewService(m, server.TransportStream).RegisterJob(server.JobSpec{Name: "j", Category: "General", DemandPerRound: 1, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := client.NewStream(addr, client.WithStreamConns(1))
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				cis := []server.CheckIn{{DeviceID: fmt.Sprintf("d-%d-%d", g, i), CPU: 0.5, Mem: 0.5}}
+				if _, err := c.CheckInBatch(cis); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if tel := ts.StreamTelemetry(); tel.FramesIn < clients*20 {
+		t.Errorf("frames_in = %d, want >= %d", tel.FramesIn, clients*20)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All listeners must actually be closed: a fresh dial fails.
+	if c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		// Accept queues may hold a connection briefly; a read distinguishes.
+		_ = c.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := c.Read(buf); rerr == nil {
+			t.Error("post-Close listener still serving")
+		}
+		c.Close()
+	}
+}
