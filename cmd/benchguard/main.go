@@ -30,6 +30,16 @@
 // multi-core gate is skipped (with a note) on single-CPU hosts, where core
 // scaling is unmeasurable.
 //
+// Federation fast-path gates: -min-cluster-direct-speedup asserts the
+// cluster-direct rung (ring-aware clients, near-zero forwards) reaches at
+// least the given fraction of the single-daemon stream rung within the same
+// report (self-skipping when the report predates the rung), and every
+// cluster-direct run must show nonzero direct-routed batches with forwards
+// bounded to fetch-race noise. -chaos-smoke takes a report from a run where
+// one federation member was killed mid-run under ring-aware clients and
+// fails on any lost check-in, any forward error, or if no node ever saw a
+// peer down (i.e. nothing was actually killed).
+//
 // Cross-report throughput comparisons are only meaningful on the same
 // hardware, so the regression checks are skipped (with a note) when the
 // recorded num_cpu differs between the two reports — CI runners and
@@ -58,14 +68,20 @@ type run struct {
 	Mode           string  `json:"mode"`
 	Transport      string  `json:"transport"`
 	Batch          int     `json:"batch"`
+	CheckIns       int64   `json:"checkins"`
 	CheckInsPerSec float64 `json:"checkins_per_sec"`
 	Errors         int64   `json:"errors"`
 	Policy         string  `json:"policy"`
 	JCTAvgSeconds  float64 `json:"jct_avg_seconds"`
 	Nodes          []struct {
-		Node        string `json:"node"`
-		ForwardsIn  int64  `json:"forwards_in"`
-		ForwardsOut int64  `json:"forwards_out"`
+		Node                string `json:"node"`
+		CheckIns            int64  `json:"checkins"`
+		ForwardsIn          int64  `json:"forwards_in"`
+		ForwardsOut         int64  `json:"forwards_out"`
+		ForwardErrors       int64  `json:"forward_errors"`
+		PeersDown           int    `json:"peers_down"`
+		DirectRoutedBatches int64  `json:"direct_routed_batches"`
+		TopologyEpoch       uint64 `json:"topology_epoch"`
 	} `json:"nodes"`
 	ServerMetrics *struct {
 		PlanRebuilds           int64                  `json:"plan_rebuilds"`
@@ -177,10 +193,12 @@ func clusterRate(r report) (float64, bool) {
 	return 0, false
 }
 
-// checkClusterRun validates a federation run end to end: zero routing
-// errors, every member both originated and received forwards (a silent
-// all-local run would flatter throughput while testing nothing), and —
-// when a floor is given — aggregate throughput above it.
+// checkClusterRun validates a seed-only federation run (mode "cluster") end
+// to end: zero routing errors, every member both originated and received
+// forwards (a silent all-local run would flatter throughput while testing
+// nothing), and — when a floor is given — aggregate throughput above it.
+// Ring-aware runs (mode "cluster-direct") invert the forwarding expectation;
+// use checkClusterDirectRun for those.
 func checkClusterRun(r run, label string, floor float64) bool {
 	failed := false
 	if r.Errors > 0 {
@@ -210,6 +228,87 @@ func checkClusterRun(r run, label string, floor float64) bool {
 	return failed
 }
 
+// checkClusterDirectRun validates a ring-aware federation run (mode
+// "cluster-direct"): zero routing errors, zero forward errors, every member
+// serving direct-routed batches, and a near-idle forward path — clients that
+// know the ring should leave the daemons nothing to forward beyond the
+// handful of batches sent before the first topology fetch completes (bounded
+// at 1% of the direct-routed count, minimum 16 for short runs).
+func checkClusterDirectRun(r run, label string) bool {
+	failed := false
+	if r.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s direct-routing run had %d routing errors\n", label, r.Errors)
+		failed = true
+	}
+	if len(r.Nodes) < 2 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s direct-routing run has %d nodes, want >= 2\n", label, len(r.Nodes))
+		return true
+	}
+	var direct, out int64
+	for _, n := range r.Nodes {
+		direct += n.DirectRoutedBatches
+		out += n.ForwardsOut
+		if n.ForwardErrors > 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s node %s had %d forward errors\n", label, n.Node, n.ForwardErrors)
+			failed = true
+		}
+		if n.DirectRoutedBatches == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s node %s served no direct-routed batches (ring-aware clients not routing)\n",
+				label, n.Node)
+			failed = true
+		}
+	}
+	if slack := max(direct/100, 16); out > slack {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s forward path not idle: %d forwards out vs %d direct-routed batches (allowed %d)\n",
+			label, out, direct, slack)
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("benchguard: %s direct-routing run OK (%.0f/s aggregate, %d direct-routed batches, %d forwards)\n",
+			label, r.CheckInsPerSec, direct, out)
+	}
+	return failed
+}
+
+// checkChaosRun validates a chaos smoke: a federation run during which one
+// member was killed. Ring-aware clients must have absorbed the loss — zero
+// client-visible errors (every check-in either landed or was retried onto a
+// live member; an error here is a potentially lost check-in), zero forward
+// errors on the survivors (forwards to the dead peer must classify as local
+// fallbacks, not ambiguous failures), and at least one surviving member must
+// actually have seen a peer go down, or the run proves nothing.
+func checkChaosRun(r run, label string) bool {
+	failed := false
+	if r.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s chaos run lost check-ins: %d client-side errors\n", label, r.Errors)
+		failed = true
+	}
+	if r.CheckIns == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s chaos run served no check-ins\n", label)
+		failed = true
+	}
+	sawDown := false
+	for _, n := range r.Nodes {
+		if n.ForwardErrors > 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s node %s had %d forward errors during the kill\n",
+				label, n.Node, n.ForwardErrors)
+			failed = true
+		}
+		if n.PeersDown > 0 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s chaos run: no surviving node reports a down peer (was anything killed?)\n", label)
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("benchguard: %s chaos run OK (%d check-ins, zero lost, zero forward errors, kill observed)\n",
+			label, r.CheckIns)
+	}
+	return failed
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_serve.json", "committed benchmark report")
@@ -227,6 +326,8 @@ func main() {
 		maxShadowOvh = flag.Float64("max-shadow-overhead", 0.10, "maximum fractional stream-throughput loss attributable to shadow policies")
 		minV2Speedup = flag.Float64("min-v2-speedup", 0, "minimum stream (wire v2) over stream-v1 throughput ratio within the -current report (0 disables)")
 		multicoreMin = flag.Float64("multicore-min-scale", 0, "minimum stream-mc over single-core stream throughput ratio within the -current report (0 disables; skipped on single-CPU hosts)")
+		minDirect    = flag.Float64("min-cluster-direct-speedup", 0, "minimum cluster-direct (ring-aware clients) over single-daemon stream throughput ratio within the -current report (0 disables; skipped when the report has no cluster-direct rung)")
+		chaosPath    = flag.String("chaos-smoke", "", "federation chaos smoke report (one member killed mid-run under ring-aware clients): zero lost check-ins, zero forward errors (optional)")
 	)
 	flag.Parse()
 
@@ -269,13 +370,19 @@ func main() {
 			check("stream-v1", func(r report) (float64, bool) { return rateByMode(r, "stream-v1") })
 			check("stream", streamRate)
 			check("cluster", clusterRate)
+			check("cluster-direct", func(r report) (float64, bool) { return rateByMode(r, "cluster-direct") })
 			check("stream-mc", func(r report) (float64, bool) { return rateByMode(r, "stream-mc") })
 		}
 		// Whatever the hardware, a committed-shape cluster run must actually
-		// have federated: every node forwarding, zero routing errors.
+		// have federated: every node forwarding, zero routing errors. The
+		// cluster-direct rung inverts that expectation — ring-aware clients
+		// mean direct hits and near-zero forwards.
 		for _, r := range current.Runs {
-			if r.Mode == "cluster" {
+			switch r.Mode {
+			case "cluster":
 				failed = checkClusterRun(r, "compare", 0) || failed
+			case "cluster-direct":
+				failed = checkClusterDirectRun(r, "compare") || failed
 			}
 		}
 
@@ -315,6 +422,26 @@ func main() {
 					fmt.Printf("benchguard: multi-core stream %.0f/s vs single-core %.0f/s (%.2fx >= %.2fx on %d CPUs) — OK\n",
 						mcRate, scRate, mcRate/scRate, *multicoreMin, current.NumCPU)
 				}
+			}
+		}
+		if *minDirect > 0 {
+			directRate, okD := rateByMode(current, "cluster-direct")
+			scRate, okS := rateByMode(current, "stream")
+			switch {
+			case !okD:
+				// Older reports predate the ring-aware rung; that is a
+				// baseline problem, not a regression, so self-skip.
+				fmt.Println("benchguard: report has no cluster-direct rung; skipping the direct-routing speedup gate")
+			case !okS:
+				fmt.Fprintln(os.Stderr, "benchguard: FAIL -min-cluster-direct-speedup needs a stream rung in the current report")
+				failed = true
+			case directRate < scRate**minDirect:
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL cluster-direct %.0f/s is only %.2fx the single-daemon stream rung's %.0f/s (floor %.2fx)\n",
+					directRate, directRate/scRate, scRate, *minDirect)
+				failed = true
+			default:
+				fmt.Printf("benchguard: cluster-direct %.0f/s vs single-daemon stream %.0f/s (%.2fx >= %.2fx) — OK\n",
+					directRate, scRate, directRate/scRate, *minDirect)
 			}
 		}
 	}
@@ -378,6 +505,26 @@ func main() {
 		}
 		if !checkedCluster {
 			fmt.Fprintln(os.Stderr, "benchguard: FAIL cluster-smoke report has no cluster run")
+			failed = true
+		}
+	}
+
+	if *chaosPath != "" {
+		chaos, err := load(*chaosPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		checkedChaos := false
+		for _, r := range chaos.Runs {
+			if r.Mode != "cluster" && r.Mode != "cluster-direct" {
+				continue
+			}
+			checkedChaos = true
+			failed = checkChaosRun(r, "smoke") || failed
+		}
+		if !checkedChaos {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL chaos-smoke report has no cluster run")
 			failed = true
 		}
 	}

@@ -81,6 +81,7 @@ func main() {
 		streamCns   = flag.Int("stream-conns", 0, "stream connections to multiplex workers over (0 = workers/2, min 1)")
 		wireVer     = flag.Int("wire-version", 0, "cap the stream wire protocol version offered by clients (0 = newest, 1 = JSON payloads)")
 		streamShrds = flag.Int("stream-shards", 0, "SO_REUSEPORT accept shards for self-hosted stream listeners (0 = 1 listener)")
+		topology    = flag.Bool("topology", true, "ring-aware clients in cluster modes: fetch the daemons' topology and send each batch item straight to its owner (false = seed-only clients, exercising the server-side forward path)")
 		jobs        = flag.Int("jobs", 8, "CL jobs to register (per federation member in cluster mode)")
 		demand      = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
 		rounds      = flag.Int("rounds", 1, "rounds per job")
@@ -231,6 +232,9 @@ func main() {
 		report.Runs = append(report.Runs, runSelfHosted(stream))
 		// Rung 5: a federation of stream daemons sharing the fleet by
 		// consistent-hash ownership, agents spread across all members.
+		// Seed-only clients, so roughly half of all traffic crosses the
+		// server-side forward path — this rung keeps the forwarded number
+		// visible now that direct routing exists.
 		nodes := *clusterN
 		if nodes <= 0 {
 			nodes = 2
@@ -239,6 +243,12 @@ func main() {
 		clus.Mode, clus.Transport, clus.Shards, clus.Batch, clus.ClusterNodes = "cluster", "stream", *shards, max(*batch, 2), nodes
 		clus.Gomaxprocs = 1
 		report.Runs = append(report.Runs, runSelfHostedCluster(clus))
+		// Rung 5b: the same federation driven by ring-aware clients
+		// (OpTopology): items go straight to their owners and the forward
+		// path idles. This is the headline cluster number.
+		direct := clus
+		direct.Mode, direct.Topology = "cluster-direct", true
+		report.Runs = append(report.Runs, runSelfHostedCluster(direct))
 		// Rung 6 (multi-core hosts only): the v2 stream again at full
 		// GOMAXPROCS with one SO_REUSEPORT accept shard per core.
 		if runtime.NumCPU() > 1 {
@@ -260,7 +270,7 @@ func main() {
 		}
 		singleRate, batchedRate := rate("single"), rate("batched")
 		streamV1Rate, streamRate := rate("stream-v1"), rate("stream")
-		clusterRate, mcRate := rate("cluster"), rate("stream-mc")
+		clusterRate, directRate, mcRate := rate("cluster"), rate("cluster-direct"), rate("stream-mc")
 		if singleRate > 0 {
 			report.SpeedupBatchedVsSingle = batchedRate / singleRate
 			report.SpeedupStreamVsSingle = streamRate / singleRate
@@ -276,8 +286,10 @@ func main() {
 			fmt.Printf("speedup (stream wire v2 vs v1):                %.2fx\n", report.SpeedupStreamV2VsV1)
 		}
 		if streamRate > 0 {
-			report.SpeedupClusterVsStream = clusterRate / streamRate
-			fmt.Printf("speedup (%d-daemon cluster vs one stream daemon): %.2fx\n", nodes, report.SpeedupClusterVsStream)
+			report.SpeedupClusterVsStream = directRate / streamRate
+			report.SpeedupClusterFwdVsStream = clusterRate / streamRate
+			fmt.Printf("speedup (%d-daemon cluster, ring-aware clients, vs one stream daemon): %.2fx\n", nodes, report.SpeedupClusterVsStream)
+			fmt.Printf("speedup (%d-daemon cluster, seed-only clients, vs one stream daemon):  %.2fx\n", nodes, report.SpeedupClusterFwdVsStream)
 			if mcRate > 0 {
 				report.SpeedupStreamMCVsSingleCore = mcRate / streamRate
 				fmt.Printf("speedup (stream at %d cores vs 1 core):         %.2fx\n", runtime.NumCPU(), report.SpeedupStreamMCVsSingleCore)
@@ -285,7 +297,7 @@ func main() {
 		}
 	case *clusterDmns != "":
 		cfg := base
-		cfg.Mode, cfg.Transport, cfg.Batch = "cluster", "stream", *batch
+		cfg.Mode, cfg.Transport, cfg.Batch, cfg.Topology = "cluster", "stream", *batch, *topology
 		addrs := strings.Split(*clusterDmns, ",")
 		cfg.ClusterNodes = len(addrs)
 		lanes := make([]lane, len(addrs))
@@ -296,6 +308,7 @@ func main() {
 	case *clusterN > 0:
 		cfg := base
 		cfg.Mode, cfg.Transport, cfg.Shards, cfg.Batch, cfg.ClusterNodes = "cluster", "stream", *shards, *batch, *clusterN
+		cfg.Topology = *topology
 		report.Runs = append(report.Runs, runSelfHostedCluster(cfg))
 	case *daemon != "" || *streamDmn != "":
 		cfg := base
@@ -352,10 +365,11 @@ type loadConfig struct {
 	Agents       int
 	Conns        int
 	StreamConns  int // 0 = Conns/2, min 1
-	WireVersion  int // stream wire version cap offered by clients; 0 = newest
-	StreamShards int // self-hosted stream listener accept shards; 0 = 1
-	Gomaxprocs   int // pin runtime.GOMAXPROCS for the run; 0 = leave as is
-	ClusterNodes int // federation member count (cluster mode only)
+	WireVersion  int  // stream wire version cap offered by clients; 0 = newest
+	StreamShards int  // self-hosted stream listener accept shards; 0 = 1
+	Gomaxprocs   int  // pin runtime.GOMAXPROCS for the run; 0 = leave as is
+	ClusterNodes int  // federation member count (cluster mode only)
+	Topology     bool // ring-aware clients (cluster modes): route items to owners directly
 	Duration     time.Duration
 	Jobs         int
 	Demand       int
@@ -412,6 +426,13 @@ type nodeResult struct {
 	LocalFallbacks int64   `json:"local_fallbacks"`
 	PeersUp        int     `json:"peers_up"`
 	PeersDown      int     `json:"peers_down"`
+	// Direct-routing telemetry (ring-aware clients): batches served without
+	// any peer hop, the topology the member advertises, and forwarded bytes.
+	DirectRoutedBatches int64  `json:"direct_routed_batches,omitempty"`
+	TopologyEpoch       uint64 `json:"topology_epoch,omitempty"`
+	TopologyPushes      int64  `json:"topology_pushes,omitempty"`
+	ForwardBytesIn      int64  `json:"forward_bytes_in,omitempty"`
+	ForwardBytesOut     int64  `json:"forward_bytes_out,omitempty"`
 }
 
 type runResult struct {
@@ -452,6 +473,15 @@ func (r runResult) forwards() (in, out int64) {
 	return in, out
 }
 
+// directRouted sums the run's direct-routed batch counts across its nodes.
+func (r runResult) directRouted() int64 {
+	var total int64
+	for _, n := range r.Nodes {
+		total += n.DirectRoutedBatches
+	}
+	return total
+}
+
 type benchReport struct {
 	Schema                 string      `json:"schema"`
 	GoVersion              string      `json:"go_version"`
@@ -463,7 +493,13 @@ type benchReport struct {
 	SpeedupBatchedVsSingle float64     `json:"speedup_batched_vs_single,omitempty"`
 	SpeedupStreamVsSingle  float64     `json:"speedup_stream_vs_single,omitempty"`
 	SpeedupStreamVsBatched float64     `json:"speedup_stream_vs_batched,omitempty"`
-	SpeedupClusterVsStream float64     `json:"speedup_cluster_vs_stream,omitempty"`
+	// SpeedupClusterVsStream compares the cluster-direct rung (ring-aware
+	// clients, OpTopology routing) to the single-daemon v2 stream rung — the
+	// headline federation number. SpeedupClusterFwdVsStream keeps the
+	// seed-only clients' ratio (every misrouted item crossing the forward
+	// path) that this field used to hold.
+	SpeedupClusterVsStream    float64 `json:"speedup_cluster_vs_stream,omitempty"`
+	SpeedupClusterFwdVsStream float64 `json:"speedup_cluster_fwd_vs_stream,omitempty"`
 	// SpeedupStreamV2VsV1 compares the stream rung (wire v2, binary
 	// payloads) to stream-v1 (same transport capped to JSON payloads).
 	SpeedupStreamV2VsV1 float64 `json:"speedup_stream_v2_vs_v1,omitempty"`
@@ -488,8 +524,8 @@ func printBlock(b *strings.Builder) {
 // cluster runs.
 func printSummary(report benchReport) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "\n%-10s %-9s %-8s %5s %5s %14s %10s %10s %8s %8s\n",
-		"mode", "transport", "policy", "nodes", "batch", "checkins/s", "fwd_out", "fwd_in", "errors", "jobs")
+	fmt.Fprintf(&b, "\n%-14s %-9s %-8s %5s %5s %14s %10s %10s %10s %8s %8s\n",
+		"mode", "transport", "policy", "nodes", "batch", "checkins/s", "fwd_out", "fwd_in", "direct", "errors", "jobs")
 	for _, run := range report.Runs {
 		nodes := 1
 		if len(run.Nodes) > 0 {
@@ -500,12 +536,13 @@ func printSummary(report benchReport) {
 			pol = "-"
 		}
 		in, out := run.forwards()
-		fmt.Fprintf(&b, "%-10s %-9s %-8s %5d %5d %14.0f %10d %10d %8d %d/%d\n",
+		fmt.Fprintf(&b, "%-14s %-9s %-8s %5d %5d %14.0f %10d %10d %10d %8d %d/%d\n",
 			run.Mode, run.Transport, pol, nodes, run.Batch, run.CheckInsPerSec,
-			out, in, run.Errors, run.JobsDone, run.JobsTotal)
+			out, in, run.directRouted(), run.Errors, run.JobsDone, run.JobsTotal)
 		for _, n := range run.Nodes {
-			fmt.Fprintf(&b, "  └ %-24s %14.0f %10d %10d %8d %d\n",
-				n.Node, n.CheckInsPerSec, n.ForwardsOut, n.ForwardsIn, n.Errors, n.JobsDone)
+			fmt.Fprintf(&b, "  └ %-28s %14.0f %10d %10d %10d %8d %d (topo epoch %d, %d pushes, fwd bytes %d/%d)\n",
+				n.Node, n.CheckInsPerSec, n.ForwardsOut, n.ForwardsIn, n.DirectRoutedBatches,
+				n.Errors, n.JobsDone, n.TopologyEpoch, n.TopologyPushes, n.ForwardBytesOut, n.ForwardBytesIn)
 		}
 	}
 	printBlock(&b)
@@ -574,6 +611,9 @@ func newStreamClient(addr string, cfg loadConfig) apiClient {
 	}
 	if cfg.WireVersion > 0 {
 		opts = append(opts, client.WithMaxWireVersion(cfg.WireVersion))
+	}
+	if cfg.Topology {
+		opts = append(opts, client.WithTopology(true))
 	}
 	return client.NewStream(addr, opts...)
 }
@@ -821,6 +861,40 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		}
 	}
 
+	// Ring-aware fleets converge on device→owner affinity: each lane's
+	// workers drive the slice of the fleet that lane's member owns, so
+	// batches arrive full-size at their owner instead of being split per
+	// owner inside the client. Lane names are the members' stream addresses
+	// (their default node IDs), so the same ring the daemons derive from
+	// -peers is reproducible here. Misalignment is harmless — the
+	// ring-aware client still partitions whatever it is handed — so a
+	// daemon running custom -node-id or -vnodes only costs the affinity,
+	// not correctness.
+	var laneFleet [][]dev
+	if cfg.Topology && len(lanes) > 1 {
+		members := make([]string, len(lanes))
+		laneIdx := make(map[string]int, len(lanes))
+		for i, l := range lanes {
+			members[i] = l.name
+			laneIdx[l.name] = i
+		}
+		ring := cluster.NewRing(members, 0)
+		byLane := make([][]dev, len(lanes))
+		for _, d := range fleet {
+			li := laneIdx[ring.Owner(d.id)]
+			byLane[li] = append(byLane[li], d)
+		}
+		laneFleet = byLane
+		for _, part := range byLane {
+			if len(part) == 0 {
+				// A member owning zero devices would go undriven; keep the
+				// round-robin spread instead.
+				laneFleet = nil
+				break
+			}
+		}
+	}
+
 	type laneStat struct {
 		checkIns atomic.Int64
 		errs     atomic.Int64
@@ -851,12 +925,22 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Conns; w++ {
+		li := w % len(lanes)
+		pool := fleet
 		lo := w * len(fleet) / cfg.Conns
 		hi := (w + 1) * len(fleet) / cfg.Conns
+		if laneFleet != nil {
+			// Affinity mode: split this lane's owned devices across the
+			// workers driving this lane.
+			pool = laneFleet[li]
+			perLane := (cfg.Conns - li + len(lanes) - 1) / len(lanes)
+			wi := w / len(lanes)
+			lo = wi * len(pool) / perLane
+			hi = (wi + 1) * len(pool) / perLane
+		}
 		if lo >= hi {
 			continue
 		}
-		li := w % len(lanes)
 		wg.Add(1)
 		go func(c apiClient, ls *laneStat, mine []dev, taskRNG *stats.RNG) {
 			defer wg.Done()
@@ -1005,7 +1089,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 				servedBy[p] += n
 			}
 			latMu.Unlock()
-		}(lanes[li].c, &laneStats[li], fleet[lo:hi], rng.Fork())
+		}(lanes[li].c, &laneStats[li], pool[lo:hi], rng.Fork())
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -1118,6 +1202,9 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 				Errors:         laneStats[li].errs.Load(),
 				JobsDone:       laneDone[li],
 			}
+			// A member that died mid-run (chaos smoke) answers no metrics;
+			// its lane still reports client-side counts with zeroed
+			// federation counters.
 			if mt, err := l.c.Metrics(); err == nil {
 				nr.ForwardsIn = mt.ClusterForwardsIn
 				nr.ForwardsOut = mt.ClusterForwardsOut
@@ -1125,11 +1212,17 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 				nr.LocalFallbacks = mt.ClusterLocalFallbacks
 				nr.PeersUp = mt.ClusterPeersUp
 				nr.PeersDown = mt.ClusterPeersDown
+				nr.DirectRoutedBatches = mt.DirectRoutedBatches
+				nr.TopologyEpoch = mt.TopologyEpoch
+				nr.TopologyPushes = mt.TopologyPushes
+				nr.ForwardBytesIn = mt.ForwardBytesIn
+				nr.ForwardBytesOut = mt.ForwardBytesOut
 			}
 			res.Nodes = append(res.Nodes, nr)
-			fmt.Fprintf(&b, "    node %s: %.0f checkins/s, fwd out %d / in %d (errors %d, fallbacks %d), %d jobs done\n",
+			fmt.Fprintf(&b, "    node %s: %.0f checkins/s, fwd out %d / in %d (errors %d, fallbacks %d), direct %d, topo epoch %d (%d pushes), fwd bytes out %d / in %d, %d jobs done\n",
 				nr.Node, nr.CheckInsPerSec, nr.ForwardsOut, nr.ForwardsIn,
-				nr.ForwardErrors, nr.LocalFallbacks, nr.JobsDone)
+				nr.ForwardErrors, nr.LocalFallbacks, nr.DirectRoutedBatches,
+				nr.TopologyEpoch, nr.TopologyPushes, nr.ForwardBytesOut, nr.ForwardBytesIn, nr.JobsDone)
 		}
 	} else if mt, err := lanes[0].c.Metrics(); err == nil {
 		res.ServerMetrics = &mt

@@ -57,6 +57,7 @@ type config struct {
 	httpClient     *http.Client
 	streamConns    int
 	maxWireVersion int
+	topology       bool
 }
 
 func defaultClientConfig() config {
@@ -138,6 +139,18 @@ func WithStreamConns(n int) Option {
 //
 // Deprecated: identical to WithTimeout; use WithTimeout.
 func WithStreamTimeout(d time.Duration) Option { return WithTimeout(d) }
+
+// WithTopology makes a stream client ring-aware: it fetches the federation
+// topology from its seed daemon, builds the daemons' consistent-hash ring
+// locally, and partitions every check-in/report by device owner onto pooled
+// per-member connections — eliminating server-side federation hops in a
+// healthy cluster. Against a daemon with no federation layer (or a v1-only
+// daemon) the mode disables itself and the client behaves exactly as
+// without it. Ignored by the HTTP transport. See StreamClient for the
+// staleness and failover contract.
+func WithTopology(on bool) Option {
+	return func(c *config) { c.topology = on }
+}
 
 // WithMaxWireVersion caps the stream protocol version this client will
 // negotiate (default 2). Set 1 to force JSON payloads — useful for talking

@@ -1,6 +1,10 @@
 package client
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
 	"venn/internal/server"
 	"venn/internal/transport"
 )
@@ -15,22 +19,80 @@ import (
 
 // CheckInForward relays a check-in to its owning daemon.
 func (s *StreamClient) CheckInForward(ci server.CheckIn) (server.Assignment, error) {
-	return s.checkInOp(transport.OpCheckIn|transport.HopFlag, ci)
+	asg, _, err := s.checkInOp(transport.OpCheckIn|transport.HopFlag, ci)
+	return asg, err
 }
 
 // CheckInBatchForward relays an owner-split check-in batch to its owning
 // daemon. Results[i] answers cis[i].
 func (s *StreamClient) CheckInBatchForward(cis []server.CheckIn) ([]server.CheckInResult, error) {
-	return s.checkInBatchOp(transport.OpCheckInBatch|transport.HopFlag, cis)
+	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch|transport.HopFlag, cis)
+	return res, err
 }
 
 // ReportForward relays a task report to its owning daemon.
 func (s *StreamClient) ReportForward(r server.Report) error {
-	return s.reportOp(transport.OpReport|transport.HopFlag, r)
+	_, err := s.reportOp(transport.OpReport|transport.HopFlag, r)
+	return err
 }
 
 // ReportBatchForward relays an owner-split report batch to its owning
 // daemon. Results[i] answers rs[i].
 func (s *StreamClient) ReportBatchForward(rs []server.Report) ([]server.ReportResult, error) {
-	return s.reportBatchOp(transport.OpReportBatch|transport.HopFlag, rs)
+	res, _, err := s.reportBatchOp(transport.OpReportBatch|transport.HopFlag, rs)
+	return res, err
+}
+
+// ErrRawUnsupported reports that a raw (pre-encoded) forward cannot be sent
+// because the connection negotiated a pre-v2 protocol — the raw bytes are in
+// the v2 layout the peer does not speak. Callers fall back to the typed
+// forward, which re-encodes per the negotiated version.
+var ErrRawUnsupported = errors.New("client: raw forward requires wire protocol v2")
+
+// rawForwardEncoder frames a pre-encoded batch: uvarint item count followed
+// by the already-encoded items, exactly the canonical v2 batch-request
+// layout — built into a pooled buffer, relayed without decoding.
+func rawForwardEncoder(items []byte, n int) reqEncoder {
+	return func(ver byte) ([]byte, byte, error) {
+		if ver < transport.Version2 {
+			return nil, 0, ErrRawUnsupported
+		}
+		payload := binary.AppendUvarint(transport.GetBuf(len(items)+binary.MaxVarintLen64), uint64(n))
+		return append(payload, items...), transport.Version2, nil
+	}
+}
+
+// CheckInBatchForwardRaw relays n already-encoded check-in items (the
+// concatenated v2 wire bytes) to their owning daemon in one hop frame.
+// Results[i] answers item i in buffer order.
+func (s *StreamClient) CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckInResult, error) {
+	buf, _, _, err := s.do(transport.OpCheckInBatch|transport.HopFlag, rawForwardEncoder(items, n))
+	if err != nil {
+		return nil, err
+	}
+	var resp server.CheckInBatchResponse
+	if err := resp.UnmarshalBinary(buf); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != n {
+		return nil, fmt.Errorf("client: raw forward reply has %d results for %d items", len(resp.Results), n)
+	}
+	return resp.Results, nil
+}
+
+// ReportBatchForwardRaw relays n already-encoded report items to their
+// owning daemon in one hop frame. Results[i] answers item i in buffer order.
+func (s *StreamClient) ReportBatchForwardRaw(items []byte, n int) ([]server.ReportResult, error) {
+	buf, _, _, err := s.do(transport.OpReportBatch|transport.HopFlag, rawForwardEncoder(items, n))
+	if err != nil {
+		return nil, err
+	}
+	var resp server.ReportBatchResponse
+	if err := resp.UnmarshalBinary(buf); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != n {
+		return nil, fmt.Errorf("client: raw forward reply has %d results for %d items", len(resp.Results), n)
+	}
+	return resp.Results, nil
 }

@@ -23,10 +23,18 @@ import (
 // connections, correlated by pipelined request IDs, and a connection that
 // dies is redialed transparently on the next call.
 //
+// With WithTopology(true) the client is additionally *ring-aware*: it
+// fetches the federation topology (OpTopology) from its seed daemon, builds
+// the same consistent-hash ring the daemons use (internal/hashring), and
+// partitions every call by device owner onto pooled per-member connections —
+// so in a healthy cluster no request needs a server-side federation hop.
+// See topo.go for the routing, staleness, and failover contract.
+//
 // All methods are safe for concurrent use.
 type StreamClient struct {
 	conns []*streamConn
 	next  atomic.Uint64
+	topo  *topoState // nil unless WithTopology(true)
 }
 
 // Stream defaults.
@@ -58,11 +66,21 @@ func newStreamClient(addr string, cfg config) *StreamClient {
 	for i := range sc.conns {
 		sc.conns[i] = &streamConn{addr: addr, timeout: cfg.timeout, maxVer: byte(min(cfg.maxWireVersion, int(transport.MaxVersion)))}
 	}
+	if cfg.topology {
+		sc.topo = newTopoState(sc, addr, cfg)
+		for _, c := range sc.conns {
+			c.onPush = sc.topo.applyPush
+		}
+	}
 	return sc
 }
 
-// Close tears down every pooled connection; in-flight calls fail.
+// Close tears down every pooled connection (and, in topology mode, the
+// per-member sub-clients); in-flight calls fail.
 func (s *StreamClient) Close() error {
+	if s.topo != nil {
+		s.topo.close()
+	}
 	for _, c := range s.conns {
 		c.close(errors.New("client: stream client closed"))
 	}
@@ -72,7 +90,7 @@ func (s *StreamClient) Close() error {
 // Ping round-trips an empty frame — a cheap reachability and liveness
 // probe.
 func (s *StreamClient) Ping() error {
-	_, _, err := s.do(transport.OpPing, jsonPayload(nil))
+	_, _, _, err := s.do(transport.OpPing, jsonPayload(nil))
 	return err
 }
 
@@ -84,49 +102,57 @@ func jsonPayload(buf []byte) reqEncoder {
 
 // CheckIn announces device availability and returns the assignment.
 func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
-	return s.checkInOp(transport.OpCheckIn, ci)
+	if s.topo != nil {
+		return s.topo.checkIn(ci)
+	}
+	asg, _, err := s.checkInOp(transport.OpCheckIn, ci)
+	return asg, err
 }
 
-func (s *StreamClient) checkInOp(op byte, ci server.CheckIn) (server.Assignment, error) {
+func (s *StreamClient) checkInOp(op byte, ci server.CheckIn) (server.Assignment, bool, error) {
 	var asg server.Assignment
-	resp, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	resp, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
-			b, err := ci.MarshalBinary()
+			b, err := ci.AppendBinary(transport.GetBuf(64))
 			return b, transport.Version2, err
 		}
 		b, err := ci.MarshalJSON()
 		return b, transport.Version1, err
 	})
 	if err != nil {
-		return asg, err
+		return asg, fwd, err
 	}
 	if ver >= transport.Version2 {
 		err = asg.UnmarshalBinary(resp)
 	} else {
 		err = asg.UnmarshalJSON(resp)
 	}
-	return asg, err
+	return asg, fwd, err
 }
 
 // CheckInBatch announces availability for a whole batch of devices in one
 // frame. Results[i] answers cis[i]; per-item rejections surface in each
 // result's Error field, not as a Go error.
 func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, error) {
-	return s.checkInBatchOp(transport.OpCheckInBatch, cis)
+	if s.topo != nil {
+		return s.topo.checkInBatch(cis)
+	}
+	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch, cis)
+	return res, err
 }
 
-func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.CheckInResult, error) {
+func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.CheckInResult, bool, error) {
 	req := server.CheckInBatchRequest{CheckIns: cis}
-	buf, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	buf, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
-			b, err := req.MarshalBinary()
+			b, err := req.AppendBinary(transport.GetBuf(256))
 			return b, transport.Version2, err
 		}
 		b, err := req.MarshalJSON()
 		return b, transport.Version1, err
 	})
 	if err != nil {
-		return nil, err
+		return nil, fwd, err
 	}
 	var resp server.CheckInBatchResponse
 	if ver >= transport.Version2 {
@@ -135,49 +161,57 @@ func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.C
 		err = resp.UnmarshalJSON(buf)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fwd, err
 	}
 	if len(resp.Results) != len(cis) {
-		return nil, fmt.Errorf("client: batch reply has %d results for %d check-ins", len(resp.Results), len(cis))
+		return nil, fwd, fmt.Errorf("client: batch reply has %d results for %d check-ins", len(resp.Results), len(cis))
 	}
-	return resp.Results, nil
+	return resp.Results, fwd, nil
 }
 
 // Report submits a task result.
 func (s *StreamClient) Report(r server.Report) error {
-	return s.reportOp(transport.OpReport, r)
+	if s.topo != nil {
+		return s.topo.report(r)
+	}
+	_, err := s.reportOp(transport.OpReport, r)
+	return err
 }
 
-func (s *StreamClient) reportOp(op byte, r server.Report) error {
-	_, _, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+func (s *StreamClient) reportOp(op byte, r server.Report) (bool, error) {
+	_, _, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
-			b, err := r.MarshalBinary()
+			b, err := r.AppendBinary(transport.GetBuf(64))
 			return b, transport.Version2, err
 		}
 		b, err := r.MarshalJSON()
 		return b, transport.Version1, err
 	})
-	return err
+	return fwd, err
 }
 
 // ReportBatch submits a batch of task results in one frame. Results[i]
 // answers rs[i].
 func (s *StreamClient) ReportBatch(rs []server.Report) ([]server.ReportResult, error) {
-	return s.reportBatchOp(transport.OpReportBatch, rs)
+	if s.topo != nil {
+		return s.topo.reportBatch(rs)
+	}
+	res, _, err := s.reportBatchOp(transport.OpReportBatch, rs)
+	return res, err
 }
 
-func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.ReportResult, error) {
+func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.ReportResult, bool, error) {
 	req := server.ReportBatchRequest{Reports: rs}
-	buf, ver, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	buf, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
-			b, err := req.MarshalBinary()
+			b, err := req.AppendBinary(transport.GetBuf(256))
 			return b, transport.Version2, err
 		}
 		b, err := req.MarshalJSON()
 		return b, transport.Version1, err
 	})
 	if err != nil {
-		return nil, err
+		return nil, fwd, err
 	}
 	var resp server.ReportBatchResponse
 	if ver >= transport.Version2 {
@@ -186,12 +220,12 @@ func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.Repo
 		err = resp.UnmarshalJSON(buf)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fwd, err
 	}
 	if len(resp.Results) != len(rs) {
-		return nil, fmt.Errorf("client: batch reply has %d results for %d reports", len(resp.Results), len(rs))
+		return nil, fwd, fmt.Errorf("client: batch reply has %d results for %d reports", len(resp.Results), len(rs))
 	}
-	return resp.Results, nil
+	return resp.Results, fwd, nil
 }
 
 // RegisterJob submits a new CL job and returns its status (including ID).
@@ -258,7 +292,7 @@ func (s *StreamClient) doJSON(op byte, in, out any) error {
 			return err
 		}
 	}
-	buf, _, err := s.do(op, jsonPayload(payload))
+	buf, _, _, err := s.do(op, jsonPayload(payload))
 	if err != nil {
 		return err
 	}
@@ -270,13 +304,19 @@ func (s *StreamClient) doJSON(op byte, in, out any) error {
 
 // reqEncoder builds a request payload given the connection's negotiated
 // protocol version, returning the payload and the frame version that
-// matches its encoding.
+// matches its encoding. Ownership of the payload passes to the send path:
+// once the frame is written (or the write fails) the buffer is recycled
+// into the transport's frame pool, so encoders should build into
+// transport.GetBuf and must not retain the slice.
 type reqEncoder func(negotiated byte) ([]byte, byte, error)
 
 // do sends one request frame over a pooled connection and waits for its
-// response, returning the response payload and the version of the response
-// frame (which dictates how to decode it), or the decoded error frame.
-func (s *StreamClient) do(op byte, enc reqEncoder) ([]byte, byte, error) {
+// response, returning the response payload, the version of the response
+// frame (which dictates how to decode it), and whether the response carried
+// the forwarded flag (HopFlag on a non-hop request's response: the daemon
+// federation-hopped at least one item, i.e. a ring-aware caller's topology
+// is stale) — or the decoded error frame.
+func (s *StreamClient) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
 	c := s.conns[s.next.Add(1)%uint64(len(s.conns))]
 	return c.do(op, enc)
 }
@@ -289,6 +329,10 @@ type streamConn struct {
 	addr    string
 	timeout time.Duration
 	maxVer  byte // highest protocol version to negotiate
+	// onPush, when set, receives unsolicited OpTopology|RespFlag frames
+	// (request ID 0) — the server's topology-change notifications. Called on
+	// the read-loop goroutine; must not block.
+	onPush func(transport.TopologyPayload)
 
 	mu      sync.Mutex
 	c       net.Conn
@@ -392,6 +436,17 @@ func (sc *streamConn) readLoop(gen uint64, c net.Conn, br *bufio.Reader) {
 			sc.teardown(gen, fmt.Errorf("client: stream connection lost: %w", err))
 			return
 		}
+		if fr.ID == 0 && fr.Op == transport.OpTopology|transport.RespFlag {
+			// Unsolicited topology push (ID 0 never collides with a request:
+			// request IDs start at 1).
+			if sc.onPush != nil {
+				var tp transport.TopologyPayload
+				if tp.UnmarshalBinary(fr.Payload) == nil {
+					sc.onPush(tp)
+				}
+			}
+			continue
+		}
 		sc.mu.Lock()
 		var ch chan streamResp
 		if gen == sc.gen {
@@ -432,13 +487,13 @@ func (sc *streamConn) close(err error) {
 	sc.teardown(gen, err)
 }
 
-func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
+func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
 	ch := make(chan streamResp, 1)
 
 	sc.mu.Lock()
 	if err := sc.connectLocked(); err != nil {
 		sc.mu.Unlock()
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	// The payload encoding depends on the version this connection
 	// negotiated, so it is built under mu, after connect. The codecs are
@@ -446,7 +501,7 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 	payload, frameVer, err := enc(sc.ver)
 	if err != nil {
 		sc.mu.Unlock()
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	gen := sc.gen
 	sc.nextID++
@@ -461,6 +516,9 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 		err = sc.bw.Flush()
 	}
 	sc.mu.Unlock()
+	// The buffered writer has copied (or directly written) the payload by
+	// now, success or not — recycle it per the reqEncoder contract.
+	transport.PutBuf(payload)
 	if err != nil {
 		sc.teardown(gen, fmt.Errorf("client: stream write: %w", err))
 		// teardown already delivered the failure to ch (buffered), but be
@@ -469,7 +527,7 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 		case <-ch:
 		default:
 		}
-		return nil, 0, &NotSentError{Err: fmt.Errorf("client: stream write: %w", err)}
+		return nil, 0, false, &NotSentError{Err: fmt.Errorf("client: stream write: %w", err)}
 	}
 
 	timer := time.NewTimer(sc.timeout)
@@ -477,22 +535,28 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, error) {
 	select {
 	case resp := <-ch:
 		if resp.err != nil {
-			return nil, 0, resp.err
+			return nil, 0, false, resp.err
 		}
 		if resp.op == transport.OpError {
-			return nil, 0, decodeStreamError(resp.ver, resp.payload)
+			return nil, 0, false, decodeStreamError(resp.ver, resp.payload)
 		}
-		if resp.op != op|transport.RespFlag {
-			return nil, 0, fmt.Errorf("client: stream response opcode %#x for request %#x", resp.op, op)
+		// On a non-hop request, HopFlag on the response opcode is the
+		// forwarded flag: the daemon federation-hopped at least one item.
+		// (Hop requests echo the flag in op|RespFlag already.)
+		forwarded := false
+		if op&transport.HopFlag == 0 && resp.op == op|transport.RespFlag|transport.HopFlag {
+			forwarded = true
+		} else if resp.op != op|transport.RespFlag {
+			return nil, 0, false, fmt.Errorf("client: stream response opcode %#x for request %#x", resp.op, op)
 		}
-		return resp.payload, resp.ver, nil
+		return resp.payload, resp.ver, forwarded, nil
 	case <-timer.C:
 		sc.mu.Lock()
 		if gen == sc.gen && sc.pending != nil {
 			delete(sc.pending, id)
 		}
 		sc.mu.Unlock()
-		return nil, 0, fmt.Errorf("client: stream request timed out after %v", sc.timeout)
+		return nil, 0, false, fmt.Errorf("client: stream request timed out after %v", sc.timeout)
 	}
 }
 

@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,12 +23,21 @@ const (
 // PeerClient is the slice of the stream-client surface forwarding needs.
 // *client.StreamClient implements it; tests inject fakes through
 // Config.Dial.
+//
+// The Raw variants carry a pre-encoded v2 batch: items is the concatenation
+// of n already-encoded batch items (exactly the bytes that followed the
+// count prefix on the frames they arrived in), relayed verbatim into the hop
+// frame. They return client.ErrRawUnsupported when the peer connection
+// negotiated a pre-v2 protocol, in which case the caller falls back to the
+// typed forward.
 type PeerClient interface {
 	Ping() error
 	CheckInForward(server.CheckIn) (server.Assignment, error)
 	CheckInBatchForward([]server.CheckIn) ([]server.CheckInResult, error)
+	CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckInResult, error)
 	ReportForward(server.Report) error
 	ReportBatchForward([]server.Report) ([]server.ReportResult, error)
+	ReportBatchForwardRaw(items []byte, n int) ([]server.ReportResult, error)
 	Close() error
 }
 
@@ -65,6 +76,11 @@ type Config struct {
 	// daemons — forwarding to an old peer simply downgrades that hop to
 	// JSON payloads.
 	MaxWireVersion int
+	// DisableRelay turns off the zero-copy coalescing forward relay and
+	// falls back to the legacy decode→re-encode forward path (one frame per
+	// misrouted batch per owner). An escape hatch and a benchmark pivot
+	// (BenchmarkForwardPath compares the two); leave it off in production.
+	DisableRelay bool
 	// Dial overrides peer-client construction (tests). nil dials a real
 	// client.StreamClient with Timeout, StreamConns, and MaxWireVersion
 	// applied.
@@ -97,6 +113,9 @@ type peer struct {
 	c     PeerClient
 	fails int
 	down  atomic.Bool
+	// Per-peer forward coalescers for the zero-copy relay (see relay.go).
+	ciRelay  *relay[server.CheckInResult]
+	repRelay *relay[server.ReportResult]
 }
 
 // snapshot is the immutable routing view the serving hot path reads: the
@@ -128,10 +147,20 @@ type Cluster struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	forwardsIn     atomic.Int64
-	forwardsOut    atomic.Int64
-	forwardErrs    atomic.Int64
-	localFallbacks atomic.Int64
+	forwardsIn          atomic.Int64
+	forwardsOut         atomic.Int64
+	forwardErrs         atomic.Int64
+	localFallbacks      atomic.Int64
+	directRoutedBatches atomic.Int64
+	forwardBytesIn      atomic.Int64
+	forwardBytesOut     atomic.Int64
+	topologyPushes      atomic.Int64
+
+	// epoch advances whenever the live membership changes; topo holds the
+	// payload ring-aware clients fetch (published by publish, which only
+	// runs on New's goroutine and then the health loop's).
+	epoch atomic.Uint64
+	topo  atomic.Pointer[server.TopologyInfo]
 
 	stop      chan struct{}
 	healthWG  sync.WaitGroup
@@ -187,13 +216,16 @@ func New(m *server.Manager, cfg Config) (*Cluster, error) {
 		if id == cfg.SelfID {
 			continue
 		}
-		c.peers = append(c.peers, &peer{id: id, c: dial(id)})
+		p := &peer{id: id, c: dial(id)}
+		newPeerRelays(c, p)
+		c.peers = append(c.peers, p)
 	}
 	c.publish()
 	c.healthWG.Add(1)
 	go c.healthLoop()
 	m.SetRouter(c)
 	m.SetClusterTelemetrySource(c)
+	m.SetTopologySource(c)
 	return c, nil
 }
 
@@ -201,7 +233,10 @@ func New(m *server.Manager, cfg Config) (*Cluster, error) {
 func (c *Cluster) Ring() *Ring { return c.ring }
 
 // publish installs a fresh routing snapshot from the peers' current health
-// state. Called at construction and by the health loop on transitions.
+// state, and — when the live membership actually changed — advances the
+// topology epoch and pushes the new topology at subscribed client
+// connections. Called at construction and by the health loop on transitions
+// (never concurrently: both run on one goroutine at a time).
 func (c *Cluster) publish() {
 	alive := make(map[string]*peer, len(c.peers))
 	for _, p := range c.peers {
@@ -210,6 +245,33 @@ func (c *Cluster) publish() {
 		}
 	}
 	c.snap.Store(&snapshot{ring: c.ring, alive: alive})
+
+	members := make([]string, 0, len(alive)+1)
+	members = append(members, c.cfg.SelfID)
+	for id := range alive {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+	if prev := c.topo.Load(); prev != nil && slices.Equal(prev.Members, members) {
+		return
+	}
+	info := server.TopologyInfo{
+		Epoch:   c.epoch.Add(1),
+		VNodes:  c.ring.VNodes(),
+		Members: members,
+	}
+	c.topo.Store(&info)
+	if pushed := c.m.NotifyTopologyChanged(info); pushed > 0 {
+		c.topologyPushes.Add(int64(pushed))
+	}
+}
+
+// Topology implements server.TopologySource: the topology served to (and
+// pushed at) ring-aware clients. Members lists the *live* members — self
+// plus peers currently passing health probes — so clients stop routing at a
+// daemon this node considers dead.
+func (c *Cluster) Topology() server.TopologyInfo {
+	return *c.topo.Load()
 }
 
 // healthLoop pings every peer each HealthInterval and republishes the
@@ -297,6 +359,7 @@ func (c *Cluster) Close() error {
 		c.inflight.Wait()
 		c.m.ClearRouter(c)
 		c.m.ClearClusterTelemetrySource(c)
+		c.m.ClearTopologySource(c)
 		for _, p := range c.peers {
 			_ = p.c.Close()
 		}
@@ -317,21 +380,23 @@ func remoteErr(err error) (error, bool) {
 
 // forwardFailed classifies a failed forward. fallbackLocal is true only
 // when the request provably never reached the owner (dial or write
-// failure), in which case applying it locally cannot double-apply. An
-// authoritative rejection from the owner passes through typed; an
-// ambiguous failure (timeout, connection lost mid-flight — the owner may
-// have applied the request) becomes a typed CodeUnavailable so the caller
-// retries instead of this node guessing and diverging device state.
+// failure), in which case applying it locally cannot double-apply — that
+// outcome is invisible to the caller, so it counts as a local fallback, not
+// a forward error. An authoritative rejection from the owner passes through
+// typed; an ambiguous failure (timeout, connection lost mid-flight — the
+// owner may have applied the request) counts as a forward error and becomes
+// a typed CodeUnavailable so the caller retries instead of this node
+// guessing and diverging device state.
 func (c *Cluster) forwardFailed(err error) (fallbackLocal bool, typed error) {
 	if typedErr, ok := remoteErr(err); ok {
 		return false, typedErr
 	}
-	c.forwardErrs.Add(1)
 	var ns *client.NotSentError
 	if errors.As(err, &ns) {
 		c.localFallbacks.Add(1)
 		return true, nil
 	}
+	c.forwardErrs.Add(1)
 	return false, &server.Error{Code: server.CodeUnavailable, Err: fmt.Errorf("cluster: forward to owner failed: %w", err)}
 }
 
@@ -357,8 +422,12 @@ func (c *Cluster) route(deviceID string) *peer {
 }
 
 // ForwardedIn implements server.Router: the transport layer reports each
-// hop-flagged frame it serves.
-func (c *Cluster) ForwardedIn() { c.forwardsIn.Add(1) }
+// hop-flagged frame it serves, with its payload size (forward_bytes_in
+// counts every hop frame received, whatever its version).
+func (c *Cluster) ForwardedIn(bytes int) {
+	c.forwardsIn.Add(1)
+	c.forwardBytesIn.Add(int64(bytes))
+}
 
 // forwardOne serves one request on the owner of deviceID: forwarded when
 // the owner is a live peer, applied locally (via local) when this node owns
@@ -417,7 +486,8 @@ type batchPlan struct {
 // (frame granularity, matching forwardsOut).
 func (c *Cluster) planBatch(n int, ids func(i int) string) batchPlan {
 	snap := c.snap.Load()
-	plan := batchPlan{remote: make(map[*peer][]int)}
+	var plan batchPlan // remote map allocated on first remote item — direct
+	// routing makes the all-local batch the steady state
 	var downSeen map[string]struct{}
 	for i := 0; i < n; i++ {
 		id := ids(i)
@@ -442,28 +512,41 @@ func (c *Cluster) planBatch(n int, ids func(i int) string) batchPlan {
 			plan.local = append(plan.local, i)
 			continue
 		}
+		if plan.remote == nil {
+			plan.remote = make(map[*peer][]int)
+		}
 		plan.remote[p] = append(plan.remote[p], i)
 	}
 	return plan
 }
 
-// forwardBatch is the shared engine behind the batch entry points: split by
-// owner (planBatch), forward each remote group in one frame concurrently,
-// apply the local group inline, and merge everything back into request
-// order with per-item errors preserved. A remote group whose forward
-// provably never left this node is applied locally (degraded mode); a
-// group the owner rejected, or whose outcome is unknown, reports the
-// failure on each of its items via errItem — items are never dropped, and
-// never guess-applied on the wrong node. One in-flight permit covers the
-// whole batch's forwards.
+// forwardBatch is the shared engine behind the legacy (decode→re-encode)
+// batch entry points: split by owner (planBatch), forward each remote group
+// in one frame concurrently, apply the local group inline, and merge
+// everything back into request order with per-item errors preserved. A
+// remote group whose forward provably never left this node is applied
+// locally (degraded mode); a group the owner rejected, or whose outcome is
+// unknown, reports the failure on each of its items via errItem — items are
+// never dropped, and never guess-applied on the wrong node. One in-flight
+// permit covers the whole batch's forwards. The returned bool reports
+// whether any item was planned onto a peer (the forwarded flag a ring-aware
+// client reads as "your topology is stale").
 func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) string,
 	forward func(PeerClient, []Req) ([]Res, error), local func([]Req) []Res,
-	errItem func(msg string) Res) []Res {
-	out := make([]Res, len(items))
+	errItem func(msg string) Res) ([]Res, bool) {
 	plan := c.planBatch(len(items), func(i int) string { return deviceID(items[i]) })
+	if len(plan.remote) == 0 {
+		// Every item is local, in request order: serve the batch as-is, no
+		// gather copy, no merge. This is the steady state under ring-aware
+		// clients.
+		c.directRoutedBatches.Add(1)
+		return local(items), false
+	}
+	out := make([]Res, len(items))
 
-	canForward := len(plan.remote) > 0 && c.acquireForward()
-	if len(plan.remote) > 0 && !canForward {
+	canForward := c.acquireForward()
+	forwarded := canForward
+	if !canForward {
 		// Draining: apply every remote group locally.
 		for _, idxs := range plan.remote {
 			c.localFallbacks.Add(1)
@@ -512,12 +595,12 @@ func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) stri
 	if canForward {
 		c.inflight.Done()
 	}
-	return out
+	return out, forwarded
 }
 
 // CheckInBatch implements server.Router (see forwardBatch for the split,
 // fan-out, and merge contract).
-func (c *Cluster) CheckInBatch(cis []server.CheckIn) []server.CheckInResult {
+func (c *Cluster) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, bool) {
 	return forwardBatch(c, cis,
 		func(ci server.CheckIn) string { return ci.DeviceID },
 		PeerClient.CheckInBatchForward,
@@ -527,7 +610,7 @@ func (c *Cluster) CheckInBatch(cis []server.CheckIn) []server.CheckInResult {
 
 // ReportBatch implements server.Router (see forwardBatch for the split,
 // fan-out, and merge contract).
-func (c *Cluster) ReportBatch(rs []server.Report) []server.ReportResult {
+func (c *Cluster) ReportBatch(rs []server.Report) ([]server.ReportResult, bool) {
 	return forwardBatch(c, rs,
 		func(r server.Report) string { return r.DeviceID },
 		PeerClient.ReportBatchForward,
@@ -549,14 +632,19 @@ func (c *Cluster) ClusterTelemetry() server.ClusterTelemetry {
 		}
 	}
 	return server.ClusterTelemetry{
-		NodeID:         c.cfg.SelfID,
-		RingSize:       c.ring.Size(),
-		VNodes:         c.ring.VNodes(),
-		PeerStates:     states,
-		ForwardsIn:     c.forwardsIn.Load(),
-		ForwardsOut:    c.forwardsOut.Load(),
-		ForwardErrors:  c.forwardErrs.Load(),
-		LocalFallbacks: c.localFallbacks.Load(),
+		NodeID:              c.cfg.SelfID,
+		RingSize:            c.ring.Size(),
+		VNodes:              c.ring.VNodes(),
+		PeerStates:          states,
+		ForwardsIn:          c.forwardsIn.Load(),
+		ForwardsOut:         c.forwardsOut.Load(),
+		ForwardErrors:       c.forwardErrs.Load(),
+		LocalFallbacks:      c.localFallbacks.Load(),
+		DirectRoutedBatches: c.directRoutedBatches.Load(),
+		TopologyEpoch:       c.epoch.Load(),
+		TopologyPushes:      c.topologyPushes.Load(),
+		ForwardBytesIn:      c.forwardBytesIn.Load(),
+		ForwardBytesOut:     c.forwardBytesOut.Load(),
 	}
 }
 
@@ -567,6 +655,7 @@ func (c *Cluster) Counters() (forwardsIn, forwardsOut, forwardErrs, localFallbac
 
 var _ server.Router = (*Cluster)(nil)
 var _ server.ClusterTelemetrySource = (*Cluster)(nil)
+var _ server.TopologySource = (*Cluster)(nil)
 
 // String identifies the member for logs.
 func (c *Cluster) String() string {

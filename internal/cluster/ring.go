@@ -1,10 +1,13 @@
 // Package cluster federates several venndaemons into one serving fleet.
 // Device ownership is sharded across the member daemons by a consistent-hash
-// ring (FNV-1a over the device ID, the same hash family the manager's lock
-// stripes use), and a request that lands on a non-owner is transparently
-// forwarded peer-to-peer over the persistent framed stream transport
-// (internal/transport) using the multiplexing client.StreamClient pool — any
-// daemon can accept any check-in or report, single or batch.
+// ring (internal/hashring — FNV-1a over the device ID, the same hash family
+// the manager's lock stripes use), and a request that lands on a non-owner
+// is transparently forwarded peer-to-peer over the persistent framed stream
+// transport (internal/transport) using the multiplexing client.StreamClient
+// pool — any daemon can accept any check-in or report, single or batch.
+// Ring-aware clients (client.WithTopology) fetch the same ring over
+// OpTopology and partition their batches before sending, so on the common
+// path nothing needs forwarding at all.
 //
 // Membership is static configuration: every member is told the full member
 // list (venndaemon -peers) and identifies itself by its published stream
@@ -18,137 +21,19 @@
 // pattern.
 package cluster
 
-import (
-	"sort"
-	"strconv"
-)
+import "venn/internal/hashring"
 
-// DefaultVNodes is the virtual-node count per member. 128 points per member
-// keeps the expected ownership imbalance under ~15% for small clusters while
-// the whole ring for dozens of members still fits comfortably in cache.
-const DefaultVNodes = 128
+// DefaultVNodes is the virtual-node count per member (see hashring).
+const DefaultVNodes = hashring.DefaultVNodes
 
-// Ring is an immutable consistent-hash ring mapping keys (device IDs) to
-// member node IDs. Each member contributes vnodes points placed by FNV-1a
-// over "<member>#<index>"; a key is owned by the first point clockwise from
-// the key's own FNV-1a hash. Immutability makes a *Ring safe to share across
-// goroutines without synchronization.
-type Ring struct {
-	vnodes  int
-	hashes  []uint32 // sorted point hashes
-	owners  []string // owners[i] owns the arc ending at hashes[i]
-	members []string // sorted, deduplicated member IDs
-}
+// Ring is the immutable consistent-hash ownership ring. It is an alias of
+// hashring.Ring: the ring moved to a leaf package so ring-aware clients can
+// derive byte-identical ownership without importing the federation layer,
+// and this alias keeps the cluster API (and its tests) unchanged.
+type Ring = hashring.Ring
 
 // NewRing builds a ring over the given member IDs with vnodes virtual nodes
-// per member (<=0 takes DefaultVNodes). Members are deduplicated; their
-// input order does not affect the ring, so every daemon configured with the
-// same member set derives the same ownership no matter how its -peers flag
-// was ordered.
+// per member (<=0 takes DefaultVNodes).
 func NewRing(members []string, vnodes int) *Ring {
-	if vnodes <= 0 {
-		vnodes = DefaultVNodes
-	}
-	uniq := make([]string, 0, len(members))
-	seen := make(map[string]struct{}, len(members))
-	for _, m := range members {
-		if _, dup := seen[m]; !dup && m != "" {
-			seen[m] = struct{}{}
-			uniq = append(uniq, m)
-		}
-	}
-	sort.Strings(uniq)
-	r := &Ring{vnodes: vnodes, members: uniq}
-	type point struct {
-		hash  uint32
-		owner string
-	}
-	points := make([]point, 0, len(uniq)*vnodes)
-	for _, m := range uniq {
-		base := m + "#"
-		for i := 0; i < vnodes; i++ {
-			points = append(points, point{hash: ringHash(base + strconv.Itoa(i)), owner: m})
-		}
-	}
-	// Ties (two members hashing one point) are broken by owner order so the
-	// ring stays a pure function of the member set.
-	sort.Slice(points, func(i, j int) bool {
-		if points[i].hash != points[j].hash {
-			return points[i].hash < points[j].hash
-		}
-		return points[i].owner < points[j].owner
-	})
-	r.hashes = make([]uint32, len(points))
-	r.owners = make([]string, len(points))
-	for i, p := range points {
-		r.hashes[i] = p.hash
-		r.owners[i] = p.owner
-	}
-	return r
-}
-
-// Owner returns the member owning key: the first ring point at or clockwise
-// after the key's hash (wrapping at the top). An empty ring owns nothing and
-// returns "".
-func (r *Ring) Owner(key string) string {
-	if len(r.hashes) == 0 {
-		return ""
-	}
-	h := ringHash(key)
-	// Binary search for the first point >= h.
-	lo, hi := 0, len(r.hashes)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if r.hashes[mid] < h {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == len(r.hashes) {
-		lo = 0
-	}
-	return r.owners[lo]
-}
-
-// Members returns the deduplicated, sorted member IDs.
-func (r *Ring) Members() []string { return r.members }
-
-// Size is the number of members on the ring.
-func (r *Ring) Size() int { return len(r.members) }
-
-// VNodes is the virtual-node count per member.
-func (r *Ring) VNodes() int { return r.vnodes }
-
-// ringHash places keys and vnode points on the ring: FNV-1a (the hash
-// family the manager's lock stripes use) followed by a murmur3-style
-// avalanche finalizer. Raw FNV-1a clusters badly on the near-identical
-// strings members produce ("host:9001#17" vs "host:9002#17"), leaving >20%
-// ownership imbalance even at 128 vnodes; the finalizer is a bijection on
-// uint32 — it changes no equality relations, only disperses the points —
-// and brings the imbalance under the 15% budget.
-func ringHash(s string) uint32 {
-	return fmix32(fnv32a(s))
-}
-
-// fnv32a is FNV-1a over s, allocation-free (hash/fnv forces a heap handle on
-// the hot path). It matches hash/fnv's New32a for byte-identical input.
-func fnv32a(s string) uint32 {
-	const offset32, prime32 = 2166136261, 16777619
-	h := uint32(offset32)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime32
-	}
-	return h
-}
-
-// fmix32 is the murmur3 32-bit finalizer: a cheap bijective avalanche.
-func fmix32(h uint32) uint32 {
-	h ^= h >> 16
-	h *= 0x85ebca6b
-	h ^= h >> 13
-	h *= 0xc2b2ae35
-	h ^= h >> 16
-	return h
+	return hashring.New(members, vnodes)
 }

@@ -67,10 +67,19 @@ func appendBinBool(b []byte, v bool) []byte {
 // bdec is a bounds-checked cursor over a binary payload. Methods record the
 // first error and return zero values afterwards, so call sites read
 // straight-line and check err once per item.
+//
+// When shared is set (one string conversion of the whole payload, done by
+// the batch-request decoders), str returns substrings of it instead of
+// allocating per field — the dominant allocation in the v2 serving profile
+// (BenchmarkForwardPath). The substrings share the payload-sized backing
+// array, so any site that RETAINS a decoded string beyond the request (the
+// device registry, in-flight maps, shadow events) must strings.Clone it;
+// transient uses (map lookups, comparisons, re-encoding) need nothing.
 type bdec struct {
-	b   []byte
-	i   int
-	err error
+	b      []byte
+	shared string
+	i      int
+	err    error
 }
 
 func (d *bdec) fail(msg string) {
@@ -114,7 +123,12 @@ func (d *bdec) str() string {
 		d.fail("string length exceeds payload")
 		return ""
 	}
-	s := string(d.b[d.i : d.i+int(n)])
+	var s string
+	if d.shared != "" {
+		s = d.shared[d.i : d.i+int(n)]
+	} else {
+		s = string(d.b[d.i : d.i+int(n)])
+	}
 	d.i += int(n)
 	return s
 }
@@ -196,6 +210,10 @@ func (c *CheckIn) appendBinary(b []byte) []byte {
 	return appendBinF64(b, c.Mem)
 }
 
+// AppendBinary appends the v2 wire form to b (pooled-scratch variant of
+// MarshalBinary).
+func (c *CheckIn) AppendBinary(b []byte) ([]byte, error) { return c.appendBinary(b), nil }
+
 // MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
 func (c *CheckIn) MarshalBinary() ([]byte, error) {
 	return c.appendBinary(make([]byte, 0, 2+len(c.DeviceID)+16)), nil
@@ -244,14 +262,20 @@ func (a *Assignment) appendTail(b []byte) []byte {
 	return appendBinString(b, a.Policy)
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
-func (a *Assignment) MarshalBinary() ([]byte, error) {
+// AppendBinary appends the v2 wire form to b (pooled-scratch variant of
+// MarshalBinary).
+func (a *Assignment) AppendBinary(b []byte) ([]byte, error) {
 	fl := a.assignmentFlags()
-	b := append(make([]byte, 0, 16+len(a.JobName)+len(a.Policy)), fl)
+	b = append(b, fl)
 	if fl&binFlagTail != 0 {
 		b = a.appendTail(b)
 	}
 	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
+func (a *Assignment) MarshalBinary() ([]byte, error) {
+	return a.AppendBinary(make([]byte, 0, 16+len(a.JobName)+len(a.Policy)))
 }
 
 func (a *Assignment) decodeTail(d *bdec) {
@@ -328,6 +352,10 @@ func (r *Report) appendBinary(b []byte) []byte {
 	return appendBinF64(b, r.DurationSeconds)
 }
 
+// AppendBinary appends the v2 wire form to b (pooled-scratch variant of
+// MarshalBinary).
+func (r *Report) AppendBinary(b []byte) ([]byte, error) { return r.appendBinary(b), nil }
+
 // MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
 func (r *Report) MarshalBinary() ([]byte, error) {
 	return r.appendBinary(make([]byte, 0, 2+len(r.DeviceID)+19)), nil
@@ -384,18 +412,26 @@ func (r *ReportResult) UnmarshalBinary(data []byte) error {
 
 // --- batch types ---
 
-// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
-func (r *CheckInBatchRequest) MarshalBinary() ([]byte, error) {
-	b := binary.AppendUvarint(make([]byte, 0, 8+24*len(r.CheckIns)), uint64(len(r.CheckIns)))
+// AppendBinary appends the v2 wire form to b and returns the extended
+// slice. The Append variants exist so hot paths (transport response
+// encoding, client request encoding) can reuse pooled scratch buffers
+// instead of allocating per call; MarshalBinary wraps them.
+func (r *CheckInBatchRequest) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(r.CheckIns)))
 	for i := range r.CheckIns {
 		b = r.CheckIns[i].appendBinary(b)
 	}
 	return b, nil
 }
 
+// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
+func (r *CheckInBatchRequest) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(make([]byte, 0, 8+24*len(r.CheckIns)))
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler (wire protocol v2).
 func (r *CheckInBatchRequest) UnmarshalBinary(data []byte) error {
-	d := bdec{b: data}
+	d := bdec{b: data, shared: string(data)}
 	*r = CheckInBatchRequest{}
 	if n := d.count(); n > 0 {
 		r.CheckIns = make([]CheckIn, n)
@@ -406,13 +442,42 @@ func (r *CheckInBatchRequest) UnmarshalBinary(data []byte) error {
 	return d.finish()
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
-func (r *CheckInBatchResponse) MarshalBinary() ([]byte, error) {
-	b := binary.AppendUvarint(make([]byte, 0, 8+2*len(r.Results)), uint64(len(r.Results)))
+// UnmarshalBinaryBounds is UnmarshalBinary plus the item byte boundaries:
+// item i of the decoded batch occupies data[bounds[i]:bounds[i+1]] (bounds
+// has count+1 entries; nil for an empty batch). The federation relay uses
+// the boundaries to splice still-encoded items into forward frames without
+// re-encoding them.
+func (r *CheckInBatchRequest) UnmarshalBinaryBounds(data []byte) ([]uint32, error) {
+	d := bdec{b: data, shared: string(data)}
+	*r = CheckInBatchRequest{}
+	var bounds []uint32
+	if n := d.count(); n > 0 {
+		r.CheckIns = make([]CheckIn, n)
+		bounds = make([]uint32, n+1)
+		for i := range r.CheckIns {
+			bounds[i] = uint32(d.i)
+			r.CheckIns[i].decodeBinary(&d)
+		}
+		bounds[n] = uint32(d.i)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return bounds, nil
+}
+
+// AppendBinary appends the v2 wire form to b (see CheckInBatchRequest).
+func (r *CheckInBatchResponse) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(r.Results)))
 	for i := range r.Results {
 		b = r.Results[i].appendBinary(b)
 	}
 	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
+func (r *CheckInBatchResponse) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(make([]byte, 0, 8+2*len(r.Results)))
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler (wire protocol v2).
@@ -428,18 +493,23 @@ func (r *CheckInBatchResponse) UnmarshalBinary(data []byte) error {
 	return d.finish()
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
-func (r *ReportBatchRequest) MarshalBinary() ([]byte, error) {
-	b := binary.AppendUvarint(make([]byte, 0, 8+27*len(r.Reports)), uint64(len(r.Reports)))
+// AppendBinary appends the v2 wire form to b (see CheckInBatchRequest).
+func (r *ReportBatchRequest) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(r.Reports)))
 	for i := range r.Reports {
 		b = r.Reports[i].appendBinary(b)
 	}
 	return b, nil
 }
 
+// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
+func (r *ReportBatchRequest) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(make([]byte, 0, 8+27*len(r.Reports)))
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler (wire protocol v2).
 func (r *ReportBatchRequest) UnmarshalBinary(data []byte) error {
-	d := bdec{b: data}
+	d := bdec{b: data, shared: string(data)}
 	*r = ReportBatchRequest{}
 	if n := d.count(); n > 0 {
 		r.Reports = make([]Report, n)
@@ -450,13 +520,39 @@ func (r *ReportBatchRequest) UnmarshalBinary(data []byte) error {
 	return d.finish()
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
-func (r *ReportBatchResponse) MarshalBinary() ([]byte, error) {
-	b := binary.AppendUvarint(make([]byte, 0, 8+2*len(r.Results)), uint64(len(r.Results)))
+// UnmarshalBinaryBounds is UnmarshalBinary plus item byte boundaries (see
+// CheckInBatchRequest.UnmarshalBinaryBounds).
+func (r *ReportBatchRequest) UnmarshalBinaryBounds(data []byte) ([]uint32, error) {
+	d := bdec{b: data, shared: string(data)}
+	*r = ReportBatchRequest{}
+	var bounds []uint32
+	if n := d.count(); n > 0 {
+		r.Reports = make([]Report, n)
+		bounds = make([]uint32, n+1)
+		for i := range r.Reports {
+			bounds[i] = uint32(d.i)
+			r.Reports[i].decodeBinary(&d)
+		}
+		bounds[n] = uint32(d.i)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return bounds, nil
+}
+
+// AppendBinary appends the v2 wire form to b (see CheckInBatchRequest).
+func (r *ReportBatchResponse) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(r.Results)))
 	for i := range r.Results {
 		b = r.Results[i].appendBinary(b)
 	}
 	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (wire protocol v2).
+func (r *ReportBatchResponse) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(make([]byte, 0, 8+2*len(r.Results)))
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler (wire protocol v2).

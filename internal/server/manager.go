@@ -287,6 +287,12 @@ type Manager struct {
 	// when standalone). An atomic pointer because every serving-path request
 	// loads it.
 	routerBox atomic.Pointer[routerHolder]
+	// topoSourceBox / topoPusherBox hold the federation topology supplier
+	// (the cluster) and the push channel back out (the stream server);
+	// atomic pointers because OpTopology requests and health-loop pushes
+	// read them without the manager lock.
+	topoSourceBox atomic.Pointer[topologySourceHolder]
+	topoPusherBox atomic.Pointer[topologyPusherHolder]
 
 	metrics *metricsRecorder
 }
@@ -322,14 +328,95 @@ func (m *Manager) router() Router {
 // ClusterTelemetry is a snapshot of federation counters, supplied by an
 // attached cluster via SetClusterTelemetrySource.
 type ClusterTelemetry struct {
-	NodeID         string            // this daemon's member ID
-	RingSize       int               // members on the ownership ring (self included)
-	VNodes         int               // virtual nodes per member
-	PeerStates     map[string]string // peer ID -> "up" | "down"
-	ForwardsIn     int64             // peer-forwarded request frames received
-	ForwardsOut    int64             // request frames forwarded to peers
-	ForwardErrors  int64             // forwards that failed in transit
-	LocalFallbacks int64             // would-be forwards applied locally (peer down, drain, or provably-unsent forward)
+	NodeID              string            // this daemon's member ID
+	RingSize            int               // members on the ownership ring (self included)
+	VNodes              int               // virtual nodes per member
+	PeerStates          map[string]string // peer ID -> "up" | "down"
+	ForwardsIn          int64             // peer-forwarded request frames received
+	ForwardsOut         int64             // request frames forwarded to peers
+	ForwardErrors       int64             // forwards that failed in transit
+	LocalFallbacks      int64             // would-be forwards applied locally (peer down, drain, or provably-unsent forward)
+	DirectRoutedBatches int64             // non-forwarded batches that needed no peer hop at all (ring-aware clients landing every item on its owner)
+	TopologyEpoch       uint64            // current topology epoch (advances on live-membership change)
+	TopologyPushes      int64             // unsolicited topology frames pushed to subscribed connections
+	ForwardBytesIn      int64             // payload bytes of peer-forwarded frames received
+	ForwardBytesOut     int64             // payload bytes relayed to peers on the v2 zero-copy forward path
+}
+
+// TopologyInfo is the federation topology an attached cluster publishes for
+// ring-aware clients: the live member set, the vnode count, and the epoch
+// the set was published at. Members must be sorted; together with VNodes it
+// lets a client rebuild the exact ownership ring via hashring.New.
+type TopologyInfo struct {
+	Epoch   uint64
+	VNodes  int
+	Members []string
+}
+
+// TopologySource supplies the current topology on demand (the transport
+// layer serves it for OpTopology requests). Implementations must be safe
+// for concurrent use and must not call back into the Manager.
+type TopologySource interface {
+	Topology() TopologyInfo
+}
+
+// topologySourceHolder boxes the interface for the atomic pointer.
+type topologySourceHolder struct{ src TopologySource }
+
+// SetTopologySource registers the federation topology an attached cluster
+// exposes to ring-aware clients; ClearTopologySource detaches it again.
+func (m *Manager) SetTopologySource(src TopologySource) {
+	m.topoSourceBox.Store(&topologySourceHolder{src: src})
+}
+
+// ClearTopologySource detaches src if it is still the registered source.
+func (m *Manager) ClearTopologySource(src TopologySource) {
+	if cur := m.topoSourceBox.Load(); cur != nil && cur.src == src {
+		m.topoSourceBox.CompareAndSwap(cur, nil)
+	}
+}
+
+// TopologySourceRef returns the attached topology source, or nil when no
+// federation layer is attached (standalone daemons have no topology).
+func (m *Manager) TopologySourceRef() TopologySource {
+	if b := m.topoSourceBox.Load(); b != nil {
+		return b.src
+	}
+	return nil
+}
+
+// TopologyPusher is implemented by a transport server that can push an
+// unsolicited topology frame to its subscribed connections. It returns how
+// many connections the frame was enqueued to.
+type TopologyPusher interface {
+	PushTopology(TopologyInfo) int
+}
+
+// topologyPusherHolder boxes the interface for the atomic pointer.
+type topologyPusherHolder struct{ p TopologyPusher }
+
+// SetTopologyPusher registers the transport server that delivers topology
+// pushes; ClearTopologyPusher detaches it.
+func (m *Manager) SetTopologyPusher(p TopologyPusher) {
+	m.topoPusherBox.Store(&topologyPusherHolder{p: p})
+}
+
+// ClearTopologyPusher detaches p if it is still the registered pusher.
+func (m *Manager) ClearTopologyPusher(p TopologyPusher) {
+	if cur := m.topoPusherBox.Load(); cur != nil && cur.p == p {
+		m.topoPusherBox.CompareAndSwap(cur, nil)
+	}
+}
+
+// NotifyTopologyChanged fans a fresh topology out to subscribed stream
+// connections via the registered pusher (a no-op returning 0 without one).
+// The attached cluster calls it whenever its live membership — and thus the
+// epoch — changes.
+func (m *Manager) NotifyTopologyChanged(info TopologyInfo) int {
+	if b := m.topoPusherBox.Load(); b != nil && b.p != nil {
+		return b.p.PushTopology(info)
+	}
+	return 0
 }
 
 // ClusterTelemetrySource supplies live federation counters. Like
@@ -557,7 +644,9 @@ func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time
 	if !ok {
 		md = &managedDevice{dev: device.New(device.ID(m.nextDev.Add(1)-1), ci.CPU, ci.Mem)}
 		md.cell = int32(m.env.Grid.CellOfDevice(md.dev))
-		sh.devices[ci.DeviceID] = md
+		// Clone: a v2 batch decode hands out strings backed by the whole
+		// request payload (bdec.shared); a map key lives forever.
+		sh.devices[strings.Clone(ci.DeviceID)] = md
 		m.numDevices.Add(1)
 	} else {
 		if md.busy {
@@ -641,7 +730,9 @@ func (m *Manager) assignCoreLocked(md *managedDevice, deviceID string, now simti
 	}
 	mj := m.jobs[j.ID]
 	md.dev.LastTaskDay = int32(now.DayIndex())
-	mj.inFlight[deviceID] = m.attempt[j.ID]
+	// Clone: deviceID may share a v2 request payload's backing (bdec.shared)
+	// and this key outlives the request, until the device reports back.
+	mj.inFlight[strings.Clone(deviceID)] = m.attempt[j.ID]
 	m.assignments++
 
 	if full := j.AddAssignment(now); full {

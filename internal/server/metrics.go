@@ -80,6 +80,18 @@ type Metrics struct {
 	ClusterForwardsOut    int64             `json:"cluster_forwards_out,omitempty"`
 	ClusterForwardErrors  int64             `json:"cluster_forward_errors,omitempty"`
 	ClusterLocalFallbacks int64             `json:"cluster_local_fallbacks,omitempty"`
+	// Direct-routing observability: DirectRoutedBatches counts ingress
+	// batches that needed no peer hop at all (a ring-aware client landed
+	// every item on its owner), TopologyEpoch/TopologyPushes track the
+	// topology the daemon advertises over OpTopology, and the byte pair
+	// makes the direct-vs-forwarded traffic ratio observable (bytes_out
+	// counts the v2 zero-copy relay path; bytes_in counts every hop frame
+	// received, any version).
+	DirectRoutedBatches int64  `json:"direct_routed_batches,omitempty"`
+	TopologyEpoch       uint64 `json:"topology_epoch,omitempty"`
+	TopologyPushes      int64  `json:"topology_pushes,omitempty"`
+	ForwardBytesIn      int64  `json:"forward_bytes_in,omitempty"`
+	ForwardBytesOut     int64  `json:"forward_bytes_out,omitempty"`
 
 	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
 }
@@ -304,6 +316,11 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		out.ClusterForwardsOut = ct.ForwardsOut
 		out.ClusterForwardErrors = ct.ForwardErrors
 		out.ClusterLocalFallbacks = ct.LocalFallbacks
+		out.DirectRoutedBatches = ct.DirectRoutedBatches
+		out.TopologyEpoch = ct.TopologyEpoch
+		out.TopologyPushes = ct.TopologyPushes
+		out.ForwardBytesIn = ct.ForwardBytesIn
+		out.ForwardBytesOut = ct.ForwardBytesOut
 	}
 	out.UptimeSeconds = float64(m.now()) / 1000
 	out.Assignments = int64(m.assignments)

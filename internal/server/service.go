@@ -89,13 +89,42 @@ func svcErr(code Code, err error) error { return &Error{Code: code, Err: err} }
 // exactly like a local Manager error.
 type Router interface {
 	CheckIn(ci CheckIn) (Assignment, error)
-	CheckInBatch(cis []CheckIn) []CheckInResult
+	// The batch entry points additionally report whether any item was
+	// forwarded to a peer. The transport layer reflects that bit back to
+	// the client on the response opcode (the `forwarded` flag), which is
+	// what tells a ring-aware client its topology is stale and it should
+	// re-fetch before the next batch.
+	CheckInBatch(cis []CheckIn) ([]CheckInResult, bool)
 	Report(r Report) error
-	ReportBatch(rs []Report) []ReportResult
-	// ForwardedIn records receipt of one peer-forwarded request frame, so
-	// the receiving node's metrics count forwards_in without the transport
-	// layer knowing any federation internals.
-	ForwardedIn()
+	ReportBatch(rs []Report) ([]ReportResult, bool)
+	// ForwardedIn records receipt of one peer-forwarded request frame of
+	// the given payload size, so the receiving node's metrics count
+	// forwards_in and forward_bytes_in without the transport layer knowing
+	// any federation internals.
+	ForwardedIn(bytes int)
+}
+
+// RawItems carries the still-encoded form of a v2 batch alongside its
+// decoded items: Data is the request payload and item i occupies
+// Data[Bounds[i]:Bounds[i+1]] (Bounds has len(items)+1 entries). A router
+// that also implements RawRouter splices those byte ranges directly into
+// outgoing forward frames — the v2 fixed layout makes the boundaries known
+// at decode time, so misrouted items are relayed without a decode→re-encode
+// round trip. Data is only valid for the duration of the call: the
+// transport recycles the buffer when the handler returns, so implementations
+// must copy any ranges they keep.
+type RawItems struct {
+	Data   []byte
+	Bounds []uint32
+}
+
+// RawRouter is the zero-copy fast path of Router, taken by the transport
+// layer for v2 batch frames when the attached router supports it. Semantics
+// match CheckInBatch/ReportBatch exactly; raw is advisory (an implementation
+// may ignore it).
+type RawRouter interface {
+	CheckInBatchRaw(cis []CheckIn, raw RawItems) ([]CheckInResult, bool)
+	ReportBatchRaw(rs []Report, raw RawItems) ([]ReportResult, bool)
 }
 
 // Service is the transport-neutral serving core. One Service is
@@ -208,15 +237,32 @@ func (s *Service) CheckInLocal(ci CheckIn) (Assignment, error) {
 // federation router attached the batch is split by device owner, forwarded
 // per owner concurrently, and merged back in order.
 func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, error) {
+	resp, _, err := s.CheckInBatchRouted(req, RawItems{})
+	return resp, err
+}
+
+// CheckInBatchRouted is CheckInBatch for transports that care whether the
+// batch was (partly) forwarded to a peer: the bool is true when any item
+// took a federation hop. raw optionally carries the batch's still-encoded
+// v2 payload for the router's zero-copy relay (see RawItems); pass the zero
+// value when unavailable.
+func (s *Service) CheckInBatchRouted(req CheckInBatchRequest, raw RawItems) (CheckInBatchResponse, bool, error) {
 	if len(req.CheckIns) > MaxBatch {
-		return CheckInBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+		return CheckInBatchResponse{}, false, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
 	if r := s.m.router(); r != nil {
-		results := r.CheckInBatch(req.CheckIns)
+		var results []CheckInResult
+		var forwarded bool
+		if rr, ok := r.(RawRouter); ok && raw.Data != nil {
+			results, forwarded = rr.CheckInBatchRaw(req.CheckIns, raw)
+		} else {
+			results, forwarded = r.CheckInBatch(req.CheckIns)
+		}
 		s.countServed(results)
-		return CheckInBatchResponse{Results: results}, nil
+		return CheckInBatchResponse{Results: results}, forwarded, nil
 	}
-	return s.CheckInBatchLocal(req)
+	resp, err := s.CheckInBatchLocal(req)
+	return resp, false, err
 }
 
 // CheckInBatchLocal applies the batch to this node's manager, bypassing any
@@ -266,13 +312,28 @@ func (s *Service) ReportLocal(r Report) error {
 // ReportBatch records a batch of task results; Results[i] answers
 // Reports[i]. Routed per device owner when a federation router is attached.
 func (s *Service) ReportBatch(req ReportBatchRequest) (ReportBatchResponse, error) {
+	resp, _, err := s.ReportBatchRouted(req, RawItems{})
+	return resp, err
+}
+
+// ReportBatchRouted is ReportBatch with the forwarded bit and optional raw
+// relay payload (see CheckInBatchRouted).
+func (s *Service) ReportBatchRouted(req ReportBatchRequest, raw RawItems) (ReportBatchResponse, bool, error) {
 	if len(req.Reports) > MaxBatch {
-		return ReportBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
+		return ReportBatchResponse{}, false, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
 	if r := s.m.router(); r != nil {
-		return ReportBatchResponse{Results: r.ReportBatch(req.Reports)}, nil
+		var results []ReportResult
+		var forwarded bool
+		if rr, ok := r.(RawRouter); ok && raw.Data != nil {
+			results, forwarded = rr.ReportBatchRaw(req.Reports, raw)
+		} else {
+			results, forwarded = r.ReportBatch(req.Reports)
+		}
+		return ReportBatchResponse{Results: results}, forwarded, nil
 	}
-	return s.ReportBatchLocal(req)
+	resp, err := s.ReportBatchLocal(req)
+	return resp, false, err
 }
 
 // ReportBatchLocal applies the batch to this node's manager, bypassing any
@@ -284,11 +345,12 @@ func (s *Service) ReportBatchLocal(req ReportBatchRequest) (ReportBatchResponse,
 	return ReportBatchResponse{Results: s.m.ReportBatch(req.Reports)}, nil
 }
 
-// NoteForwardedIn records receipt of one peer-forwarded request frame with
-// the attached federation router's counters; a no-op without one.
-func (s *Service) NoteForwardedIn() {
+// NoteForwardedIn records receipt of one peer-forwarded request frame of
+// the given payload size with the attached federation router's counters; a
+// no-op without one.
+func (s *Service) NoteForwardedIn(bytes int) {
 	if r := s.m.router(); r != nil {
-		r.ForwardedIn()
+		r.ForwardedIn(bytes)
 	}
 }
 

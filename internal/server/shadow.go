@@ -17,6 +17,7 @@
 package server
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -366,6 +367,9 @@ func (sr *shadowRunner) statsSnapshot(primaryQueueDepth int64) PolicyShadowStats
 // emitShadow fans one event out to every shadow (non-blocking). Callers
 // guard with m.shadowsOn so the no-shadow configuration pays one branch.
 func (m *Manager) emitShadow(ev shadowEvent) {
+	// Clone: the devID may share a v2 request payload's backing
+	// (bdec.shared), and shadow runners retain it in their device maps.
+	ev.devID = strings.Clone(ev.devID)
 	evs := []shadowEvent{ev}
 	for _, sr := range m.shadows {
 		sr.offer(evs)
@@ -377,6 +381,9 @@ func (m *Manager) emitShadow(ev shadowEvent) {
 func (m *Manager) emitShadowBatch(evs []shadowEvent) {
 	if len(evs) == 0 {
 		return
+	}
+	for i := range evs {
+		evs[i].devID = strings.Clone(evs[i].devID)
 	}
 	for _, sr := range m.shadows {
 		sr.offer(evs)

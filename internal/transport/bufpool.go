@@ -1,0 +1,44 @@
+package transport
+
+import "sync"
+
+// Frame buffer pooling. The stream hot path used to allocate three times per
+// request — the read payload in ReadFrame, the encoder scratch in
+// MarshalBinary, and nothing reusable on the client side — and
+// BenchmarkForwardPath showed those allocations dominating the forward
+// path's profile. GetBuf/PutBuf recycle byte slices through a sync.Pool so
+// the server's per-frame read/write buffers, the client's request scratch,
+// and the relay's coalescing buffers all reuse steady-state memory.
+//
+// The pool holds *[]byte (not []byte) so Put never allocates an interface
+// box for the slice header. Buffers above maxPooledBuf are left to the GC:
+// one multi-megabyte metrics reply must not pin its footprint forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuf returns a zero-length buffer with capacity at least n. The buffer
+// is pool-owned: hand it back with PutBuf once nothing references it.
+func GetBuf(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) >= n {
+		return (*bp)[:0]
+	}
+	// Too small for this caller; recycle it for a smaller one and size a
+	// fresh buffer generously so it keeps being reusable.
+	bufPool.Put(bp)
+	if n < 4096 {
+		n = 4096
+	}
+	return make([]byte, 0, n)
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or any buffer the caller
+// owns outright) to the pool. The caller must not touch b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

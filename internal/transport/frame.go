@@ -77,6 +77,18 @@ const (
 	// frames so that any peer can parse them. Servers predating v2 answer
 	// OpError instead, which clients treat as a v1-only peer.
 	OpHello byte = 0x0B
+	// OpTopology requests the federation topology: the ring's member
+	// addresses, vnode count, and an epoch that advances whenever the live
+	// membership changes. The request payload is empty; the response is a
+	// TopologyPayload in the fixed binary layout. It is a v2-era opcode —
+	// requests must ride in v2 frames (a v1 frame is rejected as invalid),
+	// which a client guarantees by only asking after negotiating v2. The
+	// server additionally *pushes* an unsolicited OpTopology|RespFlag frame
+	// with request ID 0 to every connection that has fetched the topology
+	// whenever the epoch advances, so ring-aware clients re-partition
+	// without polling. A daemon with no federation layer attached answers
+	// OpError with CodeUnavailable.
+	OpTopology byte = 0x0C
 
 	// HopFlag marks a request frame as already forwarded once by a peer
 	// daemon (federation hop guard). A server must answer a hop-flagged
@@ -138,6 +150,93 @@ func (e *ErrorPayload) UnmarshalBinary(data []byte) error {
 	}
 	e.Code = int(code)
 	e.Error = string(data)
+	return nil
+}
+
+// TopologyPayload is the OpTopology response body: everything a client
+// needs to rebuild the federation's ownership ring locally (hashring.New
+// over Members with VNodes points each) plus the epoch it was published at.
+//
+// Binary layout (always; OpTopology never rides in v1 frames):
+//
+//	uvarint epoch | uvarint vnodes | uvarint count | count × (uvarint len | bytes)
+//
+// Members lists the *live* members (self plus peers currently passing
+// health probes), sorted; a member marked down by the health loop drops off
+// the payload and the epoch advances, so ring-aware clients stop routing
+// batches at a daemon its own peers consider dead.
+type TopologyPayload struct {
+	Epoch   uint64   `json:"epoch"`
+	VNodes  int      `json:"vnodes"`
+	Members []string `json:"members"`
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *TopologyPayload) MarshalBinary() ([]byte, error) {
+	n := 12
+	for _, m := range t.Members {
+		n += 5 + len(m)
+	}
+	b := binary.AppendUvarint(make([]byte, 0, n), t.Epoch)
+	b = binary.AppendUvarint(b, uint64(uint(t.VNodes)))
+	b = binary.AppendUvarint(b, uint64(len(t.Members)))
+	for _, m := range t.Members {
+		b = binary.AppendUvarint(b, uint64(len(m)))
+		b = append(b, m...)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Like every v2
+// decoder it rejects lying counts and trailing bytes, and an accepted
+// payload re-encodes byte-identically (pinned by FuzzTopologyRoundTrip).
+func (t *TopologyPayload) UnmarshalBinary(data []byte) error {
+	*t = TopologyPayload{}
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, &ErrProtocol{msg: "topology payload: bad " + what}
+		}
+		data = data[n:]
+		return v, nil
+	}
+	epoch, err := uv("epoch")
+	if err != nil {
+		return err
+	}
+	vnodes, err := uv("vnodes")
+	if err != nil {
+		return err
+	}
+	count, err := uv("member count")
+	if err != nil {
+		return err
+	}
+	// Every member costs at least one length byte, so a lying count cannot
+	// balloon the allocation past the payload it arrived in.
+	if count > uint64(len(data)) {
+		return &ErrProtocol{msg: "topology payload: member count exceeds payload"}
+	}
+	members := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		slen, err := uv("member length")
+		if err != nil {
+			return err
+		}
+		if slen > uint64(len(data)) {
+			return &ErrProtocol{msg: "topology payload: member length exceeds payload"}
+		}
+		members = append(members, string(data[:slen]))
+		data = data[slen:]
+	}
+	if len(data) != 0 {
+		return &ErrProtocol{msg: "topology payload: trailing bytes"}
+	}
+	t.Epoch = epoch
+	t.VNodes = int(vnodes)
+	if len(members) > 0 {
+		t.Members = members
+	}
 	return nil
 }
 
@@ -205,6 +304,36 @@ func ReadFrame(br *bufio.Reader, maxPayload int, maxVer byte) (Frame, error) {
 	if n > 0 {
 		fr.Payload = make([]byte, n)
 		if _, err := io.ReadFull(br, fr.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return fr, nil
+}
+
+// ReadFramePooled is ReadFrame with the payload read into a pooled buffer
+// (GetBuf). The caller owns the payload and must return it with PutBuf once
+// the frame is fully handled — which also means the payload must not escape
+// the handler (decoders copy what they keep).
+func ReadFramePooled(br *bufio.Reader, maxPayload int, maxVer byte) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != Magic0 || hdr[1] != Magic1 {
+		return Frame{}, &ErrProtocol{msg: "bad magic"}
+	}
+	if hdr[2] < Version1 || hdr[2] > maxVer {
+		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("unsupported version %d", hdr[2])}
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(maxPayload) {
+		return Frame{}, &ErrProtocol{msg: fmt.Sprintf("payload %d exceeds limit %d", n, maxPayload)}
+	}
+	fr := Frame{Ver: hdr[2], Op: hdr[3], ID: binary.BigEndian.Uint32(hdr[4:8])}
+	if n > 0 {
+		fr.Payload = GetBuf(int(n))[:n]
+		if _, err := io.ReadFull(br, fr.Payload); err != nil {
+			PutBuf(fr.Payload)
 			return Frame{}, err
 		}
 	}

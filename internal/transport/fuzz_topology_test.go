@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"testing"
+)
+
+// FuzzTopologyRoundTrip drives arbitrary bytes through the OpTopology
+// payload codec with the same contract the serving-codec fuzzes pin:
+//
+//  1. UnmarshalBinary never panics and never over-allocates, whatever the
+//     input's member count or lengths claim.
+//  2. What the decoder accepts re-marshals and re-parses to the same bytes
+//     from the second generation on (non-minimal varints may normalize
+//     once) — the fixed-point property ring-aware clients rely on.
+//
+// CI runs this with a short -fuzztime as a smoke pass; grow the corpus
+// locally with `go test -fuzz=FuzzTopologyRoundTrip ./internal/transport/`.
+func FuzzTopologyRoundTrip(f *testing.F) {
+	seeds := []TopologyPayload{
+		{},
+		{Epoch: 1, VNodes: 128, Members: []string{"127.0.0.1:8081"}},
+		{Epoch: 42, VNodes: 128, Members: []string{"a:1", "b:2", "c:3"}},
+		{Epoch: 1<<63 + 7, VNodes: 1, Members: []string{""}},
+	}
+	for _, tp := range seeds {
+		if b, err := tp.MarshalBinary(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tp TopologyPayload
+		if err := tp.UnmarshalBinary(data); err != nil {
+			return // rejected input — fine, as long as it didn't panic
+		}
+		buf, err := tp.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-marshal: %v", data, err)
+		}
+		var tp2 TopologyPayload
+		if err := tp2.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("own output %x does not re-parse: %v", buf, err)
+		}
+		buf2, err := tp2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatalf("marshal not stable:\n first  %x\n second %x\n input %q", buf, buf2, data)
+		}
+	})
+}

@@ -83,7 +83,40 @@ func NewServer(m *server.Manager, opts Options) *Server {
 		conns: make(map[*srvConn]struct{}),
 	}
 	m.SetStreamTelemetrySource(s)
+	if opts.MaxVersion >= Version2 {
+		m.SetTopologyPusher(s)
+	}
 	return s
+}
+
+// PushTopology implements server.TopologyPusher: it enqueues an unsolicited
+// OpTopology|RespFlag frame (request ID 0) to every connection that has
+// fetched the topology, so ring-aware clients learn of membership changes
+// without polling. The enqueue is non-blocking — a connection whose write
+// window is full simply misses the push and re-syncs on the next forwarded
+// response flag.
+func (s *Server) PushTopology(info server.TopologyInfo) int {
+	tp := TopologyPayload{Epoch: info.Epoch, VNodes: info.VNodes, Members: info.Members}
+	payload, err := tp.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	s.mu.Lock()
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		if sc.topoSub.Load() {
+			conns = append(conns, sc)
+		}
+	}
+	s.mu.Unlock()
+	pushed := 0
+	for _, sc := range conns {
+		// The payload is shared across connections, so it is never pooled.
+		if sc.tryPush(outFrame{ver: Version2, op: OpTopology | RespFlag, id: 0, payload: payload}) {
+			pushed++
+		}
+	}
+	return pushed
 }
 
 // StreamTelemetry snapshots the live stream counters (implements
@@ -169,6 +202,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	defer s.m.ClearStreamTelemetrySource(s)
+	defer s.m.ClearTopologyPusher(s)
 	select {
 	case <-done:
 		return nil
@@ -196,6 +230,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.m.ClearStreamTelemetrySource(s)
+	s.m.ClearTopologyPusher(s)
 	return nil
 }
 
@@ -204,6 +239,9 @@ type outFrame struct {
 	op      byte
 	id      uint32
 	payload []byte
+	// pooled marks a payload owned by the frame buffer pool; the writer
+	// returns it with PutBuf once the bytes are on the wire.
+	pooled bool
 }
 
 type srvConn struct {
@@ -213,6 +251,30 @@ type srvConn struct {
 	// the read loop then treats its (deadline-induced) read error as a
 	// clean end-of-stream and lets in-flight responses flush.
 	draining atomic.Bool
+	// topoSub marks a connection that has fetched the topology (served an
+	// OpTopology request) and therefore receives topology pushes.
+	topoSub atomic.Bool
+	// outMu/outClosed guard out against pushes racing the channel close:
+	// handler sends are already ordered before the close by handlers.Wait,
+	// but PushTopology arrives from the cluster health loop at any time.
+	outMu     sync.RWMutex
+	outClosed bool
+}
+
+// tryPush enqueues an unsolicited frame without blocking; it reports false
+// when the connection is closing or its write window is full.
+func (sc *srvConn) tryPush(fr outFrame) bool {
+	sc.outMu.RLock()
+	defer sc.outMu.RUnlock()
+	if sc.outClosed {
+		return false
+	}
+	select {
+	case sc.out <- fr:
+		return true
+	default:
+		return false
+	}
 }
 
 // beginDrain stops the connection's read loop at the next frame boundary by
@@ -263,24 +325,29 @@ func (s *Server) serveConn(sc *srvConn) {
 					break gather
 				}
 			}
-			if failed {
-				continue
-			}
-			bufs := make(net.Buffers, 0, 2*len(pending))
-			for i := range pending {
-				f := &pending[i]
-				h := hdrs[i*HeaderSize : (i+1)*HeaderSize]
-				PutHeader(h, f.ver, f.op, f.id, len(f.payload))
-				bufs = append(bufs, h)
-				if len(f.payload) > 0 {
-					bufs = append(bufs, f.payload)
+			if !failed {
+				bufs := make(net.Buffers, 0, 2*len(pending))
+				for i := range pending {
+					f := &pending[i]
+					h := hdrs[i*HeaderSize : (i+1)*HeaderSize]
+					PutHeader(h, f.ver, f.op, f.id, len(f.payload))
+					bufs = append(bufs, h)
+					if len(f.payload) > 0 {
+						bufs = append(bufs, f.payload)
+					}
+				}
+				if _, err := bufs.WriteTo(sc.c); err != nil {
+					failed = true
+				} else {
+					s.framesOut.Add(int64(len(pending)))
 				}
 			}
-			if _, err := bufs.WriteTo(sc.c); err != nil {
-				failed = true
-				continue
+			// Written or dropped, pooled payloads are done with either way.
+			for i := range pending {
+				if pending[i].pooled {
+					PutBuf(pending[i].payload)
+				}
 			}
-			s.framesOut.Add(int64(len(pending)))
 		}
 	}()
 
@@ -292,7 +359,7 @@ func (s *Server) serveConn(sc *srvConn) {
 	sem := make(chan struct{}, s.opts.Window)
 	var handlers sync.WaitGroup
 	for {
-		fr, err := ReadFrame(br, s.opts.MaxPayload, s.opts.MaxVersion)
+		fr, err := ReadFramePooled(br, s.opts.MaxPayload, s.opts.MaxVersion)
 		if err != nil {
 			// EOF, peer reset, protocol violation, or the drain deadline:
 			// all end the read loop; in-flight work still completes below.
@@ -307,13 +374,20 @@ func (s *Server) serveConn(sc *srvConn) {
 		go func(fr Frame) {
 			defer handlers.Done()
 			t0 := time.Now()
-			op, payload := s.handle(fr.Ver, fr.Op, fr.Payload)
+			op, payload, pooled := s.handle(sc, fr.Ver, fr.Op, fr.Payload)
+			// The request payload is pooled and nothing retains it past
+			// handle (decoders copy; the relay copies item ranges before
+			// returning), so it recycles here.
+			PutBuf(fr.Payload)
 			s.svc.ObserveHandlerLatency(routeOf(fr.Op), time.Since(t0))
-			sc.out <- outFrame{ver: fr.Ver, op: op, id: fr.ID, payload: payload}
+			sc.out <- outFrame{ver: fr.Ver, op: op, id: fr.ID, payload: payload, pooled: pooled}
 			<-sem
 		}(fr)
 	}
 	handlers.Wait()
+	sc.outMu.Lock()
+	sc.outClosed = true
+	sc.outMu.Unlock()
 	close(sc.out)
 	<-writerDone
 	sc.c.Close()
@@ -344,15 +418,25 @@ func routeOf(op byte) string {
 // A hop-flagged frame was already forwarded once by a peer daemon: it is
 // dispatched to the local service unconditionally — the hop guard — so a
 // stale ring on a peer can never make a request ping-pong between daemons.
-// Its receipt is recorded with the attached federation router (forwards_in),
-// and the flag is echoed on the response opcode. The flag is only legal on
-// the four serving opcodes; anything else is rejected as invalid.
-func (s *Server) handle(ver, op byte, payload []byte) (byte, []byte) {
+// Its receipt (and payload size, for forward_bytes_in) is recorded with the
+// attached federation router, and the flag is echoed on the response opcode.
+// The flag is only legal on the four serving opcodes; anything else is
+// rejected as invalid.
+//
+// On a *non-hop* v2 batch request, HopFlag on the response opcode means
+// something different: the router forwarded at least one item to a peer
+// ("forwarded flag"). Ring-aware clients treat it as a stale-topology signal
+// and re-fetch the ring. v1 responses never carry it, keeping this server
+// byte-identical to a pre-v2 daemon on v1 connections.
+//
+// The returned bool marks a pooled response payload (the writer recycles it
+// after the write).
+func (s *Server) handle(sc *srvConn, ver, op byte, payload []byte) (byte, []byte, bool) {
 	forwarded := op&HopFlag != 0
 	if forwarded {
 		switch op &^ HopFlag {
 		case OpCheckIn, OpCheckInBatch, OpReport, OpReportBatch:
-			s.svc.NoteForwardedIn()
+			s.svc.NoteForwardedIn(len(payload))
 		default:
 			return errFrame(ver, server.CodeInvalid, errors.New("transport: hop flag on non-forwardable opcode"))
 		}
@@ -376,18 +460,32 @@ func (s *Server) handle(ver, op byte, payload []byte) (byte, []byte) {
 		return respFrame(ver, op, &asg)
 	case OpCheckInBatch:
 		var req server.CheckInBatchRequest
-		if err := decodeReq(ver, payload, &req); err != nil {
+		if forwarded {
+			if err := decodeReq(ver, payload, &req); err != nil {
+				return svcErrFrame(ver, err)
+			}
+			resp, err := s.svc.CheckInBatchLocal(req)
+			if err != nil {
+				return svcErrFrame(ver, err)
+			}
+			return respFrame(ver, op, &resp)
+		}
+		var raw server.RawItems
+		if ver >= Version2 {
+			bounds, err := req.UnmarshalBinaryBounds(payload)
+			if err != nil {
+				return svcErrFrame(ver, err)
+			}
+			raw = server.RawItems{Data: payload, Bounds: bounds}
+		} else if err := decodeReq(ver, payload, &req); err != nil {
 			return svcErrFrame(ver, err)
 		}
-		var resp server.CheckInBatchResponse
-		var err error
-		if forwarded {
-			resp, err = s.svc.CheckInBatchLocal(req)
-		} else {
-			resp, err = s.svc.CheckInBatch(req)
-		}
+		resp, fwd, err := s.svc.CheckInBatchRouted(req, raw)
 		if err != nil {
 			return svcErrFrame(ver, err)
+		}
+		if fwd && ver >= Version2 {
+			op |= HopFlag
 		}
 		return respFrame(ver, op, &resp)
 	case OpReport:
@@ -404,21 +502,35 @@ func (s *Server) handle(ver, op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return svcErrFrame(ver, err)
 		}
-		return op | RespFlag, nil
+		return op | RespFlag, nil, false
 	case OpReportBatch:
 		var req server.ReportBatchRequest
-		if err := decodeReq(ver, payload, &req); err != nil {
+		if forwarded {
+			if err := decodeReq(ver, payload, &req); err != nil {
+				return svcErrFrame(ver, err)
+			}
+			resp, err := s.svc.ReportBatchLocal(req)
+			if err != nil {
+				return svcErrFrame(ver, err)
+			}
+			return respFrame(ver, op, &resp)
+		}
+		var raw server.RawItems
+		if ver >= Version2 {
+			bounds, err := req.UnmarshalBinaryBounds(payload)
+			if err != nil {
+				return svcErrFrame(ver, err)
+			}
+			raw = server.RawItems{Data: payload, Bounds: bounds}
+		} else if err := decodeReq(ver, payload, &req); err != nil {
 			return svcErrFrame(ver, err)
 		}
-		var resp server.ReportBatchResponse
-		var err error
-		if forwarded {
-			resp, err = s.svc.ReportBatchLocal(req)
-		} else {
-			resp, err = s.svc.ReportBatch(req)
-		}
+		resp, fwd, err := s.svc.ReportBatchRouted(req, raw)
 		if err != nil {
 			return svcErrFrame(ver, err)
+		}
+		if fwd && ver >= Version2 {
+			op |= HopFlag
 		}
 		return respFrame(ver, op, &resp)
 	case OpRegisterJob:
@@ -448,7 +560,21 @@ func (s *Server) handle(ver, op byte, payload []byte) (byte, []byte) {
 	case OpMetrics:
 		return respFrame(ver, op, s.svc.Metrics())
 	case OpPing:
-		return op | RespFlag, nil
+		return op | RespFlag, nil, false
+	case OpTopology:
+		// v2-era opcode: requests must ride in v2 frames. Serving it flags
+		// the connection for topology pushes.
+		if ver < Version2 {
+			return errFrame(ver, server.CodeInvalid, errors.New("transport: topology requires protocol v2"))
+		}
+		src := s.m.TopologySourceRef()
+		if src == nil {
+			return errFrame(ver, server.CodeUnavailable, errors.New("transport: no federation topology attached"))
+		}
+		info := src.Topology()
+		sc.topoSub.Store(true)
+		tp := TopologyPayload{Epoch: info.Epoch, VNodes: info.VNodes, Members: info.Members}
+		return respFrame(ver, op, &tp)
 	case OpHello:
 		// Version negotiation. A server capped at v1 must be byte-for-byte
 		// indistinguishable from a pre-v2 daemon, so it falls through to
@@ -486,11 +612,30 @@ func decodeReq(ver byte, payload []byte, v wireCodec) error {
 	return v.UnmarshalJSON(payload)
 }
 
+// binaryAppender is the pooled-encode fast path: types that can append their
+// v2 wire form onto a caller-owned buffer, skipping the per-response
+// allocation MarshalBinary would make.
+type binaryAppender interface {
+	AppendBinary(b []byte) ([]byte, error)
+}
+
 // respFrame encodes a success response: the binary codec when the frame is
-// v2 and the type has one, else the hand-rolled JSON marshaler, else
-// encoding/json. Non-serving opcodes keep JSON payloads in every version —
-// they have no binary codec, and they are off the hot path.
-func respFrame(ver, op byte, v any) (byte, []byte) {
+// v2 and the type has one (into a pooled buffer when the type supports
+// appending), else the hand-rolled JSON marshaler, else encoding/json.
+// Non-serving opcodes keep JSON payloads in every version — they have no
+// binary codec, and they are off the hot path. The returned bool marks a
+// pooled payload.
+func respFrame(ver, op byte, v any) (byte, []byte, bool) {
+	if ver >= Version2 {
+		if m, ok := v.(binaryAppender); ok {
+			buf, err := m.AppendBinary(GetBuf(64))
+			if err != nil {
+				PutBuf(buf)
+				return errFrame(ver, server.CodeInvalid, err)
+			}
+			return op | RespFlag, buf, true
+		}
+	}
 	var buf []byte
 	var err error
 	if m, ok := v.(encoding.BinaryMarshaler); ok && ver >= Version2 {
@@ -503,22 +648,22 @@ func respFrame(ver, op byte, v any) (byte, []byte) {
 	if err != nil {
 		return errFrame(ver, server.CodeInvalid, err)
 	}
-	return op | RespFlag, buf
+	return op | RespFlag, buf, false
 }
 
-func svcErrFrame(ver byte, err error) (byte, []byte) {
+func svcErrFrame(ver byte, err error) (byte, []byte, bool) {
 	return errFrame(ver, server.ErrCode(err), err)
 }
 
-func errFrame(ver byte, code server.Code, err error) (byte, []byte) {
+func errFrame(ver byte, code server.Code, err error) (byte, []byte, bool) {
 	ep := ErrorPayload{Code: int(code), Error: err.Error()}
 	if ver >= Version2 {
 		buf, _ := ep.MarshalBinary()
-		return OpError, buf
+		return OpError, buf, false
 	}
 	buf, mErr := json.Marshal(ep)
 	if mErr != nil {
 		buf = []byte(`{"code":1,"error":"transport: unencodable error"}`)
 	}
-	return OpError, buf
+	return OpError, buf, false
 }
