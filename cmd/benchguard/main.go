@@ -40,6 +40,14 @@
 // fails on any lost check-in, any forward error, or if no node ever saw a
 // peer down (i.e. nothing was actually killed).
 //
+// Core commit pipeline gate: the stream-v2-contended rung (demand-heavy
+// traffic committing through the scheduler core) joins the cross-report
+// regression checks like any other rung, and -min-contended-frac asserts
+// within one report that contended throughput stays above the given
+// fraction of the surplus stream rung — the floor on how much the core
+// commit path may cost relative to the lock-free snapshot path. Both
+// self-skip (with a note) on reports that predate the rung.
+//
 // Cross-report throughput comparisons are only meaningful on the same
 // hardware, so the regression checks are skipped (with a note) when the
 // recorded num_cpu differs between the two reports — CI runners and
@@ -327,6 +335,7 @@ func main() {
 		minV2Speedup = flag.Float64("min-v2-speedup", 0, "minimum stream (wire v2) over stream-v1 throughput ratio within the -current report (0 disables)")
 		multicoreMin = flag.Float64("multicore-min-scale", 0, "minimum stream-mc over single-core stream throughput ratio within the -current report (0 disables; skipped on single-CPU hosts)")
 		minDirect    = flag.Float64("min-cluster-direct-speedup", 0, "minimum cluster-direct (ring-aware clients) over single-daemon stream throughput ratio within the -current report (0 disables; skipped when the report has no cluster-direct rung)")
+		minContended = flag.Float64("min-contended-frac", 0, "minimum stream-v2-contended (demand-heavy) over surplus stream throughput ratio within the -current report (0 disables; skipped when the report has no contended rung)")
 		chaosPath    = flag.String("chaos-smoke", "", "federation chaos smoke report (one member killed mid-run under ring-aware clients): zero lost check-ins, zero forward errors (optional)")
 	)
 	flag.Parse()
@@ -369,6 +378,7 @@ func main() {
 			check("batched-http", batchedRate)
 			check("stream-v1", func(r report) (float64, bool) { return rateByMode(r, "stream-v1") })
 			check("stream", streamRate)
+			check("stream-v2-contended", func(r report) (float64, bool) { return rateByMode(r, "stream-v2-contended") })
 			check("cluster", clusterRate)
 			check("cluster-direct", func(r report) (float64, bool) { return rateByMode(r, "cluster-direct") })
 			check("stream-mc", func(r report) (float64, bool) { return rateByMode(r, "stream-mc") })
@@ -442,6 +452,26 @@ func main() {
 			default:
 				fmt.Printf("benchguard: cluster-direct %.0f/s vs single-daemon stream %.0f/s (%.2fx >= %.2fx) — OK\n",
 					directRate, scRate, directRate/scRate, *minDirect)
+			}
+		}
+		if *minContended > 0 {
+			conRate, okC := rateByMode(current, "stream-v2-contended")
+			scRate, okS := rateByMode(current, "stream")
+			switch {
+			case !okC:
+				// Older reports predate the demand-heavy rung; self-skip
+				// rather than fail a baseline problem as a regression.
+				fmt.Println("benchguard: report has no stream-v2-contended rung; skipping the contended-throughput gate")
+			case !okS:
+				fmt.Fprintln(os.Stderr, "benchguard: FAIL -min-contended-frac needs a stream rung in the current report")
+				failed = true
+			case conRate < scRate**minContended:
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL contended stream %.0f/s is only %.2fx the surplus rung's %.0f/s (floor %.2fx)\n",
+					conRate, conRate/scRate, scRate, *minContended)
+				failed = true
+			default:
+				fmt.Printf("benchguard: contended stream %.0f/s vs surplus %.0f/s (%.2fx >= %.2fx) — OK\n",
+					conRate, scRate, conRate/scRate, *minContended)
 			}
 		}
 	}

@@ -52,7 +52,15 @@
 //
 // Profiling: -pprof serves net/http/pprof on a side listener and
 // -cpuprofile records a CPU profile until shutdown, so perf work can
-// attribute serving-path time without ad-hoc patches.
+// attribute serving-path time without ad-hoc patches; -mutexprofile and
+// -blockprofile capture lock-contention and goroutine-blocking profiles at
+// shutdown, the natural lenses on the core commit pipeline.
+//
+// Core commit: -core-commit selects how scheduler-core mutations commit
+// (auto: flat combining with an uncontended fast path, the default; direct:
+// the historical per-caller lock; combine: always through the op queue —
+// see the README's Core commit pipeline section). -daily-budget=false lifts
+// the one-task-per-day device budget for sustained-demand benchmarking.
 package main
 
 import (
@@ -79,6 +87,29 @@ import (
 	"venn/internal/transport"
 )
 
+// mutexProfileFraction samples 1 in N mutex contention events for
+// -mutexprofile; blockProfileRateNs records one sample per N ns of
+// goroutine blocking for -blockprofile.
+const (
+	mutexProfileFraction = 100
+	blockProfileRateNs   = 10_000
+)
+
+// writeProfile dumps a named runtime profile ("mutex", "block") to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "venndaemon: "+name+" profile:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "venndaemon: "+name+" profile:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "venndaemon: "+name+" profile written to", path)
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "HTTP listen address")
@@ -89,6 +120,8 @@ func main() {
 		tiers        = flag.Int("tiers", 3, "device-tier granularity V")
 		epsilon      = flag.Float64("epsilon", 0, "fairness knob")
 		shards       = flag.Int("shards", 0, "device-state lock shards (0 = default)")
+		coreCommit   = flag.String("core-commit", "", "scheduler core commit mode: auto (flat combining), direct (per-caller lock), combine (always queue); empty = auto")
+		dailyBudget  = flag.Bool("daily-budget", true, "enforce the one-task-per-device-day budget (false lifts it, for sustained-demand benchmarking)")
 		deviceTTL    = flag.Duration("device-ttl", 24*time.Hour, "evict devices not seen for this long (0 disables)")
 		maxBody      = flag.Int64("max-body-bytes", 0, "HTTP single-item request body bound in bytes (0 = default 1MiB)")
 		window       = flag.Int("stream-window", 0, "max in-flight frames per stream connection (0 = default)")
@@ -99,6 +132,8 @@ func main() {
 		vnodes       = flag.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default 128)")
 		pprofSrv     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
+		mutexProf    = flag.String("mutexprofile", "", "write a mutex contention profile here at shutdown")
+		blockProf    = flag.String("blockprofile", "", "write a goroutine blocking profile here at shutdown")
 	)
 	flag.Parse()
 
@@ -109,10 +144,11 @@ func main() {
 			}
 		}()
 	}
-	// stopProfile flushes the CPU profile; idempotent so it can run both on
-	// the normal return path (defer) and right before the error-path
+	// stopProfile flushes every requested profile; idempotent so it can run
+	// both on the normal return path (defer) and right before the error-path
 	// os.Exit, which would skip deferred calls.
 	stopProfile := func() {}
+	var flushes []func()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -123,10 +159,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "venndaemon: cpuprofile:", err)
 			os.Exit(1)
 		}
-		stopProfile = sync.OnceFunc(func() {
+		flushes = append(flushes, func() {
 			pprof.StopCPUProfile()
 			_ = f.Close()
 			fmt.Fprintln(os.Stderr, "venndaemon: CPU profile written to", *cpuProf)
+		})
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(mutexProfileFraction)
+		flushes = append(flushes, func() { writeProfile("mutex", *mutexProf) })
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(blockProfileRateNs)
+		flushes = append(flushes, func() { writeProfile("block", *blockProf) })
+	}
+	if len(flushes) > 0 {
+		stopProfile = sync.OnceFunc(func() {
+			for _, flush := range flushes {
+				flush()
+			}
 		})
 		defer stopProfile()
 	}
@@ -140,6 +191,11 @@ func main() {
 
 	if !policy.Valid(*polName) {
 		fmt.Fprintf(os.Stderr, "venndaemon: unknown -policy %q (have: %s)\n", *polName, strings.Join(policy.Names(), ", "))
+		stopProfile()
+		os.Exit(1)
+	}
+	if !server.CoreCommitValid(*coreCommit) {
+		fmt.Fprintf(os.Stderr, "venndaemon: unknown -core-commit %q (want auto, direct, or combine)\n", *coreCommit)
 		stopProfile()
 		os.Exit(1)
 	}
@@ -160,12 +216,14 @@ func main() {
 	opts.Tiers = *tiers
 	opts.Epsilon = *epsilon
 	m := server.NewManager(server.Config{
-		Options:        opts,
-		Policy:         *polName,
-		ShadowPolicies: shadowList,
-		Seed:           *seed,
-		Shards:         *shards,
-		DeviceTTL:      *deviceTTL,
+		Options:            opts,
+		Policy:             *polName,
+		ShadowPolicies:     shadowList,
+		Seed:               *seed,
+		Shards:             *shards,
+		DeviceTTL:          *deviceTTL,
+		CoreCommit:         *coreCommit,
+		DisableDailyBudget: !*dailyBudget,
 	})
 	defer m.StopShadows()
 
@@ -228,6 +286,12 @@ func main() {
 		m.PolicyName(), *tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
 	if len(shadowList) > 0 {
 		fmt.Printf(" shadows=%s", strings.Join(m.ShadowPolicies(), ","))
+	}
+	if *coreCommit != "" {
+		fmt.Printf(" core-commit=%s", *coreCommit)
+	}
+	if !*dailyBudget {
+		fmt.Printf(" daily-budget=off")
 	}
 	if *streamAddr != "" {
 		fmt.Printf(" stream=%s shards=%d", *streamAddr, acceptShards)

@@ -6,11 +6,15 @@
 // a short smoke pass on every PR, and the -compare mode records the ladder:
 // the single-lock one-request-per-check-in baseline, the batched+sharded
 // HTTP path, the stream transport pinned to wire protocol v1 (JSON
-// payloads), the stream transport at v2 (binary payloads), a two-daemon
-// federation over that stream transport — all pinned to GOMAXPROCS=1 so the
-// rungs measure protocol cost, not core count — plus, on multi-core hosts, a
-// stream-mc rung at full GOMAXPROCS with per-core SO_REUSEPORT listener
-// shards that measures how the stream path scales with cores.
+// payloads), the stream transport at v2 (binary payloads), the same v2
+// stream under demand-heavy traffic (stream-v2-contended: a feeder keeps a
+// target fraction of check-ins winning assignments, so the run measures the
+// contended core commit pipeline instead of the lock-free surplus path), a
+// two-daemon federation over that stream transport — all pinned to
+// GOMAXPROCS=1 so the rungs measure protocol cost, not core count — plus,
+// on multi-core hosts, a stream-mc rung at full GOMAXPROCS with per-core
+// SO_REUSEPORT listener shards that measures how the stream path scales
+// with cores.
 //
 // Against a running daemon:
 //
@@ -84,10 +88,12 @@ func main() {
 		topology    = flag.Bool("topology", true, "ring-aware clients in cluster modes: fetch the daemons' topology and send each batch item straight to its owner (false = seed-only clients, exercising the server-side forward path)")
 		jobs        = flag.Int("jobs", 8, "CL jobs to register (per federation member in cluster mode)")
 		demand      = flag.Int("demand", 0, "demand per round (0 = auto-size to the fleet)")
+		demandFrac  = flag.Float64("demand-frac", 0, "demand-heavy mode: keep job arrivals flowing so roughly this fraction of check-ins wins an assignment (0 disables; self-hosted runs also lift the daily task budget so the contention is sustained)")
 		rounds      = flag.Int("rounds", 1, "rounds per job")
 		category    = flag.String("category", "", "pin every job to one requirement category (default: cycle the standard strata)")
 		shards      = flag.Int("shards", 0, "manager lock shards for self-hosted runs (0 = server default)")
 		polName     = flag.String("policy", "", "scheduling policy for self-hosted daemons (empty = server default: "+policy.Default+")")
+		coreCommit  = flag.String("core-commit", "", "core commit mode for self-hosted daemons: auto (flat combining), direct (per-caller lock), combine (always queue); empty = server default")
 		shadowPols  = flag.String("shadow-policies", "", "comma-separated shadow policies for self-hosted daemons (observed, never applied)")
 		abFlag      = flag.String("ab", "", "policyA,policyB: sequential self-hosted A/B replay of identical seeded traffic with a JCT/throughput/fairness delta table")
 		seed        = flag.Int64("seed", 1, "random seed for the synthetic fleet")
@@ -95,6 +101,8 @@ func main() {
 		compare     = flag.Bool("compare", false, "self-host and record the ladder: single-lock HTTP, batched+sharded HTTP, stream at wire v1, stream at v2, 2-daemon federation (all at GOMAXPROCS=1), plus a multi-core stream rung on multi-core hosts")
 		pprofSrv    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
+		mutexProf   = flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
+		blockProf   = flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -112,6 +120,14 @@ func main() {
 	}
 	if *polName != "" && !policy.Valid(*polName) {
 		fmt.Fprintf(os.Stderr, "vennload: unknown -policy %q (have: %s)\n", *polName, strings.Join(policy.Names(), ", "))
+		os.Exit(2)
+	}
+	if !server.CoreCommitValid(*coreCommit) {
+		fmt.Fprintf(os.Stderr, "vennload: unknown -core-commit %q (want auto, direct, or combine)\n", *coreCommit)
+		os.Exit(2)
+	}
+	if *demandFrac < 0 || *demandFrac > 1 {
+		fmt.Fprintf(os.Stderr, "vennload: -demand-frac %v out of range [0,1]\n", *demandFrac)
 		os.Exit(2)
 	}
 	var shadowList []string
@@ -153,6 +169,14 @@ func main() {
 			_ = f.Close()
 		}()
 	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(mutexProfileFraction)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(blockProfileRateNs)
+		defer writeProfile("block", *blockProf)
+	}
 
 	report := benchReport{
 		Schema:    "venn/bench_serve/v1",
@@ -170,8 +194,9 @@ func main() {
 
 	base := loadConfig{
 		Agents: *agents, Conns: *conns, StreamConns: *streamCns, Duration: *duration,
-		Jobs: *jobs, Demand: *demand, Rounds: *rounds, Category: *category, Seed: *seed,
-		Policy: *polName, Shadow: shadowList,
+		Jobs: *jobs, Demand: *demand, DemandFrac: *demandFrac, Rounds: *rounds,
+		Category: *category, Seed: *seed,
+		Policy: *polName, Shadow: shadowList, CoreCommit: *coreCommit,
 		WireVersion: *wireVer, StreamShards: *streamShrds,
 	}
 	switch {
@@ -210,7 +235,10 @@ func main() {
 		}
 		// The protocol rungs all pin GOMAXPROCS=1 so they measure per-core
 		// protocol cost; only the final stream-mc rung opens the core count
-		// back up.
+		// back up. Only the contended rung runs demand-heavy — a global
+		// -demand-frac must not corrupt the surplus rungs' lock-free
+		// measurements.
+		base.DemandFrac = 0
 		// Rung 1: one lock stripe and one HTTP request per check-in — the
 		// seed serving path.
 		single := base
@@ -230,6 +258,19 @@ func main() {
 		stream := base
 		stream.Mode, stream.Transport, stream.Shards, stream.Batch, stream.Gomaxprocs = "stream", "stream", *shards, max(*batch, 2), 1
 		report.Runs = append(report.Runs, runSelfHosted(stream))
+		// Rung 4b: the same v2 stream under demand-heavy traffic. A feeder
+		// keeps fresh job arrivals flowing (daily budget lifted) so a target
+		// fraction of check-ins wins an assignment and reports back; while
+		// demand is open every check-in commits through the scheduler core,
+		// so this rung measures the flat-combining commit pipeline where the
+		// surplus rungs measure the lock-free snapshot path.
+		contended := base
+		contended.Mode, contended.Transport, contended.Shards, contended.Batch, contended.Gomaxprocs = "stream-v2-contended", "stream", *shards, max(*batch, 2), 1
+		contended.DemandFrac = *demandFrac
+		if contended.DemandFrac <= 0 {
+			contended.DemandFrac = defaultContendedFrac
+		}
+		report.Runs = append(report.Runs, runSelfHosted(contended))
 		// Rung 5: a federation of stream daemons sharing the fleet by
 		// consistent-hash ownership, agents spread across all members.
 		// Seed-only clients, so roughly half of all traffic crosses the
@@ -270,6 +311,7 @@ func main() {
 		}
 		singleRate, batchedRate := rate("single"), rate("batched")
 		streamV1Rate, streamRate := rate("stream-v1"), rate("stream")
+		contendedRate := rate("stream-v2-contended")
 		clusterRate, directRate, mcRate := rate("cluster"), rate("cluster-direct"), rate("stream-mc")
 		if singleRate > 0 {
 			report.SpeedupBatchedVsSingle = batchedRate / singleRate
@@ -284,6 +326,10 @@ func main() {
 		if streamV1Rate > 0 {
 			report.SpeedupStreamV2VsV1 = streamRate / streamV1Rate
 			fmt.Printf("speedup (stream wire v2 vs v1):                %.2fx\n", report.SpeedupStreamV2VsV1)
+		}
+		if streamRate > 0 && contendedRate > 0 {
+			report.ContendedVsStream = contendedRate / streamRate
+			fmt.Printf("demand-heavy contended rung vs surplus stream: %.2fx\n", report.ContendedVsStream)
 		}
 		if streamRate > 0 {
 			report.SpeedupClusterVsStream = directRate / streamRate
@@ -355,29 +401,60 @@ func modeName(batch int, transport string) string {
 	return "single"
 }
 
+// Demand-feeder and profiling knobs.
+const (
+	// defaultContendedFrac is the stream-v2-contended rung's target
+	// assignment fraction when -demand-frac is unset.
+	defaultContendedFrac = 0.4
+	// feedInterval is how often a lane's demand feeder re-sizes open demand
+	// against the observed check-in rate.
+	feedInterval = 100 * time.Millisecond
+	// mutexProfileFraction samples 1 in N mutex contention events for
+	// -mutexprofile; blockProfileRateNs records one sample per N ns of
+	// goroutine blocking for -blockprofile.
+	mutexProfileFraction = 100
+	blockProfileRateNs   = 10_000
+)
+
+// writeProfile dumps a named runtime profile ("mutex", "block") to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vennload: "+name+" profile:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "vennload: "+name+" profile:", err)
+	}
+}
+
 type loadConfig struct {
-	Mode         string
-	Transport    string   // "http" | "stream"
-	Shards       int      // self-hosted runs only; 0 = server default
-	Policy       string   // self-hosted runs only; "" = server default
-	Shadow       []string // self-hosted runs only; shadow policies to attach
-	Batch        int
-	Agents       int
-	Conns        int
-	StreamConns  int // 0 = Conns/2, min 1
-	WireVersion  int  // stream wire version cap offered by clients; 0 = newest
-	StreamShards int  // self-hosted stream listener accept shards; 0 = 1
-	Gomaxprocs   int  // pin runtime.GOMAXPROCS for the run; 0 = leave as is
-	ClusterNodes int  // federation member count (cluster mode only)
-	Topology     bool // ring-aware clients (cluster modes): route items to owners directly
-	Duration     time.Duration
-	Jobs         int
-	Demand       int
-	Rounds       int
-	Category     string // "" cycles the standard strata
-	Seed         int64
-	DemandSpread bool // -ab: job demands descend across registration order
-	Trickle      bool // -ab: each device checks in once, paced across Duration
+	Mode          string
+	Transport     string   // "http" | "stream"
+	Shards        int      // self-hosted runs only; 0 = server default
+	Policy        string   // self-hosted runs only; "" = server default
+	Shadow        []string // self-hosted runs only; shadow policies to attach
+	CoreCommit    string   // self-hosted runs only; "" = server default (auto)
+	Batch         int
+	Agents        int
+	Conns         int
+	StreamConns   int  // 0 = Conns/2, min 1
+	WireVersion   int  // stream wire version cap offered by clients; 0 = newest
+	StreamShards  int  // self-hosted stream listener accept shards; 0 = 1
+	Gomaxprocs    int  // pin runtime.GOMAXPROCS for the run; 0 = leave as is
+	ClusterNodes  int  // federation member count (cluster mode only)
+	Topology      bool // ring-aware clients (cluster modes): route items to owners directly
+	Duration      time.Duration
+	Jobs          int
+	Demand        int
+	DemandFrac    float64 // demand-heavy mode: target assignment fraction of check-ins (0 = surplus traffic)
+	NoDailyBudget bool    // self-hosted runs: lift the one-task-per-day budget (implied by DemandFrac > 0)
+	Rounds        int
+	Category      string // "" cycles the standard strata
+	Seed          int64
+	DemandSpread  bool // -ab: job demands descend across registration order
+	Trickle       bool // -ab: each device checks in once, paced across Duration
 }
 
 // managerConfig maps a self-hosted run's knobs onto the server config. The
@@ -389,6 +466,12 @@ func managerConfig(cfg loadConfig) server.Config {
 		Policy:         cfg.Policy,
 		ShadowPolicies: cfg.Shadow,
 		Seed:           cfg.Seed,
+		CoreCommit:     cfg.CoreCommit,
+		// Demand-heavy runs lift the one-task-per-day budget: sustained
+		// contention needs the same fleet to stay assignable, or the budget
+		// drains the eligible pool within seconds and the run degenerates
+		// back to surplus traffic.
+		DisableDailyBudget: cfg.NoDailyBudget || cfg.DemandFrac > 0,
 	}
 }
 
@@ -440,6 +523,8 @@ type runResult struct {
 	Transport        string           `json:"transport"`
 	Shards           int              `json:"shards,omitempty"`
 	Policy           string           `json:"policy,omitempty"`
+	CoreCommit       string           `json:"core_commit,omitempty"`
+	DemandFrac       float64          `json:"demand_frac,omitempty"`
 	ServedByPolicy   map[string]int64 `json:"served_by_policy,omitempty"`
 	JCTAvgSeconds    float64          `json:"jct_avg_seconds,omitempty"`
 	JCTP90Seconds    float64          `json:"jct_p90_seconds,omitempty"`
@@ -506,6 +591,11 @@ type benchReport struct {
 	// SpeedupStreamMCVsSingleCore compares the stream-mc rung (full
 	// GOMAXPROCS, per-core listener shards) to the single-core stream rung.
 	SpeedupStreamMCVsSingleCore float64 `json:"speedup_stream_mc_vs_single_core,omitempty"`
+	// ContendedVsStream compares the stream-v2-contended rung (demand-heavy
+	// traffic committing through the core pipeline) to the surplus stream
+	// rung (lock-free snapshot path). Expected well below 1.0 — it prices
+	// the core commit, not the protocol.
+	ContendedVsStream float64 `json:"contended_vs_stream,omitempty"`
 }
 
 // printMu serializes all human-readable run output: each run's block is
@@ -762,6 +852,66 @@ type lane struct {
 	c    apiClient
 }
 
+// laneStat is one lane's live counters, shared between its workers and (in
+// demand-heavy mode) its demand feeder.
+type laneStat struct {
+	checkIns atomic.Int64
+	assigns  atomic.Int64
+	errs     atomic.Int64
+}
+
+// demandFeeder keeps one lane demand-heavy: every feedInterval it measures
+// the lane's check-in rate and registers a one-round filler job sized so
+// that roughly cfg.DemandFrac of check-ins keeps winning an assignment.
+// Open demand is consumed greedily at the check-in rate, so the feeder
+// tops outstanding demand up to exactly one interval's worth — more would
+// overshoot the fraction, not smooth it. While any demand is open every
+// check-in commits through the scheduler core, so the fraction governs
+// assignment (and report) volume, not which path check-ins take. Filler
+// jobs are not part of the scripted job set, so the end-of-run completion
+// poll ignores them.
+func demandFeeder(c apiClient, ls *laneStat, cfg loadConfig, li int, stop <-chan struct{}) {
+	cat := cfg.Category
+	if cat == "" {
+		cat = "General"
+	}
+	t := time.NewTicker(feedInterval)
+	defer t.Stop()
+	var registered, prevCI int64
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		ci := ls.checkIns.Load()
+		dCI := ci - prevCI
+		prevCI = ci
+		want := int64(cfg.DemandFrac * float64(dCI))
+		if want < 1 {
+			want = 1
+		}
+		// Assignments against the scripted jobs inflate the lane's assign
+		// counter by their (small, fixed) total demand; the resulting
+		// under-count of outstanding feeder demand is a bounded constant
+		// that the next top-up absorbs.
+		outstanding := registered - ls.assigns.Load()
+		if need := want - outstanding; need > 0 {
+			if _, err := c.RegisterJob(server.JobSpec{
+				Name:           fmt.Sprintf("feed-%d-%d", li, seq),
+				Category:       cat,
+				DemandPerRound: int(need),
+				Rounds:         1,
+			}); err != nil {
+				continue // a register hiccup only delays the next top-up
+			}
+			registered += need
+			seq++
+		}
+	}
+}
+
 // runLoad drives one load run through the given lanes. Workers are spread
 // across lanes round-robin; each worker drives a disjoint slice of the
 // fleet through its lane's client, so a device always checks in via the
@@ -895,10 +1045,6 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		}
 	}
 
-	type laneStat struct {
-		checkIns atomic.Int64
-		errs     atomic.Int64
-	}
 	var (
 		checkIns    atomic.Int64
 		assignments atomic.Int64
@@ -969,6 +1115,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 						ls.checkIns.Add(1)
 						if asg.Assigned {
 							assignments.Add(1)
+							ls.assigns.Add(1)
 							localServed[asg.Policy]++
 							if err := c.Report(server.Report{
 								DeviceID:        d.id,
@@ -1032,6 +1179,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 							continue
 						}
 						assignments.Add(1)
+						ls.assigns.Add(1)
 						localServed[res.Policy]++
 						pendingReports = append(pendingReports, server.Report{
 							DeviceID:        cis[i].DeviceID,
@@ -1069,6 +1217,7 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 					continue
 				}
 				assignments.Add(1)
+				ls.assigns.Add(1)
 				localServed[asg.Policy]++
 				err = c.Report(server.Report{
 					DeviceID:        d.id,
@@ -1091,7 +1240,22 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 			latMu.Unlock()
 		}(lanes[li].c, &laneStats[li], pool[lo:hi], rng.Fork())
 	}
+	// Demand-heavy mode: one feeder per lane keeps fresh job arrivals
+	// flowing for as long as the workers run.
+	feedStop := make(chan struct{})
+	var feedWG sync.WaitGroup
+	if cfg.DemandFrac > 0 {
+		for li := range lanes {
+			feedWG.Add(1)
+			go func(li int) {
+				defer feedWG.Done()
+				demandFeeder(lanes[li].c, &laneStats[li], cfg, li, feedStop)
+			}(li)
+		}
+	}
 	wg.Wait()
+	close(feedStop)
+	feedWG.Wait()
 	elapsed := time.Since(start)
 
 	// Give in-flight rounds a moment to drain, then count completions and
@@ -1134,6 +1298,8 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		Mode:            cfg.Mode,
 		Transport:       cfg.Transport,
 		Policy:          activePolicy,
+		CoreCommit:      cfg.CoreCommit,
+		DemandFrac:      cfg.DemandFrac,
 		ServedByPolicy:  servedBy,
 		Agents:          cfg.Agents,
 		Conns:           cfg.Conns,

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driveCorePipeline replays a fixed traffic script — staggered job
+// registrations, mixed eligible/surplus check-in batches, single check-ins,
+// and reports — and returns every result the manager handed back, JSON
+// encoded in arrival order. Two managers with the same seed and clock must
+// produce byte-identical transcripts regardless of the core commit mode.
+func driveCorePipeline(t *testing.T, m *Manager, clk *fakeClock) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	record := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cats := []string{"General", "High-Perf", "Compute-Rich", "Memory-Rich"}
+	for step := 0; step < 30; step++ {
+		clk.advance(13 * time.Second)
+		if step%5 == 0 {
+			st, err := m.RegisterJob(JobSpec{
+				Name:           fmt.Sprintf("j%d", step),
+				Category:       cats[step%len(cats)],
+				DemandPerRound: 2 + step%3,
+				Rounds:         1 + step%2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(st)
+		}
+		// A batch whose device scores straddle the requirement tiers: some
+		// items are surplus (answered off the snapshot), some enter the
+		// core pipeline.
+		cis := make([]CheckIn, 8)
+		for i := range cis {
+			n := (step*5 + i) % 40
+			cis[i] = CheckIn{
+				DeviceID: fmt.Sprintf("d%d", n),
+				CPU:      float64(n%10) / 10,
+				Mem:      float64((n+3)%10) / 10,
+			}
+		}
+		res := m.CheckInBatch(cis)
+		record(res)
+		var reps []Report
+		for i, r := range res {
+			if r.Assigned {
+				reps = append(reps, Report{
+					DeviceID: cis[i].DeviceID, JobID: r.JobID,
+					OK: i%5 != 0, DurationSeconds: 9,
+				})
+			}
+		}
+		if len(reps) > 0 {
+			record(m.ReportBatch(reps))
+		}
+		sid := fmt.Sprintf("s%d", step%10)
+		asg, err := m.DeviceCheckIn(CheckIn{DeviceID: sid, CPU: 0.95, Mem: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(asg)
+		if asg.Assigned {
+			if err := m.DeviceReport(Report{DeviceID: sid, JobID: asg.JobID, OK: true, DurationSeconds: 4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := m.StatsSnapshot()
+	record([]int{st.CheckIns, st.Assignments, st.Reports, st.Failures, st.Aborts})
+	return buf.Bytes()
+}
+
+// TestCoreCommitDeterminismPin pins the flat-combining applier to the
+// direct-lock path: for a fixed seed and clock, the full result transcript
+// (assignments, batch replies, report replies, final counters) must be
+// byte-identical across commit modes. "combine" forces every op through the
+// queue; "auto" exercises the fast path (a sequential driver never
+// contends).
+func TestCoreCommitDeterminismPin(t *testing.T) {
+	run := func(mode string) []byte {
+		clk := newFakeClock()
+		m := NewManager(Config{Clock: clk.now, Seed: 7, CoreCommit: mode})
+		return driveCorePipeline(t, m, clk)
+	}
+	want := run("direct")
+	for _, mode := range []string{"auto", "combine"} {
+		if got := run(mode); !bytes.Equal(got, want) {
+			t.Errorf("core commit mode %q diverged from direct-lock transcript:\nbytes %d vs %d", mode, len(got), len(want))
+		}
+	}
+}
+
+// TestCombinerConcurrentMixedLoad races concurrent mixed surplus/demand
+// CheckInBatch and report traffic against the combiner (run under -race in
+// CI). Low-spec devices stay surplus for the High-Perf-only demand and are
+// answered off the snapshot mid-batch while high-spec items of the same
+// batches commit through the core pipeline; budget is disabled so demand
+// stays contended for the whole run. The end-state invariants catch lost
+// updates; the forced-combine subtest additionally proves rounds actually
+// combined multiple ops.
+func TestCombinerConcurrentMixedLoad(t *testing.T) {
+	for _, mode := range []string{"auto", "combine"} {
+		t.Run(mode, func(t *testing.T) {
+			m := NewManager(Config{CoreCommit: mode, DisableDailyBudget: true})
+			const (
+				workers        = 64
+				devicesPerWork = 32
+				iterations     = 4
+			)
+			totalDemand := 0
+			for i := 0; i < 8; i++ {
+				d := 40 + i*10
+				if _, err := m.RegisterJob(JobSpec{
+					Name: fmt.Sprintf("hp-%d", i), Category: "High-Perf",
+					DemandPerRound: d, Rounds: 2,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				totalDemand += d * 2
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for it := 0; it < iterations; it++ {
+						cis := make([]CheckIn, devicesPerWork)
+						for i := range cis {
+							// Even items are high-spec (High-Perf eligible),
+							// odd items are low-spec surplus.
+							score := 0.95
+							if i%2 == 1 {
+								score = 0.05
+							}
+							cis[i] = CheckIn{
+								DeviceID: fmt.Sprintf("w%d-d%d", w, i),
+								CPU:      score, Mem: score,
+							}
+						}
+						res := m.CheckInBatch(cis)
+						var reps []Report
+						for i, r := range res {
+							if r.Error != "" {
+								t.Errorf("batch item error: %s", r.Error)
+								return
+							}
+							if r.Assigned {
+								reps = append(reps, Report{
+									DeviceID: cis[i].DeviceID, JobID: r.JobID,
+									OK: true, DurationSeconds: 2,
+								})
+							}
+						}
+						if len(reps) > 0 {
+							for _, rr := range m.ReportBatch(reps) {
+								if rr.Error != "" {
+									t.Errorf("report item error: %s", rr.Error)
+								}
+							}
+						}
+					}
+				}(w)
+			}
+			done := make(chan struct{})
+			var readers sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						m.Tick()
+						_ = m.StatsSnapshot()
+						_ = m.MetricsSnapshot()
+					}
+				}()
+			}
+			wg.Wait()
+			close(done)
+			readers.Wait()
+
+			st := m.StatsSnapshot()
+			mt := m.MetricsSnapshot()
+			if st.CheckIns == 0 || st.Assignments == 0 {
+				t.Fatalf("no traffic recorded: %+v", st)
+			}
+			if st.Assignments > totalDemand {
+				t.Errorf("assignments %d exceed total demand %d", st.Assignments, totalDemand)
+			}
+			if st.Reports > st.Assignments {
+				t.Errorf("more reports than assignments: %+v", st)
+			}
+			if mt.LockFreeCheckIns == 0 {
+				t.Errorf("no surplus check-ins took the lock-free path")
+			}
+			applied := mt.CoreCombinedOps + mt.CoreFastPathOps
+			if applied == 0 {
+				t.Errorf("no ops committed through the core pipeline: %+v", mt)
+			}
+			if mode == "combine" && mt.CoreRounds == 0 {
+				t.Errorf("forced-combine run recorded no combining rounds")
+			}
+			busy := 0
+			for i := range m.shards {
+				sh := &m.shards[i]
+				sh.mu.Lock()
+				for _, md := range sh.devices {
+					if md.busy {
+						busy++
+					}
+				}
+				sh.mu.Unlock()
+			}
+			if got := m.busyDevices.Load(); got != int64(busy) {
+				t.Errorf("busy gauge %d != actual busy %d", got, busy)
+			}
+		})
+	}
+}
+
+// TestDisableDailyBudget proves the benchmark knob: with the budget lifted a
+// device that reported back is assignable again the same day; with it in
+// force (the default) the second check-in is refused without error.
+func TestDisableDailyBudget(t *testing.T) {
+	for _, disabled := range []bool{true, false} {
+		clk := newFakeClock()
+		m := NewManager(Config{Clock: clk.now, DisableDailyBudget: disabled})
+		if _, err := m.RegisterJob(JobSpec{Name: "j", Category: "General", DemandPerRound: 10, Rounds: 1}); err != nil {
+			t.Fatal(err)
+		}
+		ci := CheckIn{DeviceID: "dev", CPU: 0.9, Mem: 0.9}
+		asg, err := m.DeviceCheckIn(ci)
+		if err != nil || !asg.Assigned {
+			t.Fatalf("disabled=%v: first check-in not assigned: %+v, %v", disabled, asg, err)
+		}
+		if err := m.DeviceReport(Report{DeviceID: "dev", JobID: asg.JobID, OK: true, DurationSeconds: 1}); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Minute)
+		again, err := m.DeviceCheckIn(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Assigned != disabled {
+			t.Errorf("disabled=%v: same-day reassignment = %v, want %v", disabled, again.Assigned, disabled)
+		}
+	}
+}
+
+// TestCoreCommitValidation pins the mode names: the CLIs gate on
+// CoreCommitValid and NewManager panics on anything it rejects.
+func TestCoreCommitValidation(t *testing.T) {
+	for _, ok := range []string{"", "auto", "direct", "combine"} {
+		if !CoreCommitValid(ok) {
+			t.Errorf("CoreCommitValid(%q) = false", ok)
+		}
+	}
+	if CoreCommitValid("bogus") {
+		t.Error(`CoreCommitValid("bogus") = true`)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewManager accepted an unknown core commit mode")
+		}
+	}()
+	NewManager(Config{CoreCommit: "bogus"})
+}

@@ -21,8 +21,15 @@
 // Tick), trading sub-second recording precision — irrelevant at the 24h
 // supply-averaging window — for a lock-free fast path. The batch entry
 // points (CheckInBatch, ReportBatch) amortize one core-mutex acquisition
-// across every item that still needs the scheduler. Lock order is always:
-// shard locks in ascending shard index, then the core mutex.
+// across every item that still needs the scheduler.
+//
+// Check-ins that do need the scheduler — and reports, and job arrivals —
+// commit through the flat-combining pipeline in combiner.go: under
+// contention callers enqueue typed core ops and a single combiner applies
+// them in rounds, one mutex acquisition and one maintenance pass per round
+// instead of per caller; uncontended callers keep the historical direct
+// lock. Lock order is always: shard locks in ascending shard index, then
+// the core mutex (the combiner takes no shard locks).
 package server
 
 import (
@@ -203,6 +210,17 @@ type Config struct {
 	// it with a 24h default). Applies to busy devices too: a reservation
 	// a full TTL old belongs to a device that crashed mid-task.
 	DeviceTTL time.Duration
+	// CoreCommit selects how core ops commit (combiner.go): "" or "auto"
+	// for flat combining with an uncontended direct fast path, "direct"
+	// for the historical per-caller lock acquisition, "combine" to force
+	// every op through the queue (tests). Unknown names panic in
+	// NewManager — CLIs validate with CoreCommitValid first.
+	CoreCommit string
+	// DisableDailyBudget lifts the one-task-per-device-per-day realism
+	// constraint. Load benchmarks set it so a demand-heavy run exercises
+	// sustained assignment traffic instead of exhausting the fleet's
+	// budgets in the first seconds.
+	DisableDailyBudget bool
 }
 
 // deviceShard is one stripe of the device registry. The trailing pad keeps
@@ -262,17 +280,37 @@ type Manager struct {
 	// pendingSupply[c] accumulates check-in counts for grid cell c until a
 	// core section drains them into the TSDB (see drainSupplyLocked).
 	pendingSupply []atomic.Int64
+	// supplyDirty is set (after the cell counter add) whenever pendingSupply
+	// holds undrained counts; drainSupplyLocked skips its per-cell scan when
+	// clear, so no-op core sections pay one atomic swap instead of an
+	// O(cells) walk.
+	supplyDirty atomic.Bool
 	// sweepCursor round-robins TTL sweeps across shards.
 	sweepCursor atomic.Int64
 	// evictions counts devices dropped by TTL sweeps.
 	evictions atomic.Int64
 
 	// deadlines holds the at-time per collecting job; checked by Tick and
-	// opportunistically on the serving paths. deadlineMin is a lower bound
-	// on the earliest entry so the common no-deadline-due case stays O(1).
+	// opportunistically on the serving paths. deadlineDue mirrors a lower
+	// bound on the earliest entry, encoded as at+1 (0 = none armed), so the
+	// common no-deadline-due case is one atomic load and no map access.
+	// Removals leave it stale-low, which at worst costs one extra scan,
+	// never a missed expiry.
 	deadlines   map[job.ID]simtime.Time
-	deadlineMin simtime.Time
+	deadlineDue atomic.Int64
 	attempt     map[job.ID]uint64
+
+	// Flat-combining core commit pipeline (combiner.go). coreHead is the
+	// MPSC op queue, combining elects the single combiner, coreMode is the
+	// parsed Config.CoreCommit. The counters and the wait tracker feed
+	// /v1/metrics (core_rounds, core_ops_per_round, core_wait_ns).
+	coreMode        int
+	coreHead        atomic.Pointer[coreOp]
+	combining       atomic.Bool
+	coreRounds      atomic.Int64
+	coreCombinedOps atomic.Int64
+	coreFastOps     atomic.Int64
+	coreWait        *latencyTrack
 
 	// Cumulative counters (guarded by mu; all mutated in core sections).
 	assignments, reports, failures, aborts int
@@ -525,7 +563,13 @@ func NewManager(cfg Config) *Manager {
 	if seed == 0 {
 		seed = cfg.Clock().UnixNano()
 	}
+	coreMode, ok := parseCoreCommit(cfg.CoreCommit)
+	if !ok {
+		panic(fmt.Sprintf("server: unknown core commit mode %q", cfg.CoreCommit))
+	}
 	m := &Manager{
+		coreMode:   coreMode,
+		coreWait:   &latencyTrack{},
 		cfg:        cfg,
 		start:      cfg.Clock(),
 		categories: make(map[string]device.Requirement, len(cfg.Categories)),
@@ -590,18 +634,23 @@ func (m *Manager) shardIndex(deviceID string) int {
 	return int(h.Sum32()) % len(m.shards)
 }
 
-// RegisterJob admits a new CL job and opens its first-round request.
+// RegisterJob admits a new CL job and opens its first-round request. The
+// admission itself commits through the core pipeline (combiner.go) as an
+// opRegister, so job arrivals combine with in-flight assignment rounds.
 func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
-	req, ok := m.categories[spec.Category]
-	if !ok {
+	if _, ok := m.categories[spec.Category]; !ok {
 		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownCategory, spec.Category)
 	}
 	if spec.DemandPerRound < 1 || spec.Rounds < 1 {
 		return JobStatus{}, errors.New("server: demand and rounds must be positive")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.now()
+	return m.submitRegister(spec), nil
+}
+
+// registerJobLocked admits a pre-validated job spec. The caller holds the
+// core mutex and has run the section preamble.
+func (m *Manager) registerJobLocked(spec JobSpec, now simtime.Time) JobStatus {
+	req := m.categories[spec.Category]
 	m.drainSupplyLocked(now) // the arrival estimate reads supply history
 	id := m.nextJob
 	m.nextJob++
@@ -627,7 +676,7 @@ func (m *Manager) RegisterJob(spec JobSpec) (JobStatus, error) {
 			demand: spec.DemandPerRound, rounds: spec.Rounds, taskScale: spec.TaskScale,
 		})
 	}
-	return m.statusLocked(mj), nil
+	return m.statusLocked(mj)
 }
 
 // admitShardLocked runs the shard-local admission checks for one check-in
@@ -664,8 +713,9 @@ func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time
 		}
 	}
 	md.lastSeenSec = nowSec
-	// One task per day per device (the paper's realism constraint).
-	if int(md.dev.LastTaskDay) == now.DayIndex() {
+	// One task per day per device (the paper's realism constraint);
+	// benchmarks lift it via Config.DisableDailyBudget.
+	if !m.cfg.DisableDailyBudget && int(md.dev.LastTaskDay) == now.DayIndex() {
 		return nil, nil
 	}
 	md.busy = true
@@ -678,13 +728,21 @@ func (m *Manager) admitShardLocked(sh *deviceShard, ci CheckIn, now simtime.Time
 func (m *Manager) countCheckIn(md *managedDevice) {
 	m.checkIns.Add(1)
 	m.pendingSupply[md.cell].Add(1)
+	// Flag after the add: a drain that swaps the flag observes every count
+	// whose flag-set it raced, and a count it misses re-flags for the next
+	// drain.
+	m.supplyDirty.Store(true)
 }
 
 // drainSupplyLocked flushes the pending per-cell check-in counts into the
 // TSDB. Called at the start of every core critical section (and from Tick),
 // so supply estimates lag true check-in times by at most a tick — noise at
-// the 24-hour averaging window the scheduler reads.
+// the 24-hour averaging window the scheduler reads. The dirty flag makes
+// the no-pending case one atomic swap instead of an O(cells) scan.
 func (m *Manager) drainSupplyLocked(now simtime.Time) {
+	if !m.supplyDirty.Swap(false) {
+		return
+	}
 	for c := range m.pendingSupply {
 		if n := m.pendingSupply[c].Swap(0); n > 0 {
 			m.env.DB.RecordCheckIns(device.CellID(c), int(n), now)
@@ -785,11 +843,7 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 			})
 		}
 	} else {
-		m.mu.Lock()
-		m.drainSupplyLocked(now)
-		m.expireDueLocked(now)
-		asg = m.assignCoreLocked(md, ci.DeviceID, now)
-		m.mu.Unlock()
+		asg = m.submitAssign(md, ci.DeviceID)
 	}
 	m.metrics.checkins.Add(sec, 1)
 	if asg.Assigned {
@@ -824,13 +878,10 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 	nowSec := m.nowSec()
 	// If churn left the plan stale, pay one refresh up front so the whole
 	// batch probes a fresh snapshot instead of queueing for the locked
-	// path item by item.
+	// path item by item. The refresh commits through the core pipeline, so
+	// concurrent batches share one republish.
 	if m.lockFreeOK && !m.venn.PlanFresh() {
-		m.mu.Lock()
-		m.drainSupplyLocked(now)
-		m.expireDueLocked(now)
-		m.venn.RefreshPlan(now)
-		m.mu.Unlock()
+		m.submitRefresh()
 	}
 	pending := make([]*managedDevice, len(cis))
 	var needCore []int
@@ -873,16 +924,16 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 
 	assigned := 0
 	if len(needCore) > 0 {
-		m.mu.Lock()
-		m.drainSupplyLocked(now)
-		m.expireDueLocked(now)
+		items := make([]assignItem, len(needCore))
+		for k, i := range needCore {
+			items[k] = assignItem{md: pending[i], id: cis[i].DeviceID, out: &out[i].Assignment}
+		}
+		m.submitAssignBatch(items)
 		for _, i := range needCore {
-			out[i].Assignment = m.assignCoreLocked(pending[i], cis[i].DeviceID, now)
 			if out[i].Assigned {
 				assigned++
 			}
 		}
-		m.mu.Unlock()
 	}
 	for i, md := range pending {
 		if md != nil && !out[i].Assigned {
@@ -943,12 +994,7 @@ func (m *Manager) DeviceReport(r Report) error {
 	if md.busy {
 		m.release(md)
 	}
-	now := m.now()
-	m.mu.Lock()
-	m.drainSupplyLocked(now)
-	m.expireDueLocked(now)
-	m.reportCoreLocked(r, md, now)
-	m.mu.Unlock()
+	m.submitReport(r, md)
 	m.metrics.reportRate.Add(m.nowSec(), 1)
 	return nil
 }
@@ -988,16 +1034,13 @@ func (m *Manager) ReportBatch(rs []Report) []ReportResult {
 		accepted++
 	}
 	if accepted > 0 {
-		now := m.now()
-		m.mu.Lock()
-		m.drainSupplyLocked(now)
-		m.expireDueLocked(now)
+		items := make([]reportItem, 0, accepted)
 		for i, md := range devs {
 			if md != nil {
-				m.reportCoreLocked(rs[i], md, now)
+				items = append(items, reportItem{r: rs[i], md: md})
 			}
 		}
-		m.mu.Unlock()
+		m.submitReportBatch(items)
 	}
 	m.metrics.reportRate.Add(m.nowSec(), int64(accepted))
 	return out
@@ -1063,20 +1106,25 @@ func (m *Manager) abortLocked(mj *managedJob, now simtime.Time) {
 }
 
 // setDeadlineLocked records a collecting job's response deadline and keeps
-// deadlineMin a lower bound on the earliest entry.
+// deadlineDue a lower bound on the earliest entry.
 func (m *Manager) setDeadlineLocked(id job.ID, at simtime.Time) {
 	m.deadlines[id] = at
-	if len(m.deadlines) == 1 || at < m.deadlineMin {
-		m.deadlineMin = at
+	if due := m.deadlineDue.Load(); due == 0 || int64(at)+1 < due {
+		m.deadlineDue.Store(int64(at) + 1)
 	}
 }
 
 // expireDueLocked is the O(1) fast path around deadline expiry: the full
-// scan only runs when the earliest recorded deadline can actually be due.
-// Removals leave deadlineMin stale-low, which at worst triggers one extra
-// scan, never a missed expiry.
+// scan only runs when the earliest recorded deadline can actually be due,
+// and the bound is one atomic load. Removals leave deadlineDue stale-low,
+// which at worst triggers one extra scan, never a missed expiry.
 func (m *Manager) expireDueLocked(now simtime.Time) {
-	if len(m.deadlines) == 0 || now < m.deadlineMin {
+	due := m.deadlineDue.Load()
+	if due == 0 || int64(now) < due-1 {
+		return
+	}
+	if len(m.deadlines) == 0 {
+		m.deadlineDue.Store(0) // removals left the bound stale; disarm
 		return
 	}
 	m.expireDeadlinesLocked(now)
@@ -1111,7 +1159,11 @@ func (m *Manager) expireDeadlinesLocked(now simtime.Time) {
 			earliest, first = at, false
 		}
 	}
-	m.deadlineMin = earliest
+	if first {
+		m.deadlineDue.Store(0)
+	} else {
+		m.deadlineDue.Store(int64(earliest) + 1)
+	}
 }
 
 // Tick runs the periodic maintenance: TTL eviction of idle devices,

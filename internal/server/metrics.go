@@ -48,6 +48,18 @@ type Metrics struct {
 	// DevicesEvicted counts registry entries dropped by TTL sweeps.
 	DevicesEvicted int64 `json:"devices_evicted_total"`
 
+	// Core commit pipeline telemetry (combiner.go). CoreRounds counts
+	// combining rounds applied; CoreCombinedOps counts the queued ops they
+	// carried (CoreOpsPerRound is their ratio — the amortization factor);
+	// CoreFastPathOps counts ops applied directly on the uncontended fast
+	// path, no queue hop. CoreWaitNs gives the wait-time percentiles, in
+	// nanoseconds, of submitters that parked while a combiner worked.
+	CoreRounds      int64          `json:"core_rounds"`
+	CoreCombinedOps int64          `json:"core_combined_ops"`
+	CoreOpsPerRound float64        `json:"core_ops_per_round"`
+	CoreFastPathOps int64          `json:"core_fastpath_ops"`
+	CoreWaitNs      LatencySummary `json:"core_wait_ns"`
+
 	// CheckInsPerSecByTransport splits the served check-in rate by the
 	// transport that carried it ("http", "stream"); transports with no
 	// traffic in the window are omitted. "Served" counts items not rejected
@@ -277,6 +289,13 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		DevicesEvicted:    m.evictions.Load(),
 		HandlerLatencyMs:  make(map[string]LatencySummary, len(metricRoutes)),
 	}
+	out.CoreRounds = m.coreRounds.Load()
+	out.CoreCombinedOps = m.coreCombinedOps.Load()
+	if out.CoreRounds > 0 {
+		out.CoreOpsPerRound = float64(out.CoreCombinedOps) / float64(out.CoreRounds)
+	}
+	out.CoreFastPathOps = m.coreFastOps.Load()
+	out.CoreWaitNs = m.coreWait.summary()
 	for _, route := range metricRoutes {
 		s := m.metrics.lat[route].summary()
 		if s.Count > 0 {
