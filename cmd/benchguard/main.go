@@ -17,6 +17,13 @@
 // single 5s runs swing ±15% on small CI runners, so best-of-N against
 // best-of-N is the noise-robust estimate of the real cost.
 //
+// Observability gate: -obs-smoke takes reports measured with request-span
+// sampling at its default rate and asserts sampling was live (spans reached
+// the flight recorder); with -obs-ref (sampling-off reports of the same
+// rungs) it bounds the stream-rung throughput cost of observability at
+// -max-obs-overhead (default 3%), best-of-N against best-of-N like the
+// shadow gate.
+//
 // Policy A/B gate: -ab-smoke takes a vennload -ab report and fails when the
 // first arm's mean JCT is worse than the second's — CI runs -ab venn,fifo,
 // so this asserts Venn's scheduling beats FIFO on the replayed trace.
@@ -97,6 +104,8 @@ type run struct {
 		PlanIncrementalHitRate float64                `json:"plan_incremental_hit_rate"`
 		PolicyPrimary          string                 `json:"policy_primary"`
 		PolicyShadows          map[string]shadowStats `json:"policy_shadows"`
+		ObsSampleEvery         int                    `json:"obs_sample_every"`
+		FlightRecorded         int64                  `json:"flight_recorded_total"`
 	} `json:"server_metrics"`
 }
 
@@ -329,6 +338,9 @@ func main() {
 		floorFrom    = flag.String("cluster-floor-from", "", "derive the -cluster-smoke floor from this single-daemon report's stream rate")
 		floorFrac    = flag.Float64("cluster-floor-frac", 0.25, "fraction of -cluster-floor-from's rate the federation aggregate must reach")
 		abPath       = flag.String("ab-smoke", "", "vennload -ab report: the first ab run's mean JCT must be no worse than the second's (optional)")
+		obsSmoke     = flag.String("obs-smoke", "", "comma-separated reports measured with span sampling at the default rate; sampling must be live (spans recorded) and the best stream rung must stay within -max-obs-overhead of -obs-ref's")
+		obsRef       = flag.String("obs-ref", "", "comma-separated sampling-off reference reports for the observability overhead gate")
+		maxObsOvh    = flag.Float64("max-obs-overhead", 0.03, "maximum fractional stream-throughput loss attributable to request-span sampling")
 		shadowPath   = flag.String("shadow-smoke", "", "comma-separated shadow-mode smoke reports: shadow counters must be present with zero dropped events and panics (optional)")
 		shadowRef    = flag.String("shadow-ref", "", "comma-separated no-shadow reference reports; -shadow-smoke's best stream rung must stay within -max-shadow-overhead of theirs")
 		maxShadowOvh = flag.Float64("max-shadow-overhead", 0.10, "maximum fractional stream-throughput loss attributable to shadow policies")
@@ -583,6 +595,51 @@ func main() {
 			} else {
 				fmt.Printf("benchguard: A/B smoke OK (%s mean JCT %.2fs <= %s %.2fs)\n",
 					a.Policy, a.JCTAvgSeconds, b.Policy, b.JCTAvgSeconds)
+			}
+		}
+	}
+
+	if *obsSmoke != "" {
+		smokes, err := loadAll(*obsSmoke)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		// Sampling must actually have been live in the smoke runs, or the
+		// overhead comparison silently measures nothing.
+		sampled := false
+		for _, smoke := range smokes {
+			for _, r := range smoke.Runs {
+				if mt := r.ServerMetrics; mt != nil && mt.ObsSampleEvery > 0 && mt.FlightRecorded > 0 {
+					sampled = true
+				}
+			}
+		}
+		if !sampled {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL no obs-smoke report shows live span sampling (obs_sample_every > 0 with flight records)")
+			failed = true
+		}
+		if *obsRef != "" {
+			refs, err := loadAll(*obsRef)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchguard:", err)
+				os.Exit(1)
+			}
+			refRate, okR := bestStreamRate(refs)
+			curRate, okC := bestStreamRate(smokes)
+			switch {
+			case refs[0].NumCPU != smokes[0].NumCPU:
+				fmt.Printf("benchguard: num_cpu differs (%d ref vs %d obs smoke); skipping the observability overhead check\n",
+					refs[0].NumCPU, smokes[0].NumCPU)
+			case !okR || !okC:
+				fmt.Println("benchguard: observability overhead check needs a stream run on both sides; skipping")
+			case curRate < refRate*(1-*maxObsOvh):
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL sampled stream throughput %.0f/s is more than %.1f%% below the sampling-off %.0f/s (best of %d vs %d runs)\n",
+					curRate, *maxObsOvh*100, refRate, len(smokes), len(refs))
+				failed = true
+			default:
+				fmt.Printf("benchguard: observability overhead %.1f%% of stream throughput (%.0f/s sampled vs %.0f/s off, best of %d vs %d runs) — OK\n",
+					100*(1-curRate/refRate), curRate, refRate, len(smokes), len(refs))
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+// Command promlint validates a Prometheus text-format exposition against
+// the subset of the format venndaemon emits: HELP/TYPE comment pairs,
+// metric-name and label-name charsets, histogram bucket/sum/count families,
+// and float sample values. CI curls GET /metrics through it so a malformed
+// exposition fails the lint job even on runners without promtool.
+//
+//	promlint http://localhost:8080/metrics
+//	promlint exposition.txt
+//	curl -s localhost:8080/metrics | promlint -
+//
+// On success it prints the family and sample counts; any grammar violation
+// exits nonzero with the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"venn/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: promlint <url|file|->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	var (
+		text []byte
+		err  error
+	)
+	switch {
+	case src == "-":
+		text, err = io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		cl := &http.Client{Timeout: 10 * time.Second}
+		var resp *http.Response
+		resp, err = cl.Get(src)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "promlint: %s answered %s\n", src, resp.Status)
+				os.Exit(1)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				fmt.Fprintf(os.Stderr, "promlint: %s content type %q, want text/plain\n", src, ct)
+				os.Exit(1)
+			}
+			text, err = io.ReadAll(resp.Body)
+		}
+	default:
+		text, err = os.ReadFile(src)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+
+	families, samples, err := obs.ValidateExposition(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	if families == 0 || samples == 0 {
+		fmt.Fprintf(os.Stderr, "promlint: empty exposition (%d families, %d samples)\n", families, samples)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: OK (%d families, %d samples)\n", families, samples)
+}

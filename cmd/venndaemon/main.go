@@ -61,6 +61,14 @@
 // the historical per-caller lock; combine: always through the op queue —
 // see the README's Core commit pipeline section). -daily-budget=false lifts
 // the one-task-per-day device budget for sustained-demand benchmarking.
+//
+// Observability: every request feeds always-on per-op latency histograms,
+// and -obs-sample (1 in N, default 64) attaches per-stage spans that land
+// in /v1/metrics request_stage_ns, GET /v1/debug/flight (the flight
+// recorder), and the GET /metrics Prometheus exposition. GET /v1/healthz
+// answers 200/503 for probes, and -log-metrics writes a one-line serving
+// summary to stderr at the given interval (see the README's Observability
+// section).
 package main
 
 import (
@@ -94,6 +102,38 @@ const (
 	mutexProfileFraction = 100
 	blockProfileRateNs   = 10_000
 )
+
+// metricsLine renders the -log-metrics one-line serving summary: current
+// rates, the worst per-stage p99 across ops (sampled spans), federation
+// counters when clustered, and a health flag when the daemon is wedged.
+func metricsLine(m *server.Manager) string {
+	mt := m.MetricsSnapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkins/s=%.0f reports/s=%.0f devices=%d busy=%d",
+		mt.CheckInsPerSec, mt.ReportsPerSec, mt.KnownDevices, mt.BusyDevices)
+	worst := map[string]float64{}
+	for _, byStage := range mt.RequestStageNs {
+		for st, s := range byStage {
+			if s.P99 > worst[st] {
+				worst[st] = s.P99
+			}
+		}
+	}
+	for _, st := range []string{"read", "decode", "queue_wait", "apply", "hop", "encode", "write"} {
+		if v, ok := worst[st]; ok {
+			fmt.Fprintf(&b, " p99_%s=%s", st, time.Duration(v).Round(time.Microsecond))
+		}
+	}
+	if mt.ClusterNodeID != "" {
+		fmt.Fprintf(&b, " fwd_out=%d fwd_in=%d fwd_err=%d peers_up=%d/%d",
+			mt.ClusterForwardsOut, mt.ClusterForwardsIn, mt.ClusterForwardErrors,
+			mt.ClusterPeersUp, mt.ClusterPeersUp+mt.ClusterPeersDown)
+	}
+	if h := m.Health(); !h.OK {
+		fmt.Fprintf(&b, " UNHEALTHY(%s)", h.Detail)
+	}
+	return b.String()
+}
 
 // writeProfile dumps a named runtime profile ("mutex", "block") to path.
 func writeProfile(name, path string) {
@@ -130,6 +170,8 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated stream addresses of every cluster member (enables federation; requires -stream-addr)")
 		nodeID       = flag.String("node-id", "", "this node's member ID in -peers (default: the -stream-addr value)")
 		vnodes       = flag.Int("vnodes", 0, "virtual nodes per member on the ownership ring (0 = default 128)")
+		obsSample    = flag.Int("obs-sample", 0, "request-span sampling: 1 in N requests gets a per-stage span (0 = default 64, negative disables spans)")
+		logMetrics   = flag.Duration("log-metrics", 0, "log a one-line serving summary to stderr at this interval (0 disables)")
 		pprofSrv     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile here until shutdown")
 		mutexProf    = flag.String("mutexprofile", "", "write a mutex contention profile here at shutdown")
@@ -224,6 +266,7 @@ func main() {
 		DeviceTTL:          *deviceTTL,
 		CoreCommit:         *coreCommit,
 		DisableDailyBudget: !*dailyBudget,
+		ObsSampleEvery:     *obsSample,
 	})
 	defer m.StopShadows()
 
@@ -282,6 +325,21 @@ func main() {
 		}()
 	}
 
+	if *logMetrics > 0 {
+		go func() {
+			tick := time.NewTicker(*logMetrics)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, "venndaemon: "+metricsLine(m))
+				}
+			}
+		}()
+	}
+
 	fmt.Printf("venndaemon listening on %s (policy=%s tiers=%d epsilon=%.1f shards=%d device-ttl=%v", *addr,
 		m.PolicyName(), *tiers, *epsilon, m.MetricsSnapshot().Shards, *deviceTTL)
 	if len(shadowList) > 0 {
@@ -298,6 +356,9 @@ func main() {
 	}
 	if *maxWireVer != 0 {
 		fmt.Printf(" max-wire-version=%d", *maxWireVer)
+	}
+	if *obsSample != 0 {
+		fmt.Printf(" obs-sample=%d", *obsSample)
 	}
 	if clu != nil {
 		fmt.Printf(" federation=%s", clu)

@@ -99,6 +99,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed for the synthetic fleet")
 		out         = flag.String("out", "", "write a JSON benchmark report to this file")
 		compare     = flag.Bool("compare", false, "self-host and record the ladder: single-lock HTTP, batched+sharded HTTP, stream at wire v1, stream at v2, 2-daemon federation (all at GOMAXPROCS=1), plus a multi-core stream rung on multi-core hosts")
+		obsSample   = flag.Int("obs-sample", 0, "request-span sampling for self-hosted daemons: 1 in N requests (0 = server default 64, negative disables spans)")
 		pprofSrv    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the load run(s) to this file")
 		mutexProf   = flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
@@ -197,7 +198,7 @@ func main() {
 		Jobs: *jobs, Demand: *demand, DemandFrac: *demandFrac, Rounds: *rounds,
 		Category: *category, Seed: *seed,
 		Policy: *polName, Shadow: shadowList, CoreCommit: *coreCommit,
-		WireVersion: *wireVer, StreamShards: *streamShrds,
+		WireVersion: *wireVer, StreamShards: *streamShrds, ObsSample: *obsSample,
 	}
 	switch {
 	case *abFlag != "":
@@ -450,6 +451,7 @@ type loadConfig struct {
 	Demand        int
 	DemandFrac    float64 // demand-heavy mode: target assignment fraction of check-ins (0 = surplus traffic)
 	NoDailyBudget bool    // self-hosted runs: lift the one-task-per-day budget (implied by DemandFrac > 0)
+	ObsSample     int     // self-hosted runs: span sampling 1 in N (0 = server default, negative disables)
 	Rounds        int
 	Category      string // "" cycles the standard strata
 	Seed          int64
@@ -472,6 +474,7 @@ func managerConfig(cfg loadConfig) server.Config {
 		// drains the eligible pool within seconds and the run degenerates
 		// back to surplus traffic.
 		DisableDailyBudget: cfg.NoDailyBudget || cfg.DemandFrac > 0,
+		ObsSampleEvery:     cfg.ObsSample,
 	}
 }
 
@@ -1401,6 +1404,22 @@ func runLoad(lanes []lane, cfg loadConfig) runResult {
 		if mt.StreamFramesIn > 0 {
 			fmt.Fprintf(&b, "  stream: %d conns, %d frames in, %d frames out; per-transport rates %v\n",
 				mt.StreamConns, mt.StreamFramesIn, mt.StreamFramesOut, mt.CheckInsPerSecByTransport)
+		}
+		// Per-stage p99 of the dominant op's sampled spans (1 in
+		// obs_sample_every requests), in canonical stage order.
+		for _, op := range []string{"checkin_batch", "checkin"} {
+			stages := mt.RequestStageNs[op]
+			if len(stages) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  stages (%s p99, 1/%d sampled):", op, mt.ObsSampleEvery)
+			for _, st := range []string{"read", "decode", "queue_wait", "apply", "hop", "encode", "write"} {
+				if s, ok := stages[st]; ok && s.Count > 0 {
+					fmt.Fprintf(&b, " %s=%s", st, time.Duration(s.P99).Round(100*time.Nanosecond))
+				}
+			}
+			b.WriteByte('\n')
+			break
 		}
 	}
 	printBlock(&b)

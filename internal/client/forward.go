@@ -16,30 +16,35 @@ import (
 // to serve the request itself and never forward it again (the hop guard
 // against routing loops between daemons with disagreeing rings). The same
 // multiplexing connection pool carries forwarded and first-hand traffic.
+//
+// trace is the forwarding daemon's sampled span ID (0 when the originating
+// request is unsampled): a nonzero trace rides ahead of the payload under
+// transport.TraceFlag, so the receiving daemon records the hop under the
+// same trace ID and the two flight-recorder entries can be joined.
 
 // CheckInForward relays a check-in to its owning daemon.
-func (s *StreamClient) CheckInForward(ci server.CheckIn) (server.Assignment, error) {
-	asg, _, err := s.checkInOp(transport.OpCheckIn|transport.HopFlag, ci)
+func (s *StreamClient) CheckInForward(ci server.CheckIn, trace uint64) (server.Assignment, error) {
+	asg, _, err := s.checkInOp(transport.OpCheckIn|transport.HopFlag, ci, trace)
 	return asg, err
 }
 
 // CheckInBatchForward relays an owner-split check-in batch to its owning
 // daemon. Results[i] answers cis[i].
-func (s *StreamClient) CheckInBatchForward(cis []server.CheckIn) ([]server.CheckInResult, error) {
-	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch|transport.HopFlag, cis)
+func (s *StreamClient) CheckInBatchForward(cis []server.CheckIn, trace uint64) ([]server.CheckInResult, error) {
+	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch|transport.HopFlag, cis, trace)
 	return res, err
 }
 
 // ReportForward relays a task report to its owning daemon.
-func (s *StreamClient) ReportForward(r server.Report) error {
-	_, err := s.reportOp(transport.OpReport|transport.HopFlag, r)
+func (s *StreamClient) ReportForward(r server.Report, trace uint64) error {
+	_, err := s.reportOp(transport.OpReport|transport.HopFlag, r, trace)
 	return err
 }
 
 // ReportBatchForward relays an owner-split report batch to its owning
 // daemon. Results[i] answers rs[i].
-func (s *StreamClient) ReportBatchForward(rs []server.Report) ([]server.ReportResult, error) {
-	res, _, err := s.reportBatchOp(transport.OpReportBatch|transport.HopFlag, rs)
+func (s *StreamClient) ReportBatchForward(rs []server.Report, trace uint64) ([]server.ReportResult, error) {
+	res, _, err := s.reportBatchOp(transport.OpReportBatch|transport.HopFlag, rs, trace)
 	return res, err
 }
 
@@ -65,8 +70,8 @@ func rawForwardEncoder(items []byte, n int) reqEncoder {
 // CheckInBatchForwardRaw relays n already-encoded check-in items (the
 // concatenated v2 wire bytes) to their owning daemon in one hop frame.
 // Results[i] answers item i in buffer order.
-func (s *StreamClient) CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckInResult, error) {
-	buf, _, _, err := s.do(transport.OpCheckInBatch|transport.HopFlag, rawForwardEncoder(items, n))
+func (s *StreamClient) CheckInBatchForwardRaw(items []byte, n int, trace uint64) ([]server.CheckInResult, error) {
+	buf, _, _, err := s.doTrace(transport.OpCheckInBatch|transport.HopFlag, trace, rawForwardEncoder(items, n))
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +87,8 @@ func (s *StreamClient) CheckInBatchForwardRaw(items []byte, n int) ([]server.Che
 
 // ReportBatchForwardRaw relays n already-encoded report items to their
 // owning daemon in one hop frame. Results[i] answers item i in buffer order.
-func (s *StreamClient) ReportBatchForwardRaw(items []byte, n int) ([]server.ReportResult, error) {
-	buf, _, _, err := s.do(transport.OpReportBatch|transport.HopFlag, rawForwardEncoder(items, n))
+func (s *StreamClient) ReportBatchForwardRaw(items []byte, n int, trace uint64) ([]server.ReportResult, error) {
+	buf, _, _, err := s.doTrace(transport.OpReportBatch|transport.HopFlag, trace, rawForwardEncoder(items, n))
 	if err != nil {
 		return nil, err
 	}

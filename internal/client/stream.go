@@ -105,13 +105,13 @@ func (s *StreamClient) CheckIn(ci server.CheckIn) (server.Assignment, error) {
 	if s.topo != nil {
 		return s.topo.checkIn(ci)
 	}
-	asg, _, err := s.checkInOp(transport.OpCheckIn, ci)
+	asg, _, err := s.checkInOp(transport.OpCheckIn, ci, 0)
 	return asg, err
 }
 
-func (s *StreamClient) checkInOp(op byte, ci server.CheckIn) (server.Assignment, bool, error) {
+func (s *StreamClient) checkInOp(op byte, ci server.CheckIn, trace uint64) (server.Assignment, bool, error) {
 	var asg server.Assignment
-	resp, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	resp, ver, fwd, err := s.doTrace(op, trace, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
 			b, err := ci.AppendBinary(transport.GetBuf(64))
 			return b, transport.Version2, err
@@ -137,13 +137,13 @@ func (s *StreamClient) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResul
 	if s.topo != nil {
 		return s.topo.checkInBatch(cis)
 	}
-	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch, cis)
+	res, _, err := s.checkInBatchOp(transport.OpCheckInBatch, cis, 0)
 	return res, err
 }
 
-func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn) ([]server.CheckInResult, bool, error) {
+func (s *StreamClient) checkInBatchOp(op byte, cis []server.CheckIn, trace uint64) ([]server.CheckInResult, bool, error) {
 	req := server.CheckInBatchRequest{CheckIns: cis}
-	buf, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	buf, ver, fwd, err := s.doTrace(op, trace, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
 			b, err := req.AppendBinary(transport.GetBuf(256))
 			return b, transport.Version2, err
@@ -174,12 +174,12 @@ func (s *StreamClient) Report(r server.Report) error {
 	if s.topo != nil {
 		return s.topo.report(r)
 	}
-	_, err := s.reportOp(transport.OpReport, r)
+	_, err := s.reportOp(transport.OpReport, r, 0)
 	return err
 }
 
-func (s *StreamClient) reportOp(op byte, r server.Report) (bool, error) {
-	_, _, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+func (s *StreamClient) reportOp(op byte, r server.Report, trace uint64) (bool, error) {
+	_, _, fwd, err := s.doTrace(op, trace, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
 			b, err := r.AppendBinary(transport.GetBuf(64))
 			return b, transport.Version2, err
@@ -196,13 +196,13 @@ func (s *StreamClient) ReportBatch(rs []server.Report) ([]server.ReportResult, e
 	if s.topo != nil {
 		return s.topo.reportBatch(rs)
 	}
-	res, _, err := s.reportBatchOp(transport.OpReportBatch, rs)
+	res, _, err := s.reportBatchOp(transport.OpReportBatch, rs, 0)
 	return res, err
 }
 
-func (s *StreamClient) reportBatchOp(op byte, rs []server.Report) ([]server.ReportResult, bool, error) {
+func (s *StreamClient) reportBatchOp(op byte, rs []server.Report, trace uint64) ([]server.ReportResult, bool, error) {
 	req := server.ReportBatchRequest{Reports: rs}
-	buf, ver, fwd, err := s.do(op, func(ver byte) ([]byte, byte, error) {
+	buf, ver, fwd, err := s.doTrace(op, trace, func(ver byte) ([]byte, byte, error) {
 		if ver >= transport.Version2 {
 			b, err := req.AppendBinary(transport.GetBuf(256))
 			return b, transport.Version2, err
@@ -317,8 +317,17 @@ type reqEncoder func(negotiated byte) ([]byte, byte, error)
 // federation-hopped at least one item, i.e. a ring-aware caller's topology
 // is stale) — or the decoded error frame.
 func (s *StreamClient) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
+	return s.doTrace(op, 0, enc)
+}
+
+// doTrace is do with an optional trace context: a nonzero trace (the
+// forwarding daemon's sampled span ID) is prepended to the payload and
+// announced via TraceFlag on the opcode, so the receiving daemon records the
+// hop under the same trace ID. Silently dropped on v1 connections — the flag
+// and prefix are v2 vocabulary.
+func (s *StreamClient) doTrace(op byte, trace uint64, enc reqEncoder) ([]byte, byte, bool, error) {
 	c := s.conns[s.next.Add(1)%uint64(len(s.conns))]
-	return c.do(op, enc)
+	return c.do(op, trace, enc)
 }
 
 // streamConn is one pooled connection: a lazily dialed socket, a reader
@@ -487,7 +496,7 @@ func (sc *streamConn) close(err error) {
 	sc.teardown(gen, err)
 }
 
-func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
+func (sc *streamConn) do(op byte, trace uint64, enc reqEncoder) ([]byte, byte, bool, error) {
 	ch := make(chan streamResp, 1)
 
 	sc.mu.Lock()
@@ -503,6 +512,13 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
 		sc.mu.Unlock()
 		return nil, 0, false, err
 	}
+	// TraceFlag rides only on the wire opcode: the server strips it before
+	// building the response, so response matching below uses the bare op.
+	wireOp := op
+	if trace != 0 && frameVer >= transport.Version2 {
+		payload = transport.PrependTrace(payload, trace, true)
+		wireOp |= transport.TraceFlag
+	}
 	gen := sc.gen
 	sc.nextID++
 	id := sc.nextID
@@ -511,7 +527,7 @@ func (sc *streamConn) do(op byte, enc reqEncoder) ([]byte, byte, bool, error) {
 	// the shared buffered writer coalesces them. The write deadline keeps a
 	// wedged peer from holding the lock forever.
 	_ = sc.c.SetWriteDeadline(time.Now().Add(sc.timeout))
-	err = transport.WriteFrame(sc.bw, frameVer, op, id, payload)
+	err = transport.WriteFrame(sc.bw, frameVer, wireOp, id, payload)
 	if err == nil {
 		err = sc.bw.Flush()
 	}

@@ -260,11 +260,11 @@ func sendGroup[Res any](t *topoState, v *topoView, member string,
 func (t *topoState) checkIn(ci server.CheckIn) (server.Assignment, error) {
 	v := t.ensureView()
 	if v == nil {
-		asg, _, err := t.root.checkInOp(transport.OpCheckIn, ci)
+		asg, _, err := t.root.checkInOp(transport.OpCheckIn, ci, 0)
 		return asg, err
 	}
 	return sendGroup(t, v, v.owner(ci.DeviceID), func(cl *StreamClient) (server.Assignment, bool, error) {
-		return cl.checkInOp(transport.OpCheckIn, ci)
+		return cl.checkInOp(transport.OpCheckIn, ci, 0)
 	})
 }
 
@@ -272,11 +272,11 @@ func (t *topoState) checkIn(ci server.CheckIn) (server.Assignment, error) {
 func (t *topoState) report(r server.Report) error {
 	v := t.ensureView()
 	if v == nil {
-		_, err := t.root.reportOp(transport.OpReport, r)
+		_, err := t.root.reportOp(transport.OpReport, r, 0)
 		return err
 	}
 	_, err := sendGroup(t, v, v.owner(r.DeviceID), func(cl *StreamClient) (struct{}, bool, error) {
-		fwd, err := cl.reportOp(transport.OpReport, r)
+		fwd, err := cl.reportOp(transport.OpReport, r, 0)
 		return struct{}{}, fwd, err
 	})
 	return err
@@ -359,7 +359,7 @@ func (t *topoState) checkInBatch(cis []server.CheckIn) ([]server.CheckInResult, 
 	return partitioned(t, cis,
 		func(ci server.CheckIn) string { return ci.DeviceID },
 		func(cl *StreamClient, sub []server.CheckIn) ([]server.CheckInResult, bool, error) {
-			return cl.checkInBatchOp(transport.OpCheckInBatch, sub)
+			return cl.checkInBatchOp(transport.OpCheckInBatch, sub, 0)
 		})
 }
 
@@ -367,7 +367,7 @@ func (t *topoState) reportBatch(rs []server.Report) ([]server.ReportResult, erro
 	return partitioned(t, rs,
 		func(r server.Report) string { return r.DeviceID },
 		func(cl *StreamClient, sub []server.Report) ([]server.ReportResult, bool, error) {
-			return cl.reportBatchOp(transport.OpReportBatch, sub)
+			return cl.reportBatchOp(transport.OpReportBatch, sub, 0)
 		})
 }
 

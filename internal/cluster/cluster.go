@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"venn/internal/client"
+	"venn/internal/obs"
 	"venn/internal/server"
 )
 
@@ -30,14 +31,18 @@ const (
 // frame. They return client.ErrRawUnsupported when the peer connection
 // negotiated a pre-v2 protocol, in which case the caller falls back to the
 // typed forward.
+//
+// trace is the originating request's sampled span ID (0 when unsampled): a
+// nonzero trace rides in the hop frame's trace context so the owner records
+// the hop under the same trace ID (see internal/obs).
 type PeerClient interface {
 	Ping() error
-	CheckInForward(server.CheckIn) (server.Assignment, error)
-	CheckInBatchForward([]server.CheckIn) ([]server.CheckInResult, error)
-	CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckInResult, error)
-	ReportForward(server.Report) error
-	ReportBatchForward([]server.Report) ([]server.ReportResult, error)
-	ReportBatchForwardRaw(items []byte, n int) ([]server.ReportResult, error)
+	CheckInForward(ci server.CheckIn, trace uint64) (server.Assignment, error)
+	CheckInBatchForward(cis []server.CheckIn, trace uint64) ([]server.CheckInResult, error)
+	CheckInBatchForwardRaw(items []byte, n int, trace uint64) ([]server.CheckInResult, error)
+	ReportForward(r server.Report, trace uint64) error
+	ReportBatchForward(rs []server.Report, trace uint64) ([]server.ReportResult, error)
+	ReportBatchForwardRaw(items []byte, n int, trace uint64) ([]server.ReportResult, error)
 	Close() error
 }
 
@@ -434,8 +439,10 @@ func (c *Cluster) ForwardedIn(bytes int) {
 // it, the owner is down, the cluster is draining, or the forward provably
 // never left this node. A typed rejection from the owner (busy, invalid,
 // not-found) is authoritative and returned as-is; an ambiguous transport
-// failure surfaces as CodeUnavailable (see forwardFailed).
-func forwardOne[Res any](c *Cluster, deviceID string,
+// failure surfaces as CodeUnavailable (see forwardFailed). A sampled span
+// gets the forward round trip attributed to its hop stage (clock reads
+// span-gated).
+func forwardOne[Res any](c *Cluster, deviceID string, sp *obs.Span,
 	forward func(PeerClient) (Res, error), local func() (Res, error)) (Res, error) {
 	p := c.route(deviceID)
 	if p == nil {
@@ -447,7 +454,15 @@ func forwardOne[Res any](c *Cluster, deviceID string,
 	}
 	defer c.inflight.Done()
 	c.forwardsOut.Add(1)
+	sp.SetForwarded()
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	res, err := forward(p.c)
+	if sp != nil {
+		sp.Mark(obs.StageHop, time.Since(t0))
+	}
 	if err == nil {
 		return res, nil
 	}
@@ -459,17 +474,17 @@ func forwardOne[Res any](c *Cluster, deviceID string,
 }
 
 // CheckIn implements server.Router.
-func (c *Cluster) CheckIn(ci server.CheckIn) (server.Assignment, error) {
-	return forwardOne(c, ci.DeviceID,
-		func(pc PeerClient) (server.Assignment, error) { return pc.CheckInForward(ci) },
-		func() (server.Assignment, error) { return c.m.DeviceCheckIn(ci) })
+func (c *Cluster) CheckIn(ci server.CheckIn, sp *obs.Span) (server.Assignment, error) {
+	return forwardOne(c, ci.DeviceID, sp,
+		func(pc PeerClient) (server.Assignment, error) { return pc.CheckInForward(ci, sp.TraceID()) },
+		func() (server.Assignment, error) { return c.m.DeviceCheckInSpan(ci, sp) })
 }
 
 // Report implements server.Router.
-func (c *Cluster) Report(r server.Report) error {
-	_, err := forwardOne(c, r.DeviceID,
-		func(pc PeerClient) (struct{}, error) { return struct{}{}, pc.ReportForward(r) },
-		func() (struct{}, error) { return struct{}{}, c.m.DeviceReport(r) })
+func (c *Cluster) Report(r server.Report, sp *obs.Span) error {
+	_, err := forwardOne(c, r.DeviceID, sp,
+		func(pc PeerClient) (struct{}, error) { return struct{}{}, pc.ReportForward(r, sp.TraceID()) },
+		func() (struct{}, error) { return struct{}{}, c.m.DeviceReportSpan(r, sp) })
 	return err
 }
 
@@ -530,9 +545,11 @@ func (c *Cluster) planBatch(n int, ids func(i int) string) batchPlan {
 // never dropped, and never guess-applied on the wrong node. One in-flight
 // permit covers the whole batch's forwards. The returned bool reports
 // whether any item was planned onto a peer (the forwarded flag a ring-aware
-// client reads as "your topology is stale").
-func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) string,
-	forward func(PeerClient, []Req) ([]Res, error), local func([]Req) []Res,
+// client reads as "your topology is stale"). A sampled span has each remote
+// group's round trip accumulated into its hop stage (the groups overlap, so
+// the mark is wall time spent forwarding, not a disjoint sum).
+func forwardBatch[Req, Res any](c *Cluster, items []Req, sp *obs.Span, deviceID func(Req) string,
+	forward func(PeerClient, []Req, uint64) ([]Res, error), local func([]Req) []Res,
 	errItem func(msg string) Res) ([]Res, bool) {
 	plan := c.planBatch(len(items), func(i int) string { return deviceID(items[i]) })
 	if len(plan.remote) == 0 {
@@ -561,6 +578,9 @@ func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) stri
 		}
 		return sub
 	}
+	if len(plan.remote) > 0 {
+		sp.SetForwarded()
+	}
 	var wg sync.WaitGroup
 	for p, idxs := range plan.remote {
 		wg.Add(1)
@@ -568,7 +588,14 @@ func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) stri
 			defer wg.Done()
 			sub := gather(idxs)
 			c.forwardsOut.Add(1)
-			res, err := forward(p.c, sub)
+			var t0 time.Time
+			if sp != nil {
+				t0 = time.Now()
+			}
+			res, err := forward(p.c, sub, sp.TraceID())
+			if sp != nil {
+				sp.Mark(obs.StageHop, time.Since(t0))
+			}
 			if err != nil {
 				if fallback, typed := c.forwardFailed(err); fallback {
 					res = local(sub)
@@ -600,21 +627,21 @@ func forwardBatch[Req, Res any](c *Cluster, items []Req, deviceID func(Req) stri
 
 // CheckInBatch implements server.Router (see forwardBatch for the split,
 // fan-out, and merge contract).
-func (c *Cluster) CheckInBatch(cis []server.CheckIn) ([]server.CheckInResult, bool) {
-	return forwardBatch(c, cis,
+func (c *Cluster) CheckInBatch(cis []server.CheckIn, sp *obs.Span) ([]server.CheckInResult, bool) {
+	return forwardBatch(c, cis, sp,
 		func(ci server.CheckIn) string { return ci.DeviceID },
 		PeerClient.CheckInBatchForward,
-		c.m.CheckInBatch,
+		func(sub []server.CheckIn) []server.CheckInResult { return c.m.CheckInBatchSpan(sub, sp) },
 		func(msg string) server.CheckInResult { return server.CheckInResult{Error: msg} })
 }
 
 // ReportBatch implements server.Router (see forwardBatch for the split,
 // fan-out, and merge contract).
-func (c *Cluster) ReportBatch(rs []server.Report) ([]server.ReportResult, bool) {
-	return forwardBatch(c, rs,
+func (c *Cluster) ReportBatch(rs []server.Report, sp *obs.Span) ([]server.ReportResult, bool) {
+	return forwardBatch(c, rs, sp,
 		func(r server.Report) string { return r.DeviceID },
 		PeerClient.ReportBatchForward,
-		c.m.ReportBatch,
+		func(sub []server.Report) []server.ReportResult { return c.m.ReportBatchSpan(sub, sp) },
 		func(msg string) server.ReportResult { return server.ReportResult{Error: msg} })
 }
 

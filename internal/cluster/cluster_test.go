@@ -238,7 +238,7 @@ func TestHopGuard(t *testing.T) {
 	devA := deviceOwnedBy(t, a.clu.Ring(), a.addr, "hop")
 	cb := client.NewStream(b.addr)
 	defer cb.Close()
-	if _, err := cb.CheckInForward(server.CheckIn{DeviceID: devA, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := cb.CheckInForward(server.CheckIn{DeviceID: devA, CPU: 0.5, Mem: 0.5}, 0); err != nil {
 		t.Fatalf("hop-flagged check-in not served locally: %v", err)
 	}
 	inB, outB, _, _ := b.clu.Counters()
@@ -319,13 +319,13 @@ func (f *fakePeer) Ping() error {
 	return nil
 }
 
-func (f *fakePeer) CheckInForward(ci server.CheckIn) (server.Assignment, error) {
+func (f *fakePeer) CheckInForward(ci server.CheckIn, trace uint64) (server.Assignment, error) {
 	f.forwards.Add(1)
 	<-f.block
 	return server.Assignment{}, f.forwardErr()
 }
 
-func (f *fakePeer) CheckInBatchForward(cis []server.CheckIn) ([]server.CheckInResult, error) {
+func (f *fakePeer) CheckInBatchForward(cis []server.CheckIn, trace uint64) ([]server.CheckInResult, error) {
 	f.forwards.Add(1)
 	<-f.block
 	if err := f.forwardErr(); err != nil {
@@ -334,13 +334,13 @@ func (f *fakePeer) CheckInBatchForward(cis []server.CheckIn) ([]server.CheckInRe
 	return make([]server.CheckInResult, len(cis)), nil
 }
 
-func (f *fakePeer) ReportForward(r server.Report) error {
+func (f *fakePeer) ReportForward(r server.Report, trace uint64) error {
 	f.forwards.Add(1)
 	<-f.block
 	return f.forwardErr()
 }
 
-func (f *fakePeer) ReportBatchForward(rs []server.Report) ([]server.ReportResult, error) {
+func (f *fakePeer) ReportBatchForward(rs []server.Report, trace uint64) ([]server.ReportResult, error) {
 	f.forwards.Add(1)
 	<-f.block
 	if err := f.forwardErr(); err != nil {
@@ -349,7 +349,7 @@ func (f *fakePeer) ReportBatchForward(rs []server.Report) ([]server.ReportResult
 	return make([]server.ReportResult, len(rs)), nil
 }
 
-func (f *fakePeer) CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckInResult, error) {
+func (f *fakePeer) CheckInBatchForwardRaw(items []byte, n int, trace uint64) ([]server.CheckInResult, error) {
 	f.forwards.Add(1)
 	<-f.block
 	if err := f.forwardErr(); err != nil {
@@ -358,7 +358,7 @@ func (f *fakePeer) CheckInBatchForwardRaw(items []byte, n int) ([]server.CheckIn
 	return make([]server.CheckInResult, n), nil
 }
 
-func (f *fakePeer) ReportBatchForwardRaw(items []byte, n int) ([]server.ReportResult, error) {
+func (f *fakePeer) ReportBatchForwardRaw(items []byte, n int, trace uint64) ([]server.ReportResult, error) {
 	f.forwards.Add(1)
 	<-f.block
 	if err := f.forwardErr(); err != nil {
@@ -393,7 +393,7 @@ func TestDrainOrdering(t *testing.T) {
 	fwdDone := make(chan struct{})
 	go func() {
 		defer close(fwdDone)
-		_, _ = clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5})
+		_, _ = clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil)
 	}()
 	waitFor(t, func() bool { return fake.forwards.Load() == 1 })
 
@@ -401,7 +401,7 @@ func TestDrainOrdering(t *testing.T) {
 	// New requests for peer-owned devices no longer forward: applied
 	// locally, counted as fallbacks.
 	devPeer2 := deviceOwnedBy(t, clu.Ring(), "peer-1", "drain2")
-	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer2, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer2, CPU: 0.5, Mem: 0.5}, nil); err != nil {
 		t.Fatalf("drained check-in must local-apply, got %v", err)
 	}
 	if got := fake.forwards.Load(); got != 1 {
@@ -462,7 +462,7 @@ func TestHealthLoopDownUp(t *testing.T) {
 	defer clu.Close()
 	devPeer := deviceOwnedBy(t, clu.Ring(), "peer-1", "health")
 
-	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if fake.forwards.Load() != 1 {
@@ -472,7 +472,7 @@ func TestHealthLoopDownUp(t *testing.T) {
 	fake.pingErr.Store(true)
 	waitFor(t, func() bool { return clu.ClusterTelemetry().PeerStates["peer-1"] == "down" })
 	before := fake.forwards.Load()
-	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil); err != nil {
 		t.Fatalf("down-peer check-in must local-apply, got %v", err)
 	}
 	if fake.forwards.Load() != before {
@@ -485,7 +485,7 @@ func TestHealthLoopDownUp(t *testing.T) {
 
 	fake.pingErr.Store(false)
 	waitFor(t, func() bool { return clu.ClusterTelemetry().PeerStates["peer-1"] == "up" })
-	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if fake.forwards.Load() != before+1 {
@@ -559,14 +559,14 @@ func TestForwardFailureSemantics(t *testing.T) {
 	// Ambiguous failure (e.g. timeout): typed unavailable, NOT applied
 	// locally — the owner may have already applied it.
 	fake.failForwardsWith(errors.New("fake: request timed out"))
-	_, err = clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5})
+	_, err = clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil)
 	if server.ErrCode(err) != server.CodeUnavailable {
 		t.Fatalf("ambiguous forward failure: got %v, want CodeUnavailable", err)
 	}
 	if got := m.MetricsSnapshot().KnownDevices; got != 0 {
 		t.Fatalf("ambiguous failure applied locally (%d devices registered)", got)
 	}
-	results, _ := clu.CheckInBatch([]server.CheckIn{{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}})
+	results, _ := clu.CheckInBatch([]server.CheckIn{{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}}, nil)
 	if !strings.Contains(results[0].Error, "forward to owner failed") {
 		t.Fatalf("ambiguous batch failure item error = %q", results[0].Error)
 	}
@@ -578,7 +578,7 @@ func TestForwardFailureSemantics(t *testing.T) {
 	// caller-invisible fallback, so it counts in local_fallbacks but NOT in
 	// forward_errors (only ambiguous outcomes do).
 	fake.failForwardsWith(&client.NotSentError{Err: errors.New("fake: dial refused")})
-	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}); err != nil {
+	if _, err := clu.CheckIn(server.CheckIn{DeviceID: devPeer, CPU: 0.5, Mem: 0.5}, nil); err != nil {
 		t.Fatalf("unsent forward must local-apply, got %v", err)
 	}
 	if got := m.MetricsSnapshot().KnownDevices; got != 1 {

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"venn/internal/client"
+	"venn/internal/obs"
 	"venn/internal/server"
 	"venn/internal/transport"
 )
@@ -47,11 +49,16 @@ type relayGroup[Res any] struct {
 }
 
 // relayBatch is a detached coalesced batch, ready to send: the concatenated
-// still-encoded items, their count, and the groups awaiting the verdict.
+// still-encoded items, their count, the groups awaiting the verdict, and the
+// trace context the hop frame carries. One frame carries one trace, so the
+// first sampled contributor's trace ID wins the round — sampling is sparse
+// enough (1-in-64 by default) that two sampled requests colliding in one
+// commit round is rare, and losing a hop mark merely under-samples.
 type relayBatch[Res any] struct {
 	buf    []byte
 	items  int
 	groups []*relayGroup[Res]
+	trace  uint64
 }
 
 // relay is the per-peer, per-operation coalescer, shaped as a group commit:
@@ -71,18 +78,19 @@ type relay[Res any] struct {
 	// client.ErrRawUnsupported when the peer connection negotiated v1, in
 	// which case sendTyped re-sends by decoding the buffer and taking the
 	// typed (version-negotiated) forward path.
-	sendRaw   func(pc PeerClient, items []byte, n int) ([]Res, error)
-	sendTyped func(pc PeerClient, items []byte, n int) ([]Res, error)
+	sendRaw   func(pc PeerClient, items []byte, n int, trace uint64) ([]Res, error)
+	sendTyped func(pc PeerClient, items []byte, n int, trace uint64) ([]Res, error)
 
 	mu       sync.Mutex
 	buf      []byte
 	items    int
 	groups   []*relayGroup[Res]
+	trace    uint64
 	inFlight bool // a commit flush is on the wire; commitLoop drains what accumulates
 }
 
 func newRelay[Res any](c *Cluster, p *peer,
-	sendRaw, sendTyped func(pc PeerClient, items []byte, n int) ([]Res, error)) *relay[Res] {
+	sendRaw, sendTyped func(pc PeerClient, items []byte, n int, trace uint64) ([]Res, error)) *relay[Res] {
 	return &relay[Res]{c: c, p: p, sendRaw: sendRaw, sendTyped: sendTyped}
 }
 
@@ -91,7 +99,7 @@ func newRelay[Res any](c *Cluster, p *peer,
 // returns, which is what lets the transport recycle raw.Data when its
 // handler finishes. The caller must hold an inflight permit (acquireForward)
 // until the group's verdict arrives.
-func (r *relay[Res]) contribute(raw server.RawItems, idxs []int) *relayGroup[Res] {
+func (r *relay[Res]) contribute(raw server.RawItems, idxs []int, trace uint64) *relayGroup[Res] {
 	g := &relayGroup[Res]{n: len(idxs), ch: make(chan relayOut[Res], 1)}
 	var full *relayBatch[Res]
 	r.mu.Lock()
@@ -108,6 +116,9 @@ func (r *relay[Res]) contribute(raw server.RawItems, idxs []int) *relayGroup[Res
 	}
 	r.items += len(idxs)
 	r.groups = append(r.groups, g)
+	if r.trace == 0 {
+		r.trace = trace
+	}
 	var sized *relayBatch[Res]
 	var commit *relayBatch[Res]
 	switch {
@@ -138,8 +149,8 @@ func (r *relay[Res]) contribute(raw server.RawItems, idxs []int) *relayGroup[Res
 // detachLocked takes ownership of the current batch and resets the
 // coalescing state. Caller holds mu.
 func (r *relay[Res]) detachLocked() *relayBatch[Res] {
-	b := &relayBatch[Res]{buf: r.buf, items: r.items, groups: r.groups}
-	r.buf, r.items, r.groups = nil, 0, nil
+	b := &relayBatch[Res]{buf: r.buf, items: r.items, groups: r.groups, trace: r.trace}
+	r.buf, r.items, r.groups, r.trace = nil, 0, nil, 0
 	return b
 }
 
@@ -170,10 +181,10 @@ func (r *relay[Res]) flush(b *relayBatch[Res]) {
 	c := r.c
 	c.forwardsOut.Add(1)
 	c.forwardBytesOut.Add(int64(len(b.buf) + uvarintLen(uint64(b.items))))
-	res, err := r.sendRaw(r.p.c, b.buf, b.items)
+	res, err := r.sendRaw(r.p.c, b.buf, b.items, b.trace)
 	if err != nil && errors.Is(err, client.ErrRawUnsupported) {
 		// v1 peer: decode our own buffer and take the negotiated typed path.
-		res, err = r.sendTyped(r.p.c, b.buf, b.items)
+		res, err = r.sendTyped(r.p.c, b.buf, b.items, b.trace)
 	}
 	if err == nil && len(res) != b.items {
 		err = fmt.Errorf("cluster: owner answered %d results for %d forwarded items", len(res), b.items)
@@ -216,8 +227,11 @@ func decodeRawPayload(items []byte, n int) []byte {
 // rawBatch is forwardBatch's zero-copy twin: same split/fan-out/merge
 // contract, but remote groups contribute their still-encoded item ranges to
 // the per-peer relay instead of re-encoding a fresh frame each. The bool
-// reports whether any item was planned onto a peer (the forwarded flag).
-func rawBatch[Req, Res any](c *Cluster, items []Req, raw server.RawItems,
+// reports whether any item was planned onto a peer (the forwarded flag). A
+// sampled span's hop stage spans contribute-to-last-verdict — the local
+// slice is served while the hop frames are outstanding, so the mark is the
+// wall time the request genuinely spent waiting on peers.
+func rawBatch[Req, Res any](c *Cluster, items []Req, raw server.RawItems, sp *obs.Span,
 	deviceID func(Req) string, getRelay func(p *peer) *relay[Res],
 	local func([]Req) []Res, errItem func(msg string) Res) ([]Res, bool) {
 	plan := c.planBatch(len(items), func(i int) string { return deviceID(items[i]) })
@@ -242,7 +256,12 @@ func rawBatch[Req, Res any](c *Cluster, items []Req, raw server.RawItems,
 			continue
 		}
 		forwarded = true
-		pend = append(pend, pending{idxs: idxs, g: getRelay(p).contribute(raw, idxs)})
+		pend = append(pend, pending{idxs: idxs, g: getRelay(p).contribute(raw, idxs, sp.TraceID())})
+	}
+	var t0 time.Time
+	if sp != nil && len(pend) > 0 {
+		sp.SetForwarded()
+		t0 = time.Now()
 	}
 	gather := func(idxs []int) []Req {
 		sub := make([]Req, len(idxs))
@@ -277,30 +296,33 @@ func rawBatch[Req, Res any](c *Cluster, items []Req, raw server.RawItems,
 		}
 		c.inflight.Done()
 	}
+	if sp != nil && len(pend) > 0 {
+		sp.Mark(obs.StageHop, time.Since(t0))
+	}
 	return out, forwarded
 }
 
 // CheckInBatchRaw implements server.RawRouter (see rawBatch).
-func (c *Cluster) CheckInBatchRaw(cis []server.CheckIn, raw server.RawItems) ([]server.CheckInResult, bool) {
+func (c *Cluster) CheckInBatchRaw(cis []server.CheckIn, raw server.RawItems, sp *obs.Span) ([]server.CheckInResult, bool) {
 	if c.cfg.DisableRelay || raw.Data == nil || len(raw.Bounds) != len(cis)+1 {
-		return c.CheckInBatch(cis)
+		return c.CheckInBatch(cis, sp)
 	}
-	return rawBatch(c, cis, raw,
+	return rawBatch(c, cis, raw, sp,
 		func(ci server.CheckIn) string { return ci.DeviceID },
 		func(p *peer) *relay[server.CheckInResult] { return p.ciRelay },
-		c.m.CheckInBatch,
+		func(sub []server.CheckIn) []server.CheckInResult { return c.m.CheckInBatchSpan(sub, sp) },
 		func(msg string) server.CheckInResult { return server.CheckInResult{Error: msg} })
 }
 
 // ReportBatchRaw implements server.RawRouter (see rawBatch).
-func (c *Cluster) ReportBatchRaw(rs []server.Report, raw server.RawItems) ([]server.ReportResult, bool) {
+func (c *Cluster) ReportBatchRaw(rs []server.Report, raw server.RawItems, sp *obs.Span) ([]server.ReportResult, bool) {
 	if c.cfg.DisableRelay || raw.Data == nil || len(raw.Bounds) != len(rs)+1 {
-		return c.ReportBatch(rs)
+		return c.ReportBatch(rs, sp)
 	}
-	return rawBatch(c, rs, raw,
+	return rawBatch(c, rs, raw, sp,
 		func(r server.Report) string { return r.DeviceID },
 		func(p *peer) *relay[server.ReportResult] { return p.repRelay },
-		c.m.ReportBatch,
+		func(sub []server.Report) []server.ReportResult { return c.m.ReportBatchSpan(sub, sp) },
 		func(msg string) server.ReportResult { return server.ReportResult{Error: msg} })
 }
 
@@ -312,25 +334,25 @@ var _ server.RawRouter = (*Cluster)(nil)
 // failure is still surfaced as a forward error rather than guessed around.
 func newPeerRelays(c *Cluster, p *peer) {
 	p.ciRelay = newRelay(c, p,
-		func(pc PeerClient, items []byte, n int) ([]server.CheckInResult, error) {
-			return pc.CheckInBatchForwardRaw(items, n)
+		func(pc PeerClient, items []byte, n int, trace uint64) ([]server.CheckInResult, error) {
+			return pc.CheckInBatchForwardRaw(items, n, trace)
 		},
-		func(pc PeerClient, items []byte, n int) ([]server.CheckInResult, error) {
+		func(pc PeerClient, items []byte, n int, trace uint64) ([]server.CheckInResult, error) {
 			var req server.CheckInBatchRequest
 			if err := req.UnmarshalBinary(decodeRawPayload(items, n)); err != nil {
 				return nil, fmt.Errorf("cluster: relay re-decode: %w", err)
 			}
-			return pc.CheckInBatchForward(req.CheckIns)
+			return pc.CheckInBatchForward(req.CheckIns, trace)
 		})
 	p.repRelay = newRelay(c, p,
-		func(pc PeerClient, items []byte, n int) ([]server.ReportResult, error) {
-			return pc.ReportBatchForwardRaw(items, n)
+		func(pc PeerClient, items []byte, n int, trace uint64) ([]server.ReportResult, error) {
+			return pc.ReportBatchForwardRaw(items, n, trace)
 		},
-		func(pc PeerClient, items []byte, n int) ([]server.ReportResult, error) {
+		func(pc PeerClient, items []byte, n int, trace uint64) ([]server.ReportResult, error) {
 			var req server.ReportBatchRequest
 			if err := req.UnmarshalBinary(decodeRawPayload(items, n)); err != nil {
 				return nil, fmt.Errorf("cluster: relay re-decode: %w", err)
 			}
-			return pc.ReportBatchForward(req.Reports)
+			return pc.ReportBatchForward(req.Reports, trace)
 		})
 }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightSize is the number of records the flight recorder retains: a fixed
+// ring of the most recent sampled requests, dumped slowest-first.
+const FlightSize = 256
+
+// Record is one finished span's breakdown as the flight recorder retains
+// it. TraceID matches the record the other end of a federation hop kept, so
+// a slow hop on the origin can be joined against the remote's apply time.
+type Record struct {
+	TraceID       uint64
+	Op            string
+	Hop           bool // this daemon served the remote side of a hop
+	Error         bool
+	Forwarded     bool // part of the request left this daemon over a hop
+	StartUnixNano int64
+	TotalNs       int64
+	StageNs       [NumStages]int64
+}
+
+// MarshalJSON renders the record for /v1/debug/flight: trace IDs as fixed
+// hex strings (JSON numbers corrupt uint64s past 2^53) and stages as a
+// name→ns object holding only the stages that saw time.
+func (r Record) MarshalJSON() ([]byte, error) {
+	stages := make(map[string]int64, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		if ns := r.StageNs[st]; ns > 0 {
+			stages[st.String()] = ns
+		}
+	}
+	return json.Marshal(struct {
+		TraceID   string           `json:"trace_id"`
+		Op        string           `json:"op"`
+		Hop       bool             `json:"hop,omitempty"`
+		Error     bool             `json:"error,omitempty"`
+		Forwarded bool             `json:"forwarded,omitempty"`
+		StartNano int64            `json:"start_unix_nano"`
+		TotalNs   int64            `json:"total_ns"`
+		Stages    map[string]int64 `json:"stage_ns"`
+	}{
+		TraceID:   fmt.Sprintf("%016x", r.TraceID),
+		Op:        r.Op,
+		Hop:       r.Hop,
+		Error:     r.Error,
+		Forwarded: r.Forwarded,
+		StartNano: r.StartUnixNano,
+		TotalNs:   r.TotalNs,
+		Stages:    stages,
+	})
+}
+
+// Flight is the fixed-size ring of finished spans. Only sampled requests
+// reach it (1 in SampleEvery, plus every hop a sampled origin forwarded),
+// so the mutex is uncontended relative to the serving rate.
+type Flight struct {
+	recorded atomic.Int64
+
+	mu   sync.Mutex
+	ring [FlightSize]Record
+	n    int // filled entries
+	next int
+}
+
+func (f *Flight) record(rec Record) {
+	f.recorded.Add(1)
+	f.mu.Lock()
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % FlightSize
+	if f.n < FlightSize {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Recorded is the total number of records ever taken (not just retained).
+func (f *Flight) Recorded() int64 { return f.recorded.Load() }
+
+// Snapshot copies the retained records, slowest first — the dump order of
+// GET /v1/debug/flight.
+func (f *Flight) Snapshot() []Record {
+	f.mu.Lock()
+	out := make([]Record, f.n)
+	copy(out, f.ring[:f.n])
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) exposition helpers. The server
+// assembles GET /metrics from these; ValidateExposition is the strict
+// grammar check CI lints the endpoint with (via cmd/promlint) so the
+// exposition stays scrapable by stock Prometheus.
+
+// PromFamily opens a metric family: HELP then TYPE, in the order the format
+// requires.
+func PromFamily(b *strings.Builder, name, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(help)
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// PromSample appends one sample line. labels is the pre-rendered inner
+// label list (`op="checkin"`) or empty.
+func PromSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatPromValue(v))
+	b.WriteByte('\n')
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// PromHist appends one histogram's samples (cumulative _bucket series with
+// the mandatory le="+Inf", then _sum and _count) under name, with labels as
+// the shared inner label list. Durations are exposed in seconds, the
+// Prometheus base unit.
+func PromHist(b *strings.Builder, name, labels string, s HistSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if ub := UpperBound(i); !math.IsInf(ub, 1) {
+			le = fmt.Sprintf("%g", ub/1e9)
+		}
+		PromSample(b, name+"_bucket", labels+sep+`le="`+le+`"`, float64(cum))
+	}
+	PromSample(b, name+"_sum", labels, float64(s.Sum)/1e9)
+	PromSample(b, name+"_count", labels, float64(cum))
+}
+
+// ValidateExposition strictly checks a Prometheus text-format exposition:
+// comment/TYPE/HELP syntax, metric and label name grammar, quoted and
+// escaped label values, parseable sample values, TYPE declared at most once
+// and before its samples, histogram series carrying le labels with
+// cumulative non-decreasing buckets ending at a le="+Inf" count that
+// matches _count. Returns the family and sample counts so callers can
+// assert non-emptiness.
+func ValidateExposition(text string) (families, samples int, err error) {
+	typed := map[string]string{} // family -> declared type
+	seen := map[string]bool{}    // family -> sample seen (TYPE must precede)
+	type histState struct {
+		lastLe    float64
+		lastCum   float64
+		infCum    float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+		labelsKey string
+	}
+	hists := map[string]*histState{} // family+labels(sans le) -> bucket state
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s (%q)", ln+1, fmt.Sprintf(format, args...), line)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return 0, 0, fail("malformed comment line")
+			}
+			switch fields[1] {
+			case "HELP":
+				if !validMetricName(fields[2]) {
+					return 0, 0, fail("invalid metric name %q in HELP", fields[2])
+				}
+			case "TYPE":
+				name := fields[2]
+				if !validMetricName(name) {
+					return 0, 0, fail("invalid metric name %q in TYPE", name)
+				}
+				if len(fields) != 4 {
+					return 0, 0, fail("TYPE line missing type")
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fail("unknown metric type %q", typ)
+				}
+				if _, dup := typed[name]; dup {
+					return 0, 0, fail("duplicate TYPE for %q", name)
+				}
+				if seen[name] {
+					return 0, 0, fail("TYPE for %q after its samples", name)
+				}
+				typed[name] = typ
+				families++
+			default:
+				// Plain comment: legal, ignored.
+			}
+			continue
+		}
+
+		name, labels, value, perr := parseSampleLine(line)
+		if perr != nil {
+			return 0, 0, fail("%v", perr)
+		}
+		samples++
+		fam := histFamily(name, typed)
+		seen[fam] = true
+		if typed[fam] != "histogram" && typed[fam] != "summary" {
+			if _, ok := labels["le"]; ok && typed[name] == "" {
+				return 0, 0, fail("le label on non-histogram sample %q", name)
+			}
+			continue
+		}
+		if typed[fam] == "summary" {
+			continue
+		}
+		// Histogram family bookkeeping, keyed by its non-le labels.
+		key := fam + "|" + labelsKeySansLe(labels)
+		st := hists[key]
+		if st == nil {
+			st = &histState{lastLe: math.Inf(-1)}
+			hists[key] = st
+		}
+		switch {
+		case name == fam+"_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return 0, 0, fail("histogram bucket without le label")
+			}
+			le, lerr := parseLe(leStr)
+			if lerr != nil {
+				return 0, 0, fail("bad le value %q", leStr)
+			}
+			if le <= st.lastLe {
+				return 0, 0, fail("histogram le values not increasing (%g after %g)", le, st.lastLe)
+			}
+			if value < st.lastCum {
+				return 0, 0, fail("histogram buckets not cumulative (%g after %g)", value, st.lastCum)
+			}
+			st.lastLe, st.lastCum = le, value
+			if math.IsInf(le, 1) {
+				st.hasInf, st.infCum = true, value
+			}
+		case name == fam+"_count":
+			st.count, st.hasCount = value, true
+		case name == fam+"_sum":
+		default:
+			return 0, 0, fail("unexpected sample %q for histogram family %q", name, fam)
+		}
+	}
+	for key, st := range hists {
+		fam := key[:strings.Index(key, "|")]
+		if !st.hasInf {
+			return 0, 0, fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", fam)
+		}
+		if st.hasCount && st.count != st.infCum {
+			return 0, 0, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", fam, st.count, st.infCum)
+		}
+	}
+	return families, samples, nil
+}
+
+// histFamily maps a sample name to its declared family: histogram and
+// summary samples use the family name plus a _bucket/_sum/_count suffix.
+func histFamily(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suffix); ok {
+			if t := typed[fam]; t == "histogram" || t == "summary" {
+				return fam
+			}
+		}
+	}
+	return name
+}
+
+func labelsKeySansLe(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	// Deterministic order for the map key.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample line without value")
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without value")
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("label value not quoted")
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value")
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, 0, fmt.Errorf("dangling escape in label value")
+					}
+					switch rest[1] {
+					case '\\', '"':
+						val.WriteByte(rest[1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("invalid escape \\%c in label value", rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			labels[lname] = val.String()
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp] after name, got %q", rest)
+	}
+	if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+		value = math.Inf(1)
+	} else if _, serr := fmt.Sscanf(fields[0], "%g", &value); serr != nil {
+		return "", nil, 0, fmt.Errorf("unparseable sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		var ts int64
+		if _, serr := fmt.Sscanf(fields[1], "%d", &ts); serr != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromHistExposition(t *testing.T) {
+	var h Hist
+	h.Observe(1000)
+	h.Observe(2000)
+	h.Observe(1 << 30)
+	var b strings.Builder
+	PromFamily(&b, "venn_test_seconds", "test histogram.", "histogram")
+	PromHist(&b, "venn_test_seconds", `op="checkin"`, h.Snapshot())
+	text := b.String()
+	fams, samples, err := ValidateExposition(text)
+	if err != nil {
+		t.Fatalf("our own exposition failed validation: %v\n%s", err, text)
+	}
+	if fams != 1 || samples != NumBuckets+2 {
+		t.Fatalf("families=%d samples=%d, want 1 and %d", fams, samples, NumBuckets+2)
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Fatal("histogram missing +Inf bucket")
+	}
+	if !strings.Contains(text, "venn_test_seconds_count{op=\"checkin\"} 3") {
+		t.Fatalf("missing count sample:\n%s", text)
+	}
+}
+
+func TestPromCountersAndGauges(t *testing.T) {
+	var b strings.Builder
+	PromFamily(&b, "venn_checkins_total", "served check-ins.", "counter")
+	PromSample(&b, "venn_checkins_total", "", 12345)
+	PromFamily(&b, "venn_peers_up", "live peers.", "gauge")
+	PromSample(&b, "venn_peers_up", `node="a:1"`, 2)
+	if _, _, err := ValidateExposition(b.String()); err != nil {
+		t.Fatalf("counter/gauge exposition invalid: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":     "# TYPE 9bad counter\n9bad 1\n",
+		"unknown type":        "# TYPE x flooble\nx 1\n",
+		"unquoted label":      "# TYPE x counter\nx{a=b} 1\n",
+		"bad value":           "# TYPE x counter\nx pancake\n",
+		"type after samples":  "x 1\n# TYPE x counter\n",
+		"duplicate type":      "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"no inf bucket":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+		"count mismatch":      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 7\nh_sum 1\n",
+		"unterminated labels": "# TYPE x counter\nx{a=\"b\" 1\n",
+	}
+	for name, text := range cases {
+		if _, _, err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validator accepted malformed exposition %q", name, text)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsEscapes(t *testing.T) {
+	text := "# HELP x a help line\n# TYPE x gauge\nx{msg=\"a \\\"b\\\" \\n c\\\\\"} 1.5e3 1700000000\n"
+	if _, _, err := ValidateExposition(text); err != nil {
+		t.Fatalf("escaped label value rejected: %v", err)
+	}
+}

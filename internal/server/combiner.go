@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"venn/internal/obs"
 	"venn/internal/simtime"
 )
 
@@ -99,6 +100,10 @@ type coreOp struct {
 	spec   JobSpec   // opRegister payload
 	status JobStatus // opRegister result
 
+	// sp is the submitting request's observability span (nil when
+	// unsampled); the combiner attributes the op's core apply time to it.
+	sp *obs.Span
+
 	// wake is the op's done signal. It is buffered so the combiner never
 	// blocks waking a submitter; after the send the op belongs to its
 	// submitter again and the combiner must not touch it.
@@ -125,6 +130,7 @@ func putCoreOp(op *coreOp) {
 	op.reports = nil
 	op.spec = JobSpec{}
 	op.status = JobStatus{}
+	op.sp = nil
 	coreOpPool.Put(op)
 }
 
@@ -193,7 +199,9 @@ func (m *Manager) submit(op *coreOp) {
 		<-op.wake // applied by our combine (or, past the round cap, a successor's)
 	} else {
 		<-op.wake
-		m.coreWait.observe(float64(time.Since(t0)))
+		wait := time.Since(t0)
+		m.coreWait.observe(float64(wait))
+		op.sp.Mark(obs.StageQueueWait, wait)
 	}
 }
 
@@ -207,6 +215,7 @@ func (m *Manager) submit(op *coreOp) {
 // path instead of re-entering the core one by one.
 func (m *Manager) combine(own *coreOp) {
 	m.mu.Lock()
+	m.coreHeldSince.Store(time.Now().UnixNano())
 	now := m.now()
 	m.drainSupplyLocked(now)
 	m.expireDueLocked(now)
@@ -239,6 +248,7 @@ func (m *Manager) combine(own *coreOp) {
 	if m.lockFreeOK && !m.venn.PlanFresh() {
 		m.venn.RefreshPlan(m.now())
 	}
+	m.coreHeldSince.Store(0)
 	m.mu.Unlock()
 }
 
@@ -261,6 +271,12 @@ func (m *Manager) exitCombining() {
 // applyOpLocked applies one core op. The caller holds the core mutex; now is
 // the op's round time, shared by every op of the round.
 func (m *Manager) applyOpLocked(op *coreOp, now simtime.Time) {
+	// Apply timing is span-gated: at serving rates an unconditional clock
+	// read per op would cost more than the whole combining win.
+	var t0 time.Time
+	if op.sp != nil {
+		t0 = time.Now()
+	}
 	switch op.kind {
 	case opAssign:
 		op.asg = m.assignCoreLocked(op.md, op.id, now)
@@ -282,14 +298,18 @@ func (m *Manager) applyOpLocked(op *coreOp, now simtime.Time) {
 			m.venn.RefreshPlan(now)
 		}
 	}
+	if op.sp != nil {
+		op.sp.Mark(obs.StageApply, time.Since(t0))
+	}
 }
 
 // submitAssign runs the core section for one admitted check-in. The caller
 // holds the device's shard mutex and releases the reservation itself when no
 // assignment comes back.
-func (m *Manager) submitAssign(md *managedDevice, deviceID string) Assignment {
+func (m *Manager) submitAssign(md *managedDevice, deviceID string, sp *obs.Span) Assignment {
 	op := getCoreOp(opAssign)
 	op.md, op.id = md, deviceID
+	op.sp = sp
 	m.submit(op)
 	asg := op.asg
 	putCoreOp(op)
@@ -298,25 +318,28 @@ func (m *Manager) submitAssign(md *managedDevice, deviceID string) Assignment {
 
 // submitAssignBatch runs the core section for a batch's assignment-eligible
 // check-ins in one op; results land through the items' out pointers.
-func (m *Manager) submitAssignBatch(items []assignItem) {
+func (m *Manager) submitAssignBatch(items []assignItem, sp *obs.Span) {
 	op := getCoreOp(opAssignBatch)
 	op.assigns = items
+	op.sp = sp
 	m.submit(op)
 	putCoreOp(op)
 }
 
 // submitReport applies one accepted report to the scheduler core.
-func (m *Manager) submitReport(r Report, md *managedDevice) {
+func (m *Manager) submitReport(r Report, md *managedDevice, sp *obs.Span) {
 	op := getCoreOp(opReport)
 	op.rep, op.md = r, md
+	op.sp = sp
 	m.submit(op)
 	putCoreOp(op)
 }
 
 // submitReportBatch applies a batch's accepted reports in one op.
-func (m *Manager) submitReportBatch(items []reportItem) {
+func (m *Manager) submitReportBatch(items []reportItem, sp *obs.Span) {
 	op := getCoreOp(opReportBatch)
 	op.reports = items
+	op.sp = sp
 	m.submit(op)
 	putCoreOp(op)
 }

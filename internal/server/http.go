@@ -5,18 +5,21 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"venn/internal/obs"
 )
 
 // This file is the HTTP adapter over the transport-neutral Service
 // (service.go): every handler is decode → service call → encode, plus the
 // HTTP-specific concerns (method dispatch, status mapping, body bounds,
-// latency middleware). No scheduling or manager logic lives here; the same
-// Service is served by the framed stream transport in internal/transport.
+// observability middleware). No scheduling or manager logic lives here; the
+// same Service is served by the framed stream transport in internal/transport.
 
 // HandlerConfig bounds the HTTP adapter. The zero value takes the defaults.
 type HandlerConfig struct {
@@ -53,10 +56,15 @@ func (c *HandlerConfig) fillDefaults() {
 //	POST /v1/report          {Report}               -> {}
 //	POST /v1/report/batch    {ReportBatchRequest}   -> ReportBatchResponse
 //	GET  /v1/stats           -> Stats
-//	GET  /v1/metrics         -> Metrics
+//	GET  /v1/metrics         -> Metrics (JSON)
+//	GET  /v1/healthz         -> HealthStatus (503 when unhealthy)
+//	GET  /v1/debug/flight    -> flight-recorder dump, slowest first
+//	GET  /metrics            -> Prometheus text-format exposition
 //
-// Every route is wrapped in a latency-recording middleware feeding the
-// handler_latency_ms percentiles of /v1/metrics.
+// Every route runs under the observability middleware: end-to-end latency
+// feeds the always-on per-op histograms (handler_latency_ms of /v1/metrics),
+// and 1-in-ObsSampleEvery requests carry a per-stage span that lands in
+// request_stage_ns and the flight recorder.
 func Handler(m *Manager) http.Handler { return NewHandler(m, HandlerConfig{}) }
 
 // NewHandler is Handler with explicit body bounds.
@@ -64,33 +72,36 @@ func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
 	cfg.fillDefaults()
 	svc := NewService(m, TransportHTTP)
 	mux := http.NewServeMux()
-	handle := func(pattern, route string, h http.HandlerFunc) {
+	handle := func(pattern string, op obs.Op, h func(http.ResponseWriter, *http.Request, *obs.Span)) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			t0 := time.Now()
-			h(w, r)
-			m.metrics.observeLatency(route, time.Since(t0))
+			sp := m.obs.Sample(op)
+			h(w, r, sp)
+			m.obs.ObserveTotal(op, time.Since(t0))
+			sp.Finish()
 		})
 	}
-	handle("/v1/jobs", RouteJobs, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/jobs", obs.OpJobs, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		switch r.Method {
 		case http.MethodPost:
 			var spec JobSpec
-			if !decode(w, r, cfg.MaxBodyBytes, &spec) {
+			if !decodeTimed(w, r, cfg.MaxBodyBytes, &spec, sp) {
 				return
 			}
 			st, err := svc.RegisterJob(spec)
 			if err != nil {
+				sp.SetError()
 				writeErr(w, err)
 				return
 			}
-			writeJSON(w, st, http.StatusCreated)
+			writeJSONSpan(w, st, http.StatusCreated, sp)
 		case http.MethodGet:
-			writeJSON(w, svc.Jobs(), http.StatusOK)
+			writeJSONSpan(w, svc.Jobs(), http.StatusOK, sp)
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
-	handle("/v1/jobs/", RouteJobs, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/jobs/", obs.OpJobs, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -98,92 +109,133 @@ func NewHandler(m *Manager, cfg HandlerConfig) http.Handler {
 		idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		id, err := strconv.Atoi(idStr)
 		if err != nil {
+			sp.SetError()
 			writeErr(w, svcErr(CodeInvalid, errors.New("bad job id")))
 			return
 		}
 		st, err := svc.JobStatusByID(id)
 		if err != nil {
+			sp.SetError()
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, st, http.StatusOK)
+		writeJSONSpan(w, st, http.StatusOK, sp)
 	})
-	handle("/v1/checkin", RouteCheckIn, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin", obs.OpCheckIn, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var ci CheckIn
-		if !decode(w, r, cfg.MaxBodyBytes, &ci) {
+		if !decodeTimed(w, r, cfg.MaxBodyBytes, &ci, sp) {
 			return
 		}
-		asg, err := svc.CheckIn(ci)
+		asg, err := svc.CheckIn(ci, sp)
 		if err != nil {
+			sp.SetError()
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, asg, http.StatusOK)
+		writeJSONSpan(w, asg, http.StatusOK, sp)
 	})
-	handle("/v1/checkin/batch", RouteCheckInBatch, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/checkin/batch", obs.OpCheckInBatch, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var req CheckInBatchRequest
-		if !decode(w, r, cfg.MaxBatchBodyBytes, &req) {
+		if !decodeTimed(w, r, cfg.MaxBatchBodyBytes, &req, sp) {
 			return
 		}
-		resp, err := svc.CheckInBatch(req)
+		resp, _, err := svc.CheckInBatchRouted(req, RawItems{}, sp)
 		if err != nil {
+			sp.SetError()
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, resp, http.StatusOK)
+		writeJSONSpan(w, resp, http.StatusOK, sp)
 	})
-	handle("/v1/report", RouteReport, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/report", obs.OpReport, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var rep Report
-		if !decode(w, r, cfg.MaxBodyBytes, &rep) {
+		if !decodeTimed(w, r, cfg.MaxBodyBytes, &rep, sp) {
 			return
 		}
-		if err := svc.Report(rep); err != nil {
+		if err := svc.Report(rep, sp); err != nil {
+			sp.SetError()
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, struct{}{}, http.StatusOK)
+		writeJSONSpan(w, struct{}{}, http.StatusOK, sp)
 	})
-	handle("/v1/report/batch", RouteReportBatch, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/report/batch", obs.OpReportBatch, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		var req ReportBatchRequest
-		if !decode(w, r, cfg.MaxBatchBodyBytes, &req) {
+		if !decodeTimed(w, r, cfg.MaxBatchBodyBytes, &req, sp) {
 			return
 		}
-		resp, err := svc.ReportBatch(req)
+		resp, _, err := svc.ReportBatchRouted(req, RawItems{}, sp)
 		if err != nil {
+			sp.SetError()
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, resp, http.StatusOK)
+		writeJSONSpan(w, resp, http.StatusOK, sp)
 	})
-	handle("/v1/stats", RouteOther, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/stats", obs.OpOther, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, svc.Stats(), http.StatusOK)
+		writeJSONSpan(w, svc.Stats(), http.StatusOK, sp)
 	})
-	handle("/v1/metrics", RouteOther, func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/metrics", obs.OpOther, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, svc.Metrics(), http.StatusOK)
+		writeJSONSpan(w, svc.Metrics(), http.StatusOK, sp)
+	})
+	handle("/v1/healthz", obs.OpOther, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h := m.Health()
+		code := http.StatusOK
+		if !h.OK {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSONSpan(w, h, code, sp)
+	})
+	handle("/v1/debug/flight", obs.OpOther, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		dump := struct {
+			SampleEvery int          `json:"sample_every"`
+			Recorded    int64        `json:"recorded_total"`
+			Records     []obs.Record `json:"records"`
+		}{m.obs.SampleEvery(), m.obs.Flight().Recorded(), m.obs.Flight().Snapshot()}
+		writeJSONSpan(w, dump, http.StatusOK, sp)
+	})
+	handle("/metrics", obs.OpOther, func(w http.ResponseWriter, r *http.Request, sp *obs.Span) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var b strings.Builder
+		WritePrometheus(&b, m)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
+		_, _ = io.WriteString(w, b.String())
 	})
 	return mux
 }
@@ -260,6 +312,22 @@ func decode(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	return true
 }
 
+// decodeTimed is decode with the span's decode-stage mark. HTTP has no
+// separate frame-read stage: the body read and the parse both land in
+// decode. The clock reads are span-gated — the unsampled path pays nothing.
+func decodeTimed(w http.ResponseWriter, r *http.Request, limit int64, v any, sp *obs.Span) bool {
+	if sp == nil {
+		return decode(w, r, limit, v)
+	}
+	t0 := time.Now()
+	ok := decode(w, r, limit, v)
+	sp.Mark(obs.StageDecode, time.Since(t0))
+	if !ok {
+		sp.SetError()
+	}
+	return ok
+}
+
 // bodyErr classifies a body-read failure: the MaxBytesReader limit maps to
 // CodeTooLarge, everything else is a plain bad request.
 func bodyErr(err error) error {
@@ -286,19 +354,32 @@ func httpStatus(code Code) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any, code int) {
+func writeJSON(w http.ResponseWriter, v any, code int) { writeJSONSpan(w, v, code, nil) }
+
+// writeJSONSpan renders v, attributing the marshal to the span's encode
+// stage and the response write to its write stage (clock reads span-gated).
+func writeJSONSpan(w http.ResponseWriter, v any, code int, sp *obs.Span) {
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	var buf []byte
 	var err error
 	// The hot wire types marshal themselves; calling them directly skips
 	// encoding/json's re-validation pass over their output.
-	if m, ok := v.(json.Marshaler); ok {
-		buf, err = m.MarshalJSON()
+	if jm, ok := v.(json.Marshaler); ok {
+		buf, err = jm.MarshalJSON()
 	} else {
 		buf, err = json.Marshal(v)
 	}
 	if err != nil {
+		sp.SetError()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if sp != nil {
+		sp.Mark(obs.StageEncode, time.Since(t0))
+		t0 = time.Now()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	// Explicit Content-Length keeps large batch replies out of chunked
@@ -306,6 +387,9 @@ func writeJSON(w http.ResponseWriter, v any, code int) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
 	w.WriteHeader(code)
 	_, _ = w.Write(buf)
+	if sp != nil {
+		sp.Mark(obs.StageWrite, time.Since(t0))
+	}
 }
 
 // writeErr renders a service failure. The numeric `code` field carries the

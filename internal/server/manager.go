@@ -44,6 +44,7 @@ import (
 	"venn/internal/core"
 	"venn/internal/device"
 	"venn/internal/job"
+	"venn/internal/obs"
 	"venn/internal/policy"
 	"venn/internal/sim"
 	"venn/internal/simtime"
@@ -221,6 +222,12 @@ type Config struct {
 	// sustained assignment traffic instead of exhausting the fleet's
 	// budgets in the first seconds.
 	DisableDailyBudget bool
+	// ObsSampleEvery sets the request-span sampling rate: 1 in N served
+	// requests carries a full per-stage span, a trace ID, and a flight-
+	// recorder entry (internal/obs). 0 takes obs.DefaultSampleEvery; a
+	// negative value disables spans entirely (the always-on per-op total
+	// histograms keep recording either way).
+	ObsSampleEvery int
 }
 
 // deviceShard is one stripe of the device registry. The trailing pad keeps
@@ -311,6 +318,9 @@ type Manager struct {
 	coreCombinedOps atomic.Int64
 	coreFastOps     atomic.Int64
 	coreWait        *latencyTrack
+	// coreHeldSince is the UnixNano at which the current combiner took the
+	// core mutex (0 when free); Health reads it to detect a wedged core.
+	coreHeldSince atomic.Int64
 
 	// Cumulative counters (guarded by mu; all mutated in core sections).
 	assignments, reports, failures, aborts int
@@ -333,6 +343,10 @@ type Manager struct {
 	topoPusherBox atomic.Pointer[topologyPusherHolder]
 
 	metrics *metricsRecorder
+	// obs is the request-path observability registry: per-op total
+	// histograms (always on), sampled per-stage histograms, trace IDs, and
+	// the flight recorder. Immutable after NewManager.
+	obs *obs.Registry
 }
 
 // routerHolder boxes the Router interface so it can sit behind an
@@ -580,6 +594,7 @@ func NewManager(cfg Config) *Manager {
 		deadlines:  make(map[job.ID]simtime.Time),
 		attempt:    make(map[job.ID]uint64),
 		metrics:    newMetricsRecorder(),
+		obs:        obs.NewRegistry(cfg.ObsSampleEvery),
 	}
 	// The snapshot fast path and plan telemetry need the concrete core.
 	m.venn, _ = m.pol.(*core.Venn)
@@ -613,6 +628,69 @@ func NewManager(cfg Config) *Manager {
 
 // PolicyName reports the primary scheduling policy's registry name.
 func (m *Manager) PolicyName() string { return m.policyName }
+
+// Obs exposes the manager's observability registry: the transport adapters
+// sample spans from it, /v1/metrics and /metrics read its histograms, and
+// /v1/debug/flight dumps its flight recorder.
+func (m *Manager) Obs() *obs.Registry { return m.obs }
+
+// coreWedgeAfter is how long one combiner may hold the core mutex before
+// Health declares the core wedged. Real rounds hold it for microseconds;
+// seconds means a stuck policy or a deadlock.
+const coreWedgeAfter = 5 * time.Second
+
+// HealthStatus is the GET /v1/healthz payload. OK mirrors the HTTP status
+// (200 when true, 503 when false); the other fields say why.
+type HealthStatus struct {
+	OK            bool    `json:"ok"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// CoreHeldSeconds is how long the current core-combiner mutex hold has
+	// lasted (0 when the core is free); past coreWedgeAfter the daemon is
+	// unhealthy.
+	CoreHeldSeconds float64 `json:"core_held_seconds,omitempty"`
+	// PeersUp/PeersDown mirror the federation peer states; absent when
+	// standalone. A federated daemon with every peer down is degraded but
+	// still serves (local fallbacks), so peers alone never flip OK — the
+	// detail string surfaces them for operators.
+	PeersUp   int    `json:"peers_up,omitempty"`
+	PeersDown int    `json:"peers_down,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Health evaluates daemon liveness in one place: the core commit pipeline
+// must not be wedged (one mutex hold exceeding coreWedgeAfter), and
+// federation peer health is surfaced alongside. Every health surface —
+// /v1/healthz, the venndaemon -log-metrics line — derives from this.
+func (m *Manager) Health() HealthStatus {
+	h := HealthStatus{OK: true, UptimeSeconds: float64(m.now()) / 1000}
+	if since := m.coreHeldSince.Load(); since != 0 {
+		held := time.Since(time.Unix(0, since))
+		if held > 0 {
+			h.CoreHeldSeconds = held.Seconds()
+		}
+		if held > coreWedgeAfter {
+			h.OK = false
+			h.Detail = "core commit pipeline wedged"
+		}
+	}
+	m.mu.Lock()
+	src := m.clusterSource
+	m.mu.Unlock()
+	if src != nil {
+		ct := src.ClusterTelemetry()
+		for _, st := range ct.PeerStates {
+			if st == "up" {
+				h.PeersUp++
+			} else {
+				h.PeersDown++
+			}
+		}
+		if h.PeersDown > 0 && h.Detail == "" {
+			h.Detail = fmt.Sprintf("%d federation peer(s) down", h.PeersDown)
+		}
+	}
+	return h
+}
 
 // now maps wall-clock to manager-relative simulated time.
 func (m *Manager) now() simtime.Time {
@@ -813,6 +891,13 @@ func (m *Manager) release(md *managedDevice) {
 
 // DeviceCheckIn registers availability and returns an assignment (or none).
 func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
+	return m.DeviceCheckInSpan(ci, nil)
+}
+
+// DeviceCheckInSpan is DeviceCheckIn carrying the request's observability
+// span (nil when unsampled): ops that enter the core commit pipeline
+// attribute their queue wait and apply time to it.
+func (m *Manager) DeviceCheckInSpan(ci CheckIn, sp *obs.Span) (Assignment, error) {
 	if ci.DeviceID == "" {
 		return Assignment{}, errDeviceIDMissing
 	}
@@ -843,7 +928,7 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 			})
 		}
 	} else {
-		asg = m.submitAssign(md, ci.DeviceID)
+		asg = m.submitAssign(md, ci.DeviceID, sp)
 	}
 	m.metrics.checkins.Add(sec, 1)
 	if asg.Assigned {
@@ -861,6 +946,12 @@ func (m *Manager) DeviceCheckIn(ci CheckIn) (Assignment, error) {
 // section. In a surplus fleet (no open requests the device could serve) a
 // whole batch completes without ever touching the scheduler lock.
 func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
+	return m.CheckInBatchSpan(cis, nil)
+}
+
+// CheckInBatchSpan is CheckInBatch carrying the batch request's span (see
+// DeviceCheckInSpan).
+func (m *Manager) CheckInBatchSpan(cis []CheckIn, sp *obs.Span) []CheckInResult {
 	out := make([]CheckInResult, len(cis))
 	if len(cis) == 0 {
 		return out
@@ -928,7 +1019,7 @@ func (m *Manager) CheckInBatch(cis []CheckIn) []CheckInResult {
 		for k, i := range needCore {
 			items[k] = assignItem{md: pending[i], id: cis[i].DeviceID, out: &out[i].Assignment}
 		}
-		m.submitAssignBatch(items)
+		m.submitAssignBatch(items, sp)
 		for _, i := range needCore {
 			if out[i].Assigned {
 				assigned++
@@ -981,6 +1072,12 @@ func (m *Manager) reportCoreLocked(r Report, md *managedDevice, now simtime.Time
 
 // DeviceReport records a task result.
 func (m *Manager) DeviceReport(r Report) error {
+	return m.DeviceReportSpan(r, nil)
+}
+
+// DeviceReportSpan is DeviceReport carrying the request's span (see
+// DeviceCheckInSpan).
+func (m *Manager) DeviceReportSpan(r Report, sp *obs.Span) error {
 	if r.DeviceID == "" {
 		return errDeviceIDMissing
 	}
@@ -994,7 +1091,7 @@ func (m *Manager) DeviceReport(r Report) error {
 	if md.busy {
 		m.release(md)
 	}
-	m.submitReport(r, md)
+	m.submitReport(r, md, sp)
 	m.metrics.reportRate.Add(m.nowSec(), 1)
 	return nil
 }
@@ -1002,6 +1099,12 @@ func (m *Manager) DeviceReport(r Report) error {
 // ReportBatch processes a batch of reports with a single scheduler-lock
 // acquisition; Results[i] answers Reports[i].
 func (m *Manager) ReportBatch(rs []Report) []ReportResult {
+	return m.ReportBatchSpan(rs, nil)
+}
+
+// ReportBatchSpan is ReportBatch carrying the batch request's span (see
+// DeviceCheckInSpan).
+func (m *Manager) ReportBatchSpan(rs []Report, sp *obs.Span) []ReportResult {
 	out := make([]ReportResult, len(rs))
 	if len(rs) == 0 {
 		return out
@@ -1040,7 +1143,7 @@ func (m *Manager) ReportBatch(rs []Report) []ReportResult {
 				items = append(items, reportItem{r: rs[i], md: md})
 			}
 		}
-		m.submitReportBatch(items)
+		m.submitReportBatch(items, sp)
 	}
 	m.metrics.reportRate.Add(m.nowSec(), int64(accepted))
 	return out

@@ -4,9 +4,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"venn/internal/job"
+	"venn/internal/obs"
 	"venn/internal/stats"
 )
 
@@ -105,7 +105,24 @@ type Metrics struct {
 	ForwardBytesIn      int64  `json:"forward_bytes_in,omitempty"`
 	ForwardBytesOut     int64  `json:"forward_bytes_out,omitempty"`
 
+	// HandlerLatencyMs gives per-op end-to-end handler latency percentiles
+	// in milliseconds, derived from the always-on obs total histograms
+	// (every transport feeds them); ops with no traffic are omitted. The
+	// percentile resolution is the histograms' power-of-two bucketing (2x).
 	HandlerLatencyMs map[string]LatencySummary `json:"handler_latency_ms"`
+
+	// RequestStageNs breaks sampled request time down per op and stage
+	// ("read", "decode", "queue_wait", "apply", "hop", "encode", "write"),
+	// in nanoseconds. Populated from 1-in-ObsSampleEvery sampled spans;
+	// empty stages are omitted, and the whole map is absent with sampling
+	// disabled.
+	RequestStageNs map[string]map[string]LatencySummary `json:"request_stage_ns,omitempty"`
+	// ObsSampleEvery is the active span sampling rate (0 = spans off).
+	ObsSampleEvery int `json:"obs_sample_every"`
+	// FlightRecorded counts requests retained by the flight recorder since
+	// start (the ring keeps the slowest obs.FlightSize of them; see
+	// /v1/debug/flight).
+	FlightRecorded int64 `json:"flight_recorded_total"`
 }
 
 // LatencySummary describes one route's handler latency. Count is cumulative;
@@ -212,9 +229,9 @@ func (t *latencyTrack) summary() LatencySummary {
 	}
 }
 
-// Routes tracked by the handler-latency instrumentation, shared by every
-// transport adapter (the HTTP middleware and the stream server's handler
-// timing both feed them). Anything else lands in RouteOther.
+// Route labels for the per-op latency maps of /v1/metrics. They are the
+// string forms of the obs.Op enum — the JSON view, the Prometheus view, and
+// the per-stage breakdowns all share one vocabulary.
 const (
 	RouteCheckIn      = "checkin"
 	RouteCheckInBatch = "checkin_batch"
@@ -224,32 +241,20 @@ const (
 	RouteOther        = "other"
 )
 
-var metricRoutes = []string{
-	RouteCheckIn, RouteCheckInBatch, RouteReport, RouteReportBatch, RouteJobs, RouteOther,
-}
-
-// metricsRecorder aggregates the serving-path telemetry behind /v1/metrics.
-// The rate counters are fed by the manager's serving paths; the latency
-// tracks are fed by the HTTP middleware.
+// metricsRecorder aggregates the serving-path rate telemetry behind
+// /v1/metrics. Latency lives in the manager's obs registry, not here.
 type metricsRecorder struct {
 	checkins   rateCounter
 	assignRate rateCounter
 	reportRate rateCounter
-	// lat is written once at construction and then only read, so lookups
-	// need no lock.
-	lat map[string]*latencyTrack
-	// perTransport counts served check-ins by transport label; like lat it
-	// is written once at construction and then only read.
+	// perTransport counts served check-ins by transport label; written once
+	// at construction and then only read, so lookups need no lock.
 	perTransport map[string]*rateCounter
 }
 
 func newMetricsRecorder() *metricsRecorder {
 	r := &metricsRecorder{
-		lat:          make(map[string]*latencyTrack, len(metricRoutes)),
 		perTransport: make(map[string]*rateCounter, len(transportLabels)),
-	}
-	for _, route := range metricRoutes {
-		r.lat[route] = &latencyTrack{}
 	}
 	for _, tr := range transportLabels {
 		r.perTransport[tr] = &rateCounter{}
@@ -266,12 +271,16 @@ func (r *metricsRecorder) transportRate(transport string) *rateCounter {
 	return r.perTransport[TransportHTTP]
 }
 
-func (r *metricsRecorder) observeLatency(route string, d time.Duration) {
-	t, ok := r.lat[route]
-	if !ok {
-		t = r.lat[RouteOther]
+// histSummary condenses an obs histogram snapshot into the LatencySummary
+// shape; scale divides the nanosecond estimates (1 keeps ns, 1e6 yields ms).
+func histSummary(s obs.HistSnapshot, scale float64) LatencySummary {
+	return LatencySummary{
+		Count: s.Count(),
+		P50:   s.Quantile(0.50) / scale,
+		P90:   s.Quantile(0.90) / scale,
+		P99:   s.Quantile(0.99) / scale,
+		Max:   s.MaxNs() / scale,
 	}
-	t.observe(float64(d) / float64(time.Millisecond))
 }
 
 // MetricsSnapshot assembles the /v1/metrics payload.
@@ -287,7 +296,9 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		CheckIns:          m.checkIns.Load(),
 		LockFreeCheckIns:  m.lockFreeCheckIns.Load(),
 		DevicesEvicted:    m.evictions.Load(),
-		HandlerLatencyMs:  make(map[string]LatencySummary, len(metricRoutes)),
+		HandlerLatencyMs:  make(map[string]LatencySummary, int(obs.NumOps)),
+		ObsSampleEvery:    m.obs.SampleEvery(),
+		FlightRecorded:    m.obs.Flight().Recorded(),
 	}
 	out.CoreRounds = m.coreRounds.Load()
 	out.CoreCombinedOps = m.coreCombinedOps.Load()
@@ -296,10 +307,24 @@ func (m *Manager) MetricsSnapshot() Metrics {
 	}
 	out.CoreFastPathOps = m.coreFastOps.Load()
 	out.CoreWaitNs = m.coreWait.summary()
-	for _, route := range metricRoutes {
-		s := m.metrics.lat[route].summary()
-		if s.Count > 0 {
-			out.HandlerLatencyMs[route] = s
+	for op := obs.Op(0); op < obs.NumOps; op++ {
+		if s := m.obs.TotalSnapshot(op); s.Count() > 0 {
+			out.HandlerLatencyMs[op.String()] = histSummary(s, 1e6)
+		}
+		var stages map[string]LatencySummary
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if s := m.obs.StageSnapshot(op, st); s.Count() > 0 {
+				if stages == nil {
+					stages = make(map[string]LatencySummary, int(obs.NumStages))
+				}
+				stages[st.String()] = histSummary(s, 1)
+			}
+		}
+		if stages != nil {
+			if out.RequestStageNs == nil {
+				out.RequestStageNs = make(map[string]map[string]LatencySummary, int(obs.NumOps))
+			}
+			out.RequestStageNs[op.String()] = stages
 		}
 	}
 	for _, tr := range transportLabels {

@@ -12,7 +12,8 @@ package server
 import (
 	"errors"
 	"fmt"
-	"time"
+
+	"venn/internal/obs"
 )
 
 // Transport labels, used for per-transport serving telemetry.
@@ -87,16 +88,19 @@ func svcErr(code Code, err error) error { return &Error{Code: code, Err: err} }
 // Errors returned by a Router may be pre-typed *Error values (remote
 // rejections arrive with their wire code); anything untyped is classified
 // exactly like a local Manager error.
+// Every entry point carries the request's observability span (nil when
+// unsampled): the router attributes forward round-trips to its hop stage
+// and propagates its trace ID across the wire.
 type Router interface {
-	CheckIn(ci CheckIn) (Assignment, error)
+	CheckIn(ci CheckIn, sp *obs.Span) (Assignment, error)
 	// The batch entry points additionally report whether any item was
 	// forwarded to a peer. The transport layer reflects that bit back to
 	// the client on the response opcode (the `forwarded` flag), which is
 	// what tells a ring-aware client its topology is stale and it should
 	// re-fetch before the next batch.
-	CheckInBatch(cis []CheckIn) ([]CheckInResult, bool)
-	Report(r Report) error
-	ReportBatch(rs []Report) ([]ReportResult, bool)
+	CheckInBatch(cis []CheckIn, sp *obs.Span) ([]CheckInResult, bool)
+	Report(r Report, sp *obs.Span) error
+	ReportBatch(rs []Report, sp *obs.Span) ([]ReportResult, bool)
 	// ForwardedIn records receipt of one peer-forwarded request frame of
 	// the given payload size, so the receiving node's metrics count
 	// forwards_in and forward_bytes_in without the transport layer knowing
@@ -123,8 +127,8 @@ type RawItems struct {
 // match CheckInBatch/ReportBatch exactly; raw is advisory (an implementation
 // may ignore it).
 type RawRouter interface {
-	CheckInBatchRaw(cis []CheckIn, raw RawItems) ([]CheckInResult, bool)
-	ReportBatchRaw(rs []Report, raw RawItems) ([]ReportResult, bool)
+	CheckInBatchRaw(cis []CheckIn, raw RawItems, sp *obs.Span) ([]CheckInResult, bool)
+	ReportBatchRaw(rs []Report, raw RawItems, sp *obs.Span) ([]ReportResult, bool)
 }
 
 // Service is the transport-neutral serving core. One Service is
@@ -146,14 +150,11 @@ func NewService(m *Manager, transport string) *Service {
 // Manager exposes the underlying manager (tick loops, telemetry hooks).
 func (s *Service) Manager() *Manager { return s.m }
 
-// ObserveHandlerLatency feeds one handled request's duration into the
-// handler_latency_ms percentiles of /v1/metrics. Transport adapters call
-// it with one of the Route* labels; unknown labels land in RouteOther. The
-// buckets are shared across transports — they measure service time, which
-// is transport-independent.
-func (s *Service) ObserveHandlerLatency(route string, d time.Duration) {
-	s.m.metrics.observeLatency(route, d)
-}
+// Obs exposes the manager's observability registry. Transport adapters
+// sample request spans from it and feed the always-on per-op total
+// histograms; the histograms are shared across transports — they measure
+// service time, which is transport-independent.
+func (s *Service) Obs() *obs.Registry { return s.m.obs }
 
 // RegisterJob admits a new CL job.
 func (s *Service) RegisterJob(spec JobSpec) (JobStatus, error) {
@@ -207,24 +208,24 @@ func reportErr(err error) error {
 // federation router attached the request is served by the device's owning
 // daemon (forwarded transparently when that is a peer); otherwise it is
 // applied locally.
-func (s *Service) CheckIn(ci CheckIn) (Assignment, error) {
+func (s *Service) CheckIn(ci CheckIn, sp *obs.Span) (Assignment, error) {
 	if r := s.m.router(); r != nil {
-		asg, err := r.CheckIn(ci)
+		asg, err := r.CheckIn(ci, sp)
 		if err != nil {
 			return Assignment{}, checkInErr(err)
 		}
 		s.rate.Add(s.m.nowSec(), 1)
 		return asg, nil
 	}
-	return s.CheckInLocal(ci)
+	return s.CheckInLocal(ci, sp)
 }
 
 // CheckInLocal applies ci to this node's manager unconditionally, bypassing
 // any federation router. Transport adapters call it for requests that
 // arrived with the forwarded (hop) mark — the hop guard that keeps a stale
 // peer ring from bouncing a request back and forth.
-func (s *Service) CheckInLocal(ci CheckIn) (Assignment, error) {
-	asg, err := s.m.DeviceCheckIn(ci)
+func (s *Service) CheckInLocal(ci CheckIn, sp *obs.Span) (Assignment, error) {
+	asg, err := s.m.DeviceCheckInSpan(ci, sp)
 	if err != nil {
 		return Assignment{}, checkInErr(err)
 	}
@@ -237,7 +238,7 @@ func (s *Service) CheckInLocal(ci CheckIn) (Assignment, error) {
 // federation router attached the batch is split by device owner, forwarded
 // per owner concurrently, and merged back in order.
 func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, error) {
-	resp, _, err := s.CheckInBatchRouted(req, RawItems{})
+	resp, _, err := s.CheckInBatchRouted(req, RawItems{}, nil)
 	return resp, err
 }
 
@@ -246,7 +247,7 @@ func (s *Service) CheckInBatch(req CheckInBatchRequest) (CheckInBatchResponse, e
 // took a federation hop. raw optionally carries the batch's still-encoded
 // v2 payload for the router's zero-copy relay (see RawItems); pass the zero
 // value when unavailable.
-func (s *Service) CheckInBatchRouted(req CheckInBatchRequest, raw RawItems) (CheckInBatchResponse, bool, error) {
+func (s *Service) CheckInBatchRouted(req CheckInBatchRequest, raw RawItems, sp *obs.Span) (CheckInBatchResponse, bool, error) {
 	if len(req.CheckIns) > MaxBatch {
 		return CheckInBatchResponse{}, false, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
@@ -254,24 +255,24 @@ func (s *Service) CheckInBatchRouted(req CheckInBatchRequest, raw RawItems) (Che
 		var results []CheckInResult
 		var forwarded bool
 		if rr, ok := r.(RawRouter); ok && raw.Data != nil {
-			results, forwarded = rr.CheckInBatchRaw(req.CheckIns, raw)
+			results, forwarded = rr.CheckInBatchRaw(req.CheckIns, raw, sp)
 		} else {
-			results, forwarded = r.CheckInBatch(req.CheckIns)
+			results, forwarded = r.CheckInBatch(req.CheckIns, sp)
 		}
 		s.countServed(results)
 		return CheckInBatchResponse{Results: results}, forwarded, nil
 	}
-	resp, err := s.CheckInBatchLocal(req)
+	resp, err := s.CheckInBatchLocal(req, sp)
 	return resp, false, err
 }
 
 // CheckInBatchLocal applies the batch to this node's manager, bypassing any
 // federation router (see CheckInLocal).
-func (s *Service) CheckInBatchLocal(req CheckInBatchRequest) (CheckInBatchResponse, error) {
+func (s *Service) CheckInBatchLocal(req CheckInBatchRequest, sp *obs.Span) (CheckInBatchResponse, error) {
 	if len(req.CheckIns) > MaxBatch {
 		return CheckInBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
-	results := s.m.CheckInBatch(req.CheckIns)
+	results := s.m.CheckInBatchSpan(req.CheckIns, sp)
 	s.countServed(results)
 	return CheckInBatchResponse{Results: results}, nil
 }
@@ -290,20 +291,20 @@ func (s *Service) countServed(results []CheckInResult) {
 
 // Report records a single task result, routed to the device's owner when a
 // federation router is attached.
-func (s *Service) Report(r Report) error {
+func (s *Service) Report(r Report, sp *obs.Span) error {
 	if rt := s.m.router(); rt != nil {
-		if err := rt.Report(r); err != nil {
+		if err := rt.Report(r, sp); err != nil {
 			return reportErr(err)
 		}
 		return nil
 	}
-	return s.ReportLocal(r)
+	return s.ReportLocal(r, sp)
 }
 
 // ReportLocal applies r to this node's manager unconditionally (see
 // CheckInLocal).
-func (s *Service) ReportLocal(r Report) error {
-	if err := s.m.DeviceReport(r); err != nil {
+func (s *Service) ReportLocal(r Report, sp *obs.Span) error {
+	if err := s.m.DeviceReportSpan(r, sp); err != nil {
 		return reportErr(err)
 	}
 	return nil
@@ -312,13 +313,13 @@ func (s *Service) ReportLocal(r Report) error {
 // ReportBatch records a batch of task results; Results[i] answers
 // Reports[i]. Routed per device owner when a federation router is attached.
 func (s *Service) ReportBatch(req ReportBatchRequest) (ReportBatchResponse, error) {
-	resp, _, err := s.ReportBatchRouted(req, RawItems{})
+	resp, _, err := s.ReportBatchRouted(req, RawItems{}, nil)
 	return resp, err
 }
 
 // ReportBatchRouted is ReportBatch with the forwarded bit and optional raw
 // relay payload (see CheckInBatchRouted).
-func (s *Service) ReportBatchRouted(req ReportBatchRequest, raw RawItems) (ReportBatchResponse, bool, error) {
+func (s *Service) ReportBatchRouted(req ReportBatchRequest, raw RawItems, sp *obs.Span) (ReportBatchResponse, bool, error) {
 	if len(req.Reports) > MaxBatch {
 		return ReportBatchResponse{}, false, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
@@ -326,23 +327,23 @@ func (s *Service) ReportBatchRouted(req ReportBatchRequest, raw RawItems) (Repor
 		var results []ReportResult
 		var forwarded bool
 		if rr, ok := r.(RawRouter); ok && raw.Data != nil {
-			results, forwarded = rr.ReportBatchRaw(req.Reports, raw)
+			results, forwarded = rr.ReportBatchRaw(req.Reports, raw, sp)
 		} else {
-			results, forwarded = r.ReportBatch(req.Reports)
+			results, forwarded = r.ReportBatch(req.Reports, sp)
 		}
 		return ReportBatchResponse{Results: results}, forwarded, nil
 	}
-	resp, err := s.ReportBatchLocal(req)
+	resp, err := s.ReportBatchLocal(req, sp)
 	return resp, false, err
 }
 
 // ReportBatchLocal applies the batch to this node's manager, bypassing any
 // federation router (see CheckInLocal).
-func (s *Service) ReportBatchLocal(req ReportBatchRequest) (ReportBatchResponse, error) {
+func (s *Service) ReportBatchLocal(req ReportBatchRequest, sp *obs.Span) (ReportBatchResponse, error) {
 	if len(req.Reports) > MaxBatch {
 		return ReportBatchResponse{}, svcErr(CodeInvalid, fmt.Errorf("server: batch exceeds %d items", MaxBatch))
 	}
-	return ReportBatchResponse{Results: s.m.ReportBatch(req.Reports)}, nil
+	return ReportBatchResponse{Results: s.m.ReportBatchSpan(req.Reports, sp)}, nil
 }
 
 // NoteForwardedIn records receipt of one peer-forwarded request frame of

@@ -33,7 +33,7 @@ func TestServiceTypedErrors(t *testing.T) {
 		t.Errorf("unknown job: code %v, want CodeNotFound", ErrCode(err))
 	}
 
-	if _, err := svc.CheckIn(CheckIn{}); ErrCode(err) != CodeInvalid {
+	if _, err := svc.CheckIn(CheckIn{}, nil); ErrCode(err) != CodeInvalid {
 		t.Errorf("missing device_id: code %v, want CodeInvalid", ErrCode(err))
 	}
 
@@ -42,15 +42,15 @@ func TestServiceTypedErrors(t *testing.T) {
 	if _, err := svc.RegisterJob(JobSpec{Category: "General", DemandPerRound: 1, Rounds: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9}); err != nil {
+	if _, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9}, nil); err != nil {
 		t.Fatal(err)
 	}
-	_, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9})
+	_, err := svc.CheckIn(CheckIn{DeviceID: "d1", CPU: 0.9, Mem: 0.9}, nil)
 	if ErrCode(err) != CodeBusy || !errors.Is(err, ErrDeviceBusy) {
 		t.Errorf("busy device: got %v (code %v), want CodeBusy wrapping ErrDeviceBusy", err, ErrCode(err))
 	}
 
-	if err := svc.Report(Report{DeviceID: "ghost", JobID: 0, OK: true}); ErrCode(err) != CodeNotFound {
+	if err := svc.Report(Report{DeviceID: "ghost", JobID: 0, OK: true}, nil); ErrCode(err) != CodeNotFound {
 		t.Errorf("unknown device report: code %v, want CodeNotFound", ErrCode(err))
 	}
 

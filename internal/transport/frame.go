@@ -41,6 +41,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Protocol constants.
@@ -97,6 +98,17 @@ const (
 	// request between each other. Only the four serving opcodes (check-in,
 	// report, and their batch forms) may carry it. Responses echo the flag.
 	HopFlag byte = 0x40
+	// TraceFlag marks a v2 request frame as carrying a trace context: the
+	// payload begins with a TraceContextSize-byte prefix (see AppendTrace /
+	// PeelTrace) that the server strips before decoding. Only the four
+	// serving opcodes may carry it, and only in v2 frames — trace context
+	// never downgrades to v1 peers and never appears on responses (where the
+	// bit pattern would collide with nothing today, but responses carry their
+	// timing in the origin's span instead of on the wire). The federation
+	// layer sets it on hop frames whose origin request was sampled, which is
+	// what lets the owning daemon attribute its time to the same trace ID the
+	// origin records for the hop stage.
+	TraceFlag byte = 0x20
 	// RespFlag marks a frame as a response to the same opcode.
 	RespFlag byte = 0x80
 	// OpError is the error-response opcode; its payload is an ErrorPayload
@@ -240,6 +252,51 @@ func (t *TopologyPayload) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// TraceContextSize is the length of the trace prefix a TraceFlag frame's
+// payload starts with: a big-endian uint64 trace ID followed by one flags
+// byte (bit 0 = sampled).
+const TraceContextSize = 9
+
+// traceSampledBit is the sampled flag in a trace context's flags byte.
+const traceSampledBit = 0x01
+
+// AppendTrace appends a trace context to b — used by forwarders to build
+// `trace prefix | payload` bodies for TraceFlag frames.
+func AppendTrace(b []byte, traceID uint64, sampled bool) []byte {
+	var ctx [TraceContextSize]byte
+	binary.BigEndian.PutUint64(ctx[:8], traceID)
+	if sampled {
+		ctx[8] = traceSampledBit
+	}
+	return append(b, ctx[:]...)
+}
+
+// PrependTrace shifts payload right by TraceContextSize bytes and writes the
+// trace context at the front, returning the grown slice. The payload is
+// typically a pooled buffer mid-build; the copy is the price of keeping the
+// encoders trace-unaware.
+func PrependTrace(payload []byte, traceID uint64, sampled bool) []byte {
+	payload = append(payload, make([]byte, TraceContextSize)...)
+	copy(payload[TraceContextSize:], payload[:len(payload)-TraceContextSize])
+	binary.BigEndian.PutUint64(payload[:8], traceID)
+	payload[8] = 0
+	if sampled {
+		payload[8] = traceSampledBit
+	}
+	return payload
+}
+
+// PeelTrace splits a TraceFlag frame's payload into its trace context and
+// the real payload that follows. The returned rest aliases data — callers
+// recycling a pooled payload must recycle the original slice, not rest.
+func PeelTrace(data []byte) (traceID uint64, sampled bool, rest []byte, err error) {
+	if len(data) < TraceContextSize {
+		return 0, false, nil, &ErrProtocol{msg: "trace context shorter than its fixed size"}
+	}
+	traceID = binary.BigEndian.Uint64(data[:8])
+	return traceID, data[8]&traceSampledBit != 0, data[TraceContextSize:], nil
+}
+
 // JobIDRequest is the OpJobStatus request body.
 type JobIDRequest struct {
 	ID int `json:"id"`
@@ -338,4 +395,47 @@ func ReadFramePooled(br *bufio.Reader, maxPayload int, maxVer byte) (Frame, erro
 		}
 	}
 	return fr, nil
+}
+
+// ReadFramePooledTimed is ReadFramePooled, additionally reporting the time
+// spent reading the payload bytes (after the header completed) in
+// nanoseconds. The header wait is deliberately excluded: between requests it
+// measures client idle time, which would poison any latency attribution.
+// readNs is 0 for empty payloads and whenever the payload was already
+// buffered.
+func ReadFramePooledTimed(br *bufio.Reader, maxPayload int, maxVer byte) (fr Frame, readNs int64, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	if hdr[0] != Magic0 || hdr[1] != Magic1 {
+		return Frame{}, 0, &ErrProtocol{msg: "bad magic"}
+	}
+	if hdr[2] < Version1 || hdr[2] > maxVer {
+		return Frame{}, 0, &ErrProtocol{msg: fmt.Sprintf("unsupported version %d", hdr[2])}
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(maxPayload) {
+		return Frame{}, 0, &ErrProtocol{msg: fmt.Sprintf("payload %d exceeds limit %d", n, maxPayload)}
+	}
+	fr = Frame{Ver: hdr[2], Op: hdr[3], ID: binary.BigEndian.Uint32(hdr[4:8])}
+	if n > 0 {
+		fr.Payload = GetBuf(int(n))[:n]
+		if br.Buffered() >= int(n) {
+			// Fast path: the payload is already in the read buffer; a clock
+			// read per frame here would cost more than the copy it times.
+			if _, err := io.ReadFull(br, fr.Payload); err != nil {
+				PutBuf(fr.Payload)
+				return Frame{}, 0, err
+			}
+			return fr, 0, nil
+		}
+		t0 := time.Now()
+		if _, err := io.ReadFull(br, fr.Payload); err != nil {
+			PutBuf(fr.Payload)
+			return Frame{}, 0, err
+		}
+		readNs = int64(time.Since(t0))
+	}
+	return fr, readNs, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"venn/internal/obs"
 	"venn/internal/server"
 )
 
@@ -242,6 +243,12 @@ type outFrame struct {
 	// pooled marks a payload owned by the frame buffer pool; the writer
 	// returns it with PutBuf once the bytes are on the wire.
 	pooled bool
+	// sp is the request's observability span (nil when unsampled). The
+	// writer attributes the out-queue wait plus the write syscall to its
+	// write stage and finishes it once the bytes are on the wire (or the
+	// connection died). enq is the enqueue instant, set only with a span.
+	sp  *obs.Span
+	enq time.Time
 }
 
 type srvConn struct {
@@ -342,10 +349,21 @@ func (s *Server) serveConn(sc *srvConn) {
 					s.framesOut.Add(int64(len(pending)))
 				}
 			}
-			// Written or dropped, pooled payloads are done with either way.
+			// Written or dropped, pooled payloads are done with either way;
+			// spans seal here — the write stage covers out-queue wait plus
+			// the syscall, and a dropped frame records as an error.
 			for i := range pending {
-				if pending[i].pooled {
-					PutBuf(pending[i].payload)
+				f := &pending[i]
+				if f.sp != nil {
+					if failed {
+						f.sp.SetError()
+					} else {
+						f.sp.Mark(obs.StageWrite, time.Since(f.enq))
+					}
+					f.sp.Finish()
+				}
+				if f.pooled {
+					PutBuf(f.payload)
 				}
 			}
 		}
@@ -359,7 +377,7 @@ func (s *Server) serveConn(sc *srvConn) {
 	sem := make(chan struct{}, s.opts.Window)
 	var handlers sync.WaitGroup
 	for {
-		fr, err := ReadFramePooled(br, s.opts.MaxPayload, s.opts.MaxVersion)
+		fr, readNs, err := ReadFramePooledTimed(br, s.opts.MaxPayload, s.opts.MaxVersion)
 		if err != nil {
 			// EOF, peer reset, protocol violation, or the drain deadline:
 			// all end the read loop; in-flight work still completes below.
@@ -371,18 +389,23 @@ func (s *Server) serveConn(sc *srvConn) {
 		}
 		sem <- struct{}{}
 		handlers.Add(1)
-		go func(fr Frame) {
+		go func(fr Frame, readNs int64) {
 			defer handlers.Done()
 			t0 := time.Now()
-			op, payload, pooled := s.handle(sc, fr.Ver, fr.Op, fr.Payload)
+			op, payload, pooled, sp := s.handle(sc, fr.Ver, fr.Op, fr.Payload)
 			// The request payload is pooled and nothing retains it past
 			// handle (decoders copy; the relay copies item ranges before
 			// returning), so it recycles here.
 			PutBuf(fr.Payload)
-			s.svc.ObserveHandlerLatency(routeOf(fr.Op), time.Since(t0))
-			sc.out <- outFrame{ver: fr.Ver, op: op, id: fr.ID, payload: payload, pooled: pooled}
+			s.svc.Obs().ObserveTotal(obsOpOf(fr.Op), time.Since(t0))
+			sp.Mark(obs.StageRead, time.Duration(readNs))
+			of := outFrame{ver: fr.Ver, op: op, id: fr.ID, payload: payload, pooled: pooled, sp: sp}
+			if sp != nil {
+				of.enq = time.Now()
+			}
+			sc.out <- of
 			<-sem
-		}(fr)
+		}(fr, readNs)
 	}
 	handlers.Wait()
 	sc.outMu.Lock()
@@ -393,25 +416,65 @@ func (s *Server) serveConn(sc *srvConn) {
 	sc.c.Close()
 }
 
-// routeOf maps an opcode to the shared handler-latency route label.
-func routeOf(op byte) string {
-	switch op &^ HopFlag {
+// obsOpOf maps an opcode (flag bits ignored) to its observability op.
+func obsOpOf(op byte) obs.Op {
+	switch op &^ (HopFlag | TraceFlag) {
 	case OpCheckIn:
-		return server.RouteCheckIn
+		return obs.OpCheckIn
 	case OpCheckInBatch:
-		return server.RouteCheckInBatch
+		return obs.OpCheckInBatch
 	case OpReport:
-		return server.RouteReport
+		return obs.OpReport
 	case OpReportBatch:
-		return server.RouteReportBatch
+		return obs.OpReportBatch
 	case OpRegisterJob, OpJobs, OpJobStatus:
-		return server.RouteJobs
+		return obs.OpJobs
 	default:
-		return server.RouteOther
+		return obs.OpOther
 	}
 }
 
-// handle dispatches one request frame to the service layer and encodes the
+// handle peels the optional trace context off a request frame, starts the
+// request's observability span, and dispatches. A TraceFlag-marked frame
+// (v2 only) carries a 9-byte trace prefix: when its sampled bit is set the
+// span is forced with the origin's trace ID — the receiving side of a
+// federation hop records the same trace the origin did, which is what lets
+// a slow hop in the origin's flight recorder be joined against the remote's
+// record. Unsampled requests get the regular 1-in-N sampler; hop requests
+// whose origin did not sample never start a span of their own.
+func (s *Server) handle(sc *srvConn, ver, op byte, payload []byte) (byte, []byte, bool, *obs.Span) {
+	var trace uint64
+	if op&TraceFlag != 0 {
+		op &^= TraceFlag
+		if ver < Version2 {
+			b, p, pl := errFrame(ver, server.CodeInvalid, errors.New("transport: trace context requires protocol v2"))
+			return b, p, pl, nil
+		}
+		id, sampled, rest, err := PeelTrace(payload)
+		if err != nil {
+			b, p, pl := errFrame(ver, server.CodeInvalid, err)
+			return b, p, pl, nil
+		}
+		payload = rest
+		if sampled {
+			trace = id
+		}
+	}
+	obsOp := obsOpOf(op)
+	var sp *obs.Span
+	if trace != 0 {
+		sp = s.svc.Obs().StartTraced(obsOp, trace)
+	} else if op&HopFlag == 0 {
+		sp = s.svc.Obs().Sample(obsOp)
+	}
+	ro, rp, pooled := s.dispatch(sc, ver, op, payload, sp)
+	if ro == OpError {
+		sp.SetError()
+	}
+	return ro, rp, pooled, sp
+}
+
+// dispatch routes one request frame to the service layer and encodes the
 // response. Decode errors and service errors both become OpError frames;
 // only framing violations (handled in the read loop) close the connection.
 //
@@ -431,7 +494,7 @@ func routeOf(op byte) string {
 //
 // The returned bool marks a pooled response payload (the writer recycles it
 // after the write).
-func (s *Server) handle(sc *srvConn, ver, op byte, payload []byte) (byte, []byte, bool) {
+func (s *Server) dispatch(sc *srvConn, ver, op byte, payload []byte, sp *obs.Span) (byte, []byte, bool) {
 	forwarded := op&HopFlag != 0
 	if forwarded {
 		switch op &^ HopFlag {
@@ -441,63 +504,81 @@ func (s *Server) handle(sc *srvConn, ver, op byte, payload []byte) (byte, []byte
 			return errFrame(ver, server.CodeInvalid, errors.New("transport: hop flag on non-forwardable opcode"))
 		}
 	}
+	// dec wraps decodeReq with the span's decode-stage mark; the clock reads
+	// are span-gated, so the unsampled path pays nothing extra.
+	dec := func(v wireCodec) error {
+		if sp == nil {
+			return decodeReq(ver, payload, v)
+		}
+		t0 := time.Now()
+		err := decodeReq(ver, payload, v)
+		sp.Mark(obs.StageDecode, time.Since(t0))
+		return err
+	}
 	switch op &^ HopFlag {
 	case OpCheckIn:
 		var ci server.CheckIn
-		if err := decodeReq(ver, payload, &ci); err != nil {
+		if err := dec(&ci); err != nil {
 			return svcErrFrame(ver, err)
 		}
 		var asg server.Assignment
 		var err error
 		if forwarded {
-			asg, err = s.svc.CheckInLocal(ci)
+			asg, err = s.svc.CheckInLocal(ci, sp)
 		} else {
-			asg, err = s.svc.CheckIn(ci)
+			asg, err = s.svc.CheckIn(ci, sp)
 		}
 		if err != nil {
 			return svcErrFrame(ver, err)
 		}
-		return respFrame(ver, op, &asg)
+		return respFrameSpan(ver, op, &asg, sp)
 	case OpCheckInBatch:
 		var req server.CheckInBatchRequest
 		if forwarded {
-			if err := decodeReq(ver, payload, &req); err != nil {
+			if err := dec(&req); err != nil {
 				return svcErrFrame(ver, err)
 			}
-			resp, err := s.svc.CheckInBatchLocal(req)
+			resp, err := s.svc.CheckInBatchLocal(req, sp)
 			if err != nil {
 				return svcErrFrame(ver, err)
 			}
-			return respFrame(ver, op, &resp)
+			return respFrameSpan(ver, op, &resp, sp)
 		}
 		var raw server.RawItems
 		if ver >= Version2 {
+			var t0 time.Time
+			if sp != nil {
+				t0 = time.Now()
+			}
 			bounds, err := req.UnmarshalBinaryBounds(payload)
+			if sp != nil {
+				sp.Mark(obs.StageDecode, time.Since(t0))
+			}
 			if err != nil {
 				return svcErrFrame(ver, err)
 			}
 			raw = server.RawItems{Data: payload, Bounds: bounds}
-		} else if err := decodeReq(ver, payload, &req); err != nil {
+		} else if err := dec(&req); err != nil {
 			return svcErrFrame(ver, err)
 		}
-		resp, fwd, err := s.svc.CheckInBatchRouted(req, raw)
+		resp, fwd, err := s.svc.CheckInBatchRouted(req, raw, sp)
 		if err != nil {
 			return svcErrFrame(ver, err)
 		}
 		if fwd && ver >= Version2 {
 			op |= HopFlag
 		}
-		return respFrame(ver, op, &resp)
+		return respFrameSpan(ver, op, &resp, sp)
 	case OpReport:
 		var rep server.Report
-		if err := decodeReq(ver, payload, &rep); err != nil {
+		if err := dec(&rep); err != nil {
 			return svcErrFrame(ver, err)
 		}
 		var err error
 		if forwarded {
-			err = s.svc.ReportLocal(rep)
+			err = s.svc.ReportLocal(rep, sp)
 		} else {
-			err = s.svc.Report(rep)
+			err = s.svc.Report(rep, sp)
 		}
 		if err != nil {
 			return svcErrFrame(ver, err)
@@ -506,33 +587,40 @@ func (s *Server) handle(sc *srvConn, ver, op byte, payload []byte) (byte, []byte
 	case OpReportBatch:
 		var req server.ReportBatchRequest
 		if forwarded {
-			if err := decodeReq(ver, payload, &req); err != nil {
+			if err := dec(&req); err != nil {
 				return svcErrFrame(ver, err)
 			}
-			resp, err := s.svc.ReportBatchLocal(req)
+			resp, err := s.svc.ReportBatchLocal(req, sp)
 			if err != nil {
 				return svcErrFrame(ver, err)
 			}
-			return respFrame(ver, op, &resp)
+			return respFrameSpan(ver, op, &resp, sp)
 		}
 		var raw server.RawItems
 		if ver >= Version2 {
+			var t0 time.Time
+			if sp != nil {
+				t0 = time.Now()
+			}
 			bounds, err := req.UnmarshalBinaryBounds(payload)
+			if sp != nil {
+				sp.Mark(obs.StageDecode, time.Since(t0))
+			}
 			if err != nil {
 				return svcErrFrame(ver, err)
 			}
 			raw = server.RawItems{Data: payload, Bounds: bounds}
-		} else if err := decodeReq(ver, payload, &req); err != nil {
+		} else if err := dec(&req); err != nil {
 			return svcErrFrame(ver, err)
 		}
-		resp, fwd, err := s.svc.ReportBatchRouted(req, raw)
+		resp, fwd, err := s.svc.ReportBatchRouted(req, raw, sp)
 		if err != nil {
 			return svcErrFrame(ver, err)
 		}
 		if fwd && ver >= Version2 {
 			op |= HopFlag
 		}
-		return respFrame(ver, op, &resp)
+		return respFrameSpan(ver, op, &resp, sp)
 	case OpRegisterJob:
 		var spec server.JobSpec
 		if err := json.Unmarshal(payload, &spec); err != nil {
@@ -649,6 +737,18 @@ func respFrame(ver, op byte, v any) (byte, []byte, bool) {
 		return errFrame(ver, server.CodeInvalid, err)
 	}
 	return op | RespFlag, buf, false
+}
+
+// respFrameSpan is respFrame with the span's encode-stage mark (clock reads
+// span-gated; a nil span takes the plain path).
+func respFrameSpan(ver, op byte, v any, sp *obs.Span) (byte, []byte, bool) {
+	if sp == nil {
+		return respFrame(ver, op, v)
+	}
+	t0 := time.Now()
+	ro, payload, pooled := respFrame(ver, op, v)
+	sp.Mark(obs.StageEncode, time.Since(t0))
+	return ro, payload, pooled
 }
 
 func svcErrFrame(ver byte, err error) (byte, []byte, bool) {

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	payload := []byte("hello, device")
+	for _, sampled := range []bool{true, false} {
+		wire := PrependTrace(append([]byte(nil), payload...), 0xdeadbeefcafef00d, sampled)
+		if len(wire) != len(payload)+TraceContextSize {
+			t.Fatalf("prepended length %d, want %d", len(wire), len(payload)+TraceContextSize)
+		}
+		id, s, rest, err := PeelTrace(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 0xdeadbeefcafef00d || s != sampled || !bytes.Equal(rest, payload) {
+			t.Fatalf("peel: id=%x sampled=%v rest=%q", id, s, rest)
+		}
+	}
+}
+
+func TestAppendTraceMatchesPrepend(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	a := AppendTrace(nil, 42, true)
+	a = append(a, payload...)
+	p := PrependTrace(append([]byte(nil), payload...), 42, true)
+	if !bytes.Equal(a, p) {
+		t.Fatalf("AppendTrace and PrependTrace disagree: %x vs %x", a, p)
+	}
+}
+
+func TestPeelTraceShort(t *testing.T) {
+	if _, _, _, err := PeelTrace(make([]byte, TraceContextSize-1)); err == nil {
+		t.Fatal("short trace context accepted")
+	}
+}
+
+func TestPrependTraceEmptyPayload(t *testing.T) {
+	wire := PrependTrace(nil, 7, true)
+	id, sampled, rest, err := PeelTrace(wire)
+	if err != nil || id != 7 || !sampled || len(rest) != 0 {
+		t.Fatalf("empty payload roundtrip: id=%d sampled=%v rest=%q err=%v", id, sampled, rest, err)
+	}
+}
